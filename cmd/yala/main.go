@@ -1,0 +1,272 @@
+// Command yala is the CLI front end for the Yala reproduction: profile an
+// NF's footprint, train its models, predict throughput under a
+// co-location, diagnose its bottleneck, or schedule an arrival sequence.
+//
+// Usage:
+//
+//	yala profile  -nf FlowMonitor [-flows n] [-pktsize n] [-mtbr f]
+//	yala train    -nf FlowMonitor -out flowmonitor.json
+//	yala predict  -nf FlowMonitor -with NIDS,FlowStats [-flows n] [-pktsize n] [-mtbr f]
+//	yala diagnose -nf FlowMonitor [-mtbr f]
+//	yala place    -arrivals 60 [-seed n]
+//	yala list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nf"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "profile":
+		err = cmdProfile(args)
+	case "train":
+		err = cmdTrain(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "diagnose":
+		err = cmdDiagnose(args)
+	case "place":
+		err = cmdPlace(args)
+	case "list":
+		fmt.Println(strings.Join(nf.Names(), "\n"))
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yala:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|list} [flags]")
+	os.Exit(2)
+}
+
+func profileFlags(fs *flag.FlagSet) (*string, *int, *int, *float64) {
+	name := fs.String("nf", "FlowMonitor", "catalog NF name")
+	flows := fs.Int("flows", traffic.Default.Flows, "flow count")
+	pkt := fs.Int("pktsize", traffic.Default.PktSize, "packet size (B)")
+	mtbr := fs.Float64("mtbr", traffic.Default.MTBR, "match-to-byte ratio (matches/MB)")
+	return name, flows, pkt, mtbr
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	name, flows, pkt, mtbr := profileFlags(fs)
+	fs.Parse(args)
+	prof := traffic.Profile{Flows: *flows, PktSize: *pkt, MTBR: *mtbr}
+
+	tb := testbed.New(nicsim.BlueField2(), 1)
+	w, err := tb.Workload(*name, prof)
+	if err != nil {
+		return err
+	}
+	m, err := tb.RunSolo(w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NF %s at %s on %s\n", *name, prof, tb.Config().Name)
+	fmt.Printf("  pattern            %v\n", w.Pattern)
+	fmt.Printf("  cpu/packet         %.0f ns\n", w.CPUSecPerPkt*1e9)
+	fmt.Printf("  mem refs/packet    %.1f\n", w.MemRefsPerPkt)
+	fmt.Printf("  working set        %.2f MB\n", w.WSSBytes/(1<<20))
+	for kind, u := range w.Accel {
+		fmt.Printf("  %v: %.0f B/req, %.2f matches/req, %d queues\n",
+			kind, u.BytesPerReq, u.MatchesPerReq, u.Queues)
+	}
+	fmt.Printf("  solo throughput    %.3f Mpps\n", m.Throughput/1e6)
+	fmt.Printf("  bottleneck         %v\n", m.Bottleneck)
+	return nil
+}
+
+// cmdTrain runs offline profiling and saves the fitted model as JSON —
+// the artifact's train.py / models.pkl flow.
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name := fs.String("nf", "FlowMonitor", "catalog NF name")
+	out := fs.String("out", "", "output model file (JSON)")
+	seed := fs.Uint64("seed", 1, "training seed")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("train: -out is required")
+	}
+	tb := testbed.New(nicsim.BlueField2(), *seed)
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = *seed
+	fmt.Printf("profiling and training %s...\n", *name)
+	model, err := core.NewTrainer(tb, cfg).Train(*name)
+	if err != nil {
+		return err
+	}
+	if err := model.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("saved %s model (pattern %v, %d accelerator models) to %s\n",
+		model.Name, model.Pattern, len(model.Accels), *out)
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	name, flows, pkt, mtbr := profileFlags(fs)
+	with := fs.String("with", "NIDS", "comma-separated competitor NFs")
+	fs.Parse(args)
+	prof := traffic.Profile{Flows: *flows, PktSize: *pkt, MTBR: *mtbr}
+
+	tb := testbed.New(nicsim.BlueField2(), 1)
+	fmt.Printf("training Yala model for %s (offline profiling)...\n", *name)
+	model, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(*name)
+	if err != nil {
+		return err
+	}
+
+	var comps []core.Competitor
+	ws := []*nicsim.Workload{}
+	targetW, err := tb.Workload(*name, prof)
+	if err != nil {
+		return err
+	}
+	ws = append(ws, targetW)
+	for _, c := range strings.Split(*with, ",") {
+		c = strings.TrimSpace(c)
+		cw, err := tb.Workload(c, traffic.Default)
+		if err != nil {
+			return err
+		}
+		solo, err := tb.RunSolo(cw)
+		if err != nil {
+			return err
+		}
+		comps = append(comps, core.CompetitorFromMeasurement(solo))
+		ws = append(ws, cw)
+	}
+
+	pred := model.Predict(prof, comps)
+	fmt.Printf("predicted solo        %.3f Mpps\n", pred.Solo/1e6)
+	fmt.Printf("predicted co-located  %.3f Mpps\n", pred.Throughput/1e6)
+	for res, t := range pred.PerResource {
+		fmt.Printf("  %-8v limit       %.3f Mpps\n", res, t/1e6)
+	}
+	fmt.Printf("predicted bottleneck  %v\n", pred.Bottleneck)
+
+	ms, err := tb.Run(ws...)
+	if err != nil {
+		return err
+	}
+	truth := ms[0].Throughput
+	fmt.Printf("measured  co-located  %.3f Mpps (prediction error %.1f%%)\n",
+		truth/1e6, 100*abs(pred.Throughput-truth)/truth)
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	name, flows, pkt, mtbr := profileFlags(fs)
+	fs.Parse(args)
+	prof := traffic.Profile{Flows: *flows, PktSize: *pkt, MTBR: *mtbr}
+
+	tb := testbed.New(nicsim.BlueField2(), 1)
+	fmt.Printf("training Yala model for %s...\n", *name)
+	model, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(*name)
+	if err != nil {
+		return err
+	}
+	memB := nfbench.MemBench(120e6, 10<<20)
+	regexB := nfbench.RegexBench(0.58e6, 1000, 2000, 1)
+	memSolo, err := tb.RunSolo(memB)
+	if err != nil {
+		return err
+	}
+	regexSolo, err := tb.RunSolo(regexB)
+	if err != nil {
+		return err
+	}
+	pred := model.Predict(prof, []core.Competitor{
+		core.CompetitorFromMeasurement(memSolo),
+		core.CompetitorFromMeasurement(regexSolo),
+	})
+	w, err := tb.Workload(*name, prof)
+	if err != nil {
+		return err
+	}
+	ms, err := tb.Run(w, memB, regexB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("predicted bottleneck %v, ground truth %v\n", pred.Bottleneck, ms[0].Bottleneck)
+	return nil
+}
+
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ExitOnError)
+	arrivals := fs.Int("arrivals", 40, "arrival count")
+	seed := fs.Uint64("seed", 1, "sequence seed")
+	fs.Parse(args)
+
+	tb := testbed.New(nicsim.BlueField2(), *seed)
+	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker", "NAT"}
+	yala := map[string]*core.Model{}
+	slomoM := map[string]*slomo.Model{}
+	for _, n := range names {
+		fmt.Printf("training models for %s...\n", n)
+		m, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(n)
+		if err != nil {
+			return err
+		}
+		yala[n] = m
+		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		slomoM[n] = sm
+	}
+	ps := placement.NewSimulator(tb, yala, slomoM)
+	rng := sim.NewRNG(*seed)
+	var seq []placement.Arrival
+	for i := 0; i < *arrivals; i++ {
+		seq = append(seq, placement.Arrival{
+			Name:    names[rng.Intn(len(names))],
+			Profile: traffic.Default,
+			SLA:     0.05 + 0.15*rng.Float64(),
+		})
+	}
+	fmt.Printf("%-16s %6s %10s\n", "strategy", "NICs", "violations")
+	for _, st := range []placement.Strategy{
+		placement.Monopolization, placement.Greedy,
+		placement.SLOMOAware, placement.YalaAware, placement.Oracle,
+	} {
+		res, err := ps.Place(seq, st)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %6d %10d\n", st, res.NICsUsed, res.Violations)
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

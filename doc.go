@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Performance
+// Prediction of On-NIC Network Functions with Multi-Resource Contention
+// and Traffic Awareness" (ASPLOS 2025): the Yala prediction framework,
+// the network functions it models, and a simulated SoC SmartNIC standing
+// in for the paper's BlueField-2 testbed.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// hardware substitutions, and EXPERIMENTS.md for the paper-vs-measured
+// record of every table and figure. The benchmarks in bench_test.go
+// regenerate each experiment.
+package repro

@@ -1,0 +1,57 @@
+// Diagnosis: sweep FlowMonitor's traffic MTBR under fixed contention and
+// watch the bottleneck shift from the memory subsystem to the regex
+// accelerator — the paper's §7.5.2 use case. Yala tracks the shift; a
+// memory-only model cannot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func main() {
+	tb := testbed.New(nicsim.BlueField2(), 3)
+	fmt.Println("training Yala model for FlowMonitor...")
+	model, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train("FlowMonitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fixed contention: a memory hog and moderate regex pressure.
+	memB := nfbench.MemBench(120e6, 10<<20)
+	regexB := nfbench.RegexBench(0.58e6, 1000, 2000, 1)
+	memSolo, err := tb.RunSolo(memB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regexSolo, err := tb.RunSolo(regexB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := []core.Competitor{
+		core.CompetitorFromMeasurement(memSolo),
+		core.CompetitorFromMeasurement(regexSolo),
+	}
+
+	fmt.Printf("\n%8s  %12s  %12s  %10s\n", "MTBR", "predicted", "actual", "tput(Mpps)")
+	for _, mtbr := range []float64{0, 80, 200, 400, 600, 800, 1000, 1100} {
+		prof := traffic.Default.With(traffic.AttrMTBR, mtbr)
+		pred := model.Predict(prof, comps)
+		w, err := tb.Workload("FlowMonitor", prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := tb.Run(w, memB, regexB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f  %12v  %12v  %10.3f\n",
+			mtbr, pred.Bottleneck, ms[0].Bottleneck, ms[0].Throughput/1e6)
+	}
+}

@@ -1,0 +1,62 @@
+// Placement: schedule a random sequence of NF arrivals onto SmartNICs
+// with four strategies and compare NIC usage and SLA violations — the
+// paper's §7.5.1 use case at example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func main() {
+	tb := testbed.New(nicsim.BlueField2(), 7)
+	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker"}
+
+	yala := map[string]*core.Model{}
+	slomoM := map[string]*slomo.Model{}
+	for _, n := range names {
+		fmt.Printf("training models for %s...\n", n)
+		m, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yala[n] = m
+		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		slomoM[n] = sm
+	}
+
+	// 50 arrivals with SLAs between 5% and 20% allowed drop.
+	rng := sim.NewRNG(99)
+	var seq []placement.Arrival
+	for i := 0; i < 50; i++ {
+		seq = append(seq, placement.Arrival{
+			Name:    names[rng.Intn(len(names))],
+			Profile: traffic.Default,
+			SLA:     0.05 + 0.15*rng.Float64(),
+		})
+	}
+
+	ps := placement.NewSimulator(tb, yala, slomoM)
+	fmt.Printf("\n%-16s %6s %12s\n", "strategy", "NICs", "violations")
+	for _, st := range []placement.Strategy{
+		placement.Monopolization, placement.Greedy,
+		placement.SLOMOAware, placement.YalaAware, placement.Oracle,
+	} {
+		res, err := ps.Place(seq, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %6d %9d/%d\n", st, res.NICsUsed, res.Violations, res.Total)
+	}
+}

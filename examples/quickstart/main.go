@@ -1,0 +1,78 @@
+// Quickstart: train a Yala model for FlowMonitor, predict its throughput
+// when co-located with NIDS and FlowStats, and compare against the
+// simulated ground truth — the equivalent of the paper artifact's
+// train.py / predict.py walk-through.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func main() {
+	// A testbed binds the simulated BlueField-2 to the NF catalog.
+	tb := testbed.New(nicsim.BlueField2(), 42)
+
+	// Offline phase (§3): adaptive profiling + model fitting. This runs
+	// FlowMonitor's real packet-processing code over generated traffic,
+	// co-runs it with mem-bench and regex-bench, and fits the
+	// per-resource models.
+	fmt.Println("training Yala model for FlowMonitor...")
+	model, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train("FlowMonitor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  detected execution pattern: %v\n", model.Pattern)
+	am := model.Accels[nicsim.AccelRegex]
+	fmt.Printf("  regex model: n=%g queues, t(m) = %.0fns + %.3fns·MTBR\n",
+		am.Queues, am.T0*1e9, am.A*1e9)
+
+	// Online phase: describe the co-location. Competitor contention
+	// levels come from their offline solo profiles.
+	var comps []core.Competitor
+	ws := []*nicsim.Workload{}
+	target, err := tb.Workload("FlowMonitor", traffic.Default)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws = append(ws, target)
+	for _, name := range []string{"NIDS", "FlowStats"} {
+		w, err := tb.Workload(name, traffic.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo, err := tb.RunSolo(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comps = append(comps, core.CompetitorFromMeasurement(solo))
+		ws = append(ws, w)
+	}
+
+	pred := model.Predict(traffic.Default, comps)
+	fmt.Printf("\npredicted solo throughput:       %.3f Mpps\n", pred.Solo/1e6)
+	fmt.Printf("predicted co-located throughput: %.3f Mpps\n", pred.Throughput/1e6)
+	fmt.Printf("predicted bottleneck:            %v\n", pred.Bottleneck)
+
+	// Ground truth from the simulator.
+	ms, err := tb.Run(ws...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := ms[0].Throughput
+	errPct := 100 * abs(pred.Throughput-truth) / truth
+	fmt.Printf("measured co-located throughput:  %.3f Mpps\n", truth/1e6)
+	fmt.Printf("prediction error:                %.1f%%\n", errPct)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,63 @@
+// Trafficsweep: show why traffic awareness matters. A FlowStats model is
+// evaluated under the same memory contention while the flow count sweeps
+// far from the training default; Yala tracks the sensitivity change,
+// SLOMO's fixed-profile model (even extrapolated) drifts — the Fig. 3/7b
+// phenomenon.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func main() {
+	tb := testbed.New(nicsim.BlueField2(), 5)
+	fmt.Println("training Yala and SLOMO models for FlowStats...")
+	yala, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train("FlowStats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sl, err := slomo.Train(tb, "FlowStats", traffic.Default, slomo.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const car, wss = 140e6, 10 << 20
+	benchSolo, err := tb.RunSolo(nfbench.MemBench(car, wss))
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := core.CompetitorFromMeasurement(benchSolo)
+
+	fmt.Printf("\n%8s  %10s  %10s  %10s  %8s  %8s\n",
+		"flows", "truth", "yala", "slomo", "yala-err", "slomo-err")
+	for _, flows := range []float64{2000, 8000, 16000, 32000, 64000, 128000, 256000, 500000} {
+		prof := traffic.Default.With(traffic.AttrFlows, flows)
+		w, err := tb.Workload("FlowStats", prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth, err := tb.WithMemBench(w, car, wss)
+		if err != nil {
+			log.Fatal(err)
+		}
+		soloNew, err := tb.RunSolo(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yp := yala.Predict(prof, []core.Competitor{comp}).Throughput
+		sp := sl.PredictExtrapolated(benchSolo.Counters, soloNew.Throughput)
+		t := truth.Throughput
+		fmt.Printf("%8.0f  %10.3f  %10.3f  %10.3f  %7.1f%%  %7.1f%%\n",
+			flows, t/1e6, yp/1e6, sp/1e6,
+			100*math.Abs(yp-t)/t, 100*math.Abs(sp-t)/t)
+	}
+}

@@ -1,0 +1,161 @@
+// Package core implements Yala, the paper's contribution: a multi-
+// resource contention- and traffic-aware performance prediction framework
+// for on-NIC network functions.
+//
+// Yala is built from three pieces (§3):
+//
+//   - per-resource contention models: a white-box round-robin queueing
+//     model for hardware accelerators (accelmodel.go) and a black-box
+//     gradient-boosting model for the memory subsystem (memmodel.go),
+//     both traffic-aware (§4.1, §5.1);
+//   - execution-pattern-based composition that turns per-resource
+//     throughput drops into an end-to-end prediction (compose.go, §4.2);
+//   - an offline Trainer that profiles an NF against synthetic
+//     contention generators and fits the models (trainer.go), and an
+//     online Predictor used for placement and diagnosis (predictor.go).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nicsim"
+)
+
+// Composition identifies a strategy for combining per-resource throughput
+// drops into an end-to-end prediction.
+type Composition int
+
+// Composition strategies. Yala uses the execution-pattern-based pair
+// (ComposePipeline / ComposeRTC); Sum and Min are the strawman baselines
+// of §2.2.1.
+const (
+	ComposePipeline Composition = iota
+	ComposeRTC
+	ComposeSum
+	ComposeMin
+)
+
+// String names the composition.
+func (c Composition) String() string {
+	switch c {
+	case ComposePipeline:
+		return "pipeline"
+	case ComposeRTC:
+		return "run-to-completion"
+	case ComposeSum:
+		return "sum"
+	case ComposeMin:
+		return "min"
+	}
+	return fmt.Sprintf("composition(%d)", int(c))
+}
+
+// ForPattern maps an execution pattern to Yala's composition for it.
+func ForPattern(p nicsim.ExecPattern) Composition {
+	if p == nicsim.Pipeline {
+		return ComposePipeline
+	}
+	return ComposeRTC
+}
+
+// Compose combines per-resource throughput drops into an end-to-end
+// throughput. soloT is the NF's solo throughput; drops[k] is the
+// throughput loss attributable to contention on resource k alone
+// (non-negative, ≤ soloT).
+//
+// Pipeline (Eq. 2): the slowest stage bounds the pipeline, so only the
+// largest per-resource drop matters:
+//
+//	T = T_solo − max_k ΔT_k
+//
+// Run-to-completion (Eq. 3): each stage's inflated sojourn time adds to
+// the per-packet service time:
+//
+//	T = 1 / ( Σ_k 1/(T_solo − ΔT_k) − (r−1)/T_solo )
+//
+// Sum subtracts every drop; Min takes the best per-resource throughput
+// (equivalently the max drop — the paper's "min composition" names the
+// resulting throughput, which coincides with pipeline composition).
+func Compose(c Composition, soloT float64, drops []float64) float64 {
+	if soloT <= 0 {
+		return 0
+	}
+	clamped := make([]float64, len(drops))
+	for i, d := range drops {
+		switch {
+		case d < 0:
+			clamped[i] = 0
+		case d >= soloT:
+			clamped[i] = soloT * (1 - 1e-6) // keep per-resource rate positive
+		default:
+			clamped[i] = d
+		}
+	}
+	switch c {
+	case ComposePipeline, ComposeMin:
+		maxDrop := 0.0
+		for _, d := range clamped {
+			if d > maxDrop {
+				maxDrop = d
+			}
+		}
+		return soloT - maxDrop
+	case ComposeSum:
+		total := 0.0
+		for _, d := range clamped {
+			total += d
+		}
+		if total >= soloT {
+			return 0
+		}
+		return soloT - total
+	case ComposeRTC:
+		if len(clamped) == 0 {
+			return soloT
+		}
+		sum := 0.0
+		for _, d := range clamped {
+			sum += 1 / (soloT - d)
+		}
+		sum -= float64(len(clamped)-1) / soloT
+		if sum <= 0 {
+			return soloT
+		}
+		return 1 / sum
+	}
+	return soloT
+}
+
+// DetectPattern picks the execution pattern whose composition best
+// explains observed throughputs. Each observation pairs the per-resource
+// drops with the measured end-to-end throughput at one contention level
+// (§4.2's testing procedure: co-run with benchmark NFs and see whether
+// Eq. 2 or Eq. 3 fits better).
+type PatternObservation struct {
+	SoloT    float64
+	Drops    []float64
+	Measured float64
+}
+
+// DetectPattern returns the pattern with the lower total absolute
+// prediction error over the observations.
+func DetectPattern(obs []PatternObservation) nicsim.ExecPattern {
+	var errPipe, errRTC float64
+	for _, o := range obs {
+		p := Compose(ComposePipeline, o.SoloT, o.Drops)
+		r := Compose(ComposeRTC, o.SoloT, o.Drops)
+		errPipe += abs(p - o.Measured)
+		errRTC += abs(r - o.Measured)
+	}
+	if errPipe <= errRTC {
+		return nicsim.Pipeline
+	}
+	return nicsim.RunToCompletion
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

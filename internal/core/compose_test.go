@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nicsim"
+)
+
+func TestComposePipelineTakesMaxDrop(t *testing.T) {
+	got := Compose(ComposePipeline, 100, []float64{10, 30, 5})
+	if got != 70 {
+		t.Fatalf("pipeline = %v, want 70", got)
+	}
+}
+
+func TestComposeMinEqualsPipeline(t *testing.T) {
+	drops := []float64{12, 7, 25}
+	if Compose(ComposeMin, 100, drops) != Compose(ComposePipeline, 100, drops) {
+		t.Fatal("min and pipeline compositions should coincide")
+	}
+}
+
+func TestComposeSum(t *testing.T) {
+	if got := Compose(ComposeSum, 100, []float64{10, 30, 5}); got != 55 {
+		t.Fatalf("sum = %v, want 55", got)
+	}
+	if got := Compose(ComposeSum, 100, []float64{60, 60}); got != 0 {
+		t.Fatalf("over-subtracted sum = %v, want 0", got)
+	}
+}
+
+func TestComposeRTCMatchesEquation(t *testing.T) {
+	// Eq. 3 with r=2: T = 1/(1/(S-d1) + 1/(S-d2) - 1/S).
+	S, d1, d2 := 100.0, 20.0, 10.0
+	want := 1 / (1/(S-d1) + 1/(S-d2) - 1/S)
+	if got := Compose(ComposeRTC, S, []float64{d1, d2}); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("rtc = %v, want %v", got, want)
+	}
+}
+
+func TestComposeRTCSingleResource(t *testing.T) {
+	// With one resource, Eq. 3 reduces to T = S - d.
+	if got := Compose(ComposeRTC, 100, []float64{25}); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("rtc single = %v, want 75", got)
+	}
+}
+
+func TestComposeNoDrops(t *testing.T) {
+	for _, c := range []Composition{ComposePipeline, ComposeRTC, ComposeSum, ComposeMin} {
+		if got := Compose(c, 100, nil); got != 100 {
+			t.Fatalf("%v with no drops = %v", c, got)
+		}
+	}
+}
+
+func TestComposeClampsNegativeAndOversizedDrops(t *testing.T) {
+	if got := Compose(ComposePipeline, 100, []float64{-5}); got != 100 {
+		t.Fatalf("negative drop not clamped: %v", got)
+	}
+	got := Compose(ComposeRTC, 100, []float64{150, 10})
+	if got <= 0 || got > 100 {
+		t.Fatalf("oversized drop produced %v", got)
+	}
+}
+
+func TestComposeZeroSolo(t *testing.T) {
+	if got := Compose(ComposeRTC, 0, []float64{1}); got != 0 {
+		t.Fatalf("zero solo = %v", got)
+	}
+}
+
+func TestComposeRTCBelowPipelineProperty(t *testing.T) {
+	// With multiple contended resources, compounding (RTC) never yields
+	// more throughput than the slowest-stage bound (pipeline).
+	f := func(s uint16, a, b uint8) bool {
+		solo := float64(s%1000) + 100
+		d1 := float64(a) / 255 * solo * 0.8
+		d2 := float64(b) / 255 * solo * 0.8
+		rtc := Compose(ComposeRTC, solo, []float64{d1, d2})
+		pipe := Compose(ComposePipeline, solo, []float64{d1, d2})
+		return rtc <= pipe+1e-9 && rtc > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForPattern(t *testing.T) {
+	if ForPattern(nicsim.Pipeline) != ComposePipeline {
+		t.Fatal("pipeline mapping wrong")
+	}
+	if ForPattern(nicsim.RunToCompletion) != ComposeRTC {
+		t.Fatal("rtc mapping wrong")
+	}
+}
+
+func TestCompositionString(t *testing.T) {
+	if ComposeSum.String() != "sum" || ComposeMin.String() != "min" {
+		t.Fatal("composition names wrong")
+	}
+}
+
+func TestDetectPatternRecoversGroundTruth(t *testing.T) {
+	// Build observations from each composition law and check detection.
+	mk := func(c Composition) []PatternObservation {
+		var obs []PatternObservation
+		for _, d := range [][]float64{{10, 40}, {30, 5}, {20, 20}} {
+			obs = append(obs, PatternObservation{
+				SoloT:    100,
+				Drops:    d,
+				Measured: Compose(c, 100, d),
+			})
+		}
+		return obs
+	}
+	if got := DetectPattern(mk(ComposePipeline)); got != nicsim.Pipeline {
+		t.Fatalf("pipeline detected as %v", got)
+	}
+	if got := DetectPattern(mk(ComposeRTC)); got != nicsim.RunToCompletion {
+		t.Fatalf("rtc detected as %v", got)
+	}
+}
+
+func TestDetectPatternNoisy(t *testing.T) {
+	var obs []PatternObservation
+	for i, d := range [][]float64{{10, 40}, {30, 5}, {20, 20}, {5, 35}} {
+		noise := 1.0
+		if i%2 == 0 {
+			noise = -1.0
+		}
+		obs = append(obs, PatternObservation{
+			SoloT:    100,
+			Drops:    d,
+			Measured: Compose(ComposeRTC, 100, d) + noise,
+		})
+	}
+	if got := DetectPattern(obs); got != nicsim.RunToCompletion {
+		t.Fatalf("noisy rtc detected as %v", got)
+	}
+}

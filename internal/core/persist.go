@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ml"
+	"repro/internal/nicsim"
+)
+
+// Offline training is a one-time effort (§7.6); trained models persist as
+// JSON so the online predictor can load them without re-profiling — the
+// role of the paper artifact's models.pkl.
+
+// memModelJSON mirrors MemModel.
+type memModelJSON struct {
+	GBR          *ml.GBR `json:"gbr"`
+	TrafficAware bool    `json:"traffic_aware"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MemModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(memModelJSON{m.gbr, m.trafficAware})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MemModel) UnmarshalJSON(data []byte) error {
+	var v memModelJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.GBR == nil {
+		return fmt.Errorf("core: memory model without regressor")
+	}
+	m.gbr, m.trafficAware = v.GBR, v.TrafficAware
+	return nil
+}
+
+// soloModelJSON mirrors SoloModel.
+type soloModelJSON struct {
+	GBR *ml.GBR `json:"gbr"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *SoloModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(soloModelJSON{m.gbr})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *SoloModel) UnmarshalJSON(data []byte) error {
+	var v soloModelJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.GBR == nil {
+		return fmt.Errorf("core: solo model without regressor")
+	}
+	m.gbr = v.GBR
+	return nil
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("core: saving model %s: %w", m.Name, err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model saved with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	if m.Solo == nil || m.Mem == nil {
+		return nil, fmt.Errorf("core: model %q missing solo or memory model", m.Name)
+	}
+	if m.Accels == nil {
+		m.Accels = map[nicsim.AccelKind]*AccelModel{}
+	}
+	return &m, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

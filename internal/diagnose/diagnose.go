@@ -1,0 +1,52 @@
+// Package diagnose implements the paper's second use case (§7.5.2):
+// identifying which resource bottlenecks an NF under contention and
+// dynamic traffic, where the bottleneck may shift between the memory
+// subsystem and an accelerator as traffic attributes change.
+//
+// The predicted bottleneck comes from Yala's per-resource breakdown; the
+// ground truth from the simulator's hotspot attribution (the perf-tools
+// stand-in). SLOMO, which models only memory, can never point anywhere
+// else — the failure mode Table 7 quantifies.
+package diagnose
+
+import (
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/traffic"
+)
+
+// Verdict is one diagnosis outcome.
+type Verdict struct {
+	Predicted nicsim.Resource
+	Actual    nicsim.Resource
+}
+
+// Correct reports whether the prediction matched.
+func (v Verdict) Correct() bool { return v.Predicted == v.Actual }
+
+// YalaDiagnosis predicts the bottleneck with a Yala model's per-resource
+// breakdown.
+func YalaDiagnosis(m *core.Model, prof traffic.Profile, comps []core.Competitor, actual nicsim.Resource) Verdict {
+	pred := m.Predict(prof, comps)
+	return Verdict{Predicted: pred.Bottleneck, Actual: actual}
+}
+
+// SLOMODiagnosis is the baseline: a memory-only model attributes every
+// contention-induced slowdown to the memory subsystem.
+func SLOMODiagnosis(actual nicsim.Resource) Verdict {
+	return Verdict{Predicted: nicsim.ResMemory, Actual: actual}
+}
+
+// Accuracy is the fraction (percent) of correct verdicts.
+func Accuracy(vs []Verdict) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, v := range vs {
+		if v.Correct() {
+			ok++
+		}
+	}
+	return 100 * float64(ok) / float64(len(vs))
+}

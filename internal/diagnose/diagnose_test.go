@@ -1,0 +1,81 @@
+package diagnose
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func TestAccuracy(t *testing.T) {
+	vs := []Verdict{
+		{Predicted: nicsim.ResMemory, Actual: nicsim.ResMemory},
+		{Predicted: nicsim.ResRegex, Actual: nicsim.ResRegex},
+		{Predicted: nicsim.ResMemory, Actual: nicsim.ResRegex},
+		{Predicted: nicsim.ResRegex, Actual: nicsim.ResMemory},
+	}
+	if got := Accuracy(vs); got != 50 {
+		t.Fatalf("Accuracy = %v, want 50", got)
+	}
+	if Accuracy(nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestSLOMOAlwaysSaysMemory(t *testing.T) {
+	v := SLOMODiagnosis(nicsim.ResRegex)
+	if v.Predicted != nicsim.ResMemory || v.Correct() {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestYalaDiagnosisShiftsWithMTBR(t *testing.T) {
+	tb := testbed.New(nicsim.BlueField2(), 41)
+	model, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train("FlowMonitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memB := nfbench.MemBench(120e6, 10<<20)
+	regexB := nfbench.RegexBench(0.58e6, 1000, 2000, 1)
+	memSolo, err := tb.RunSolo(memB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regexSolo, err := tb.RunSolo(regexB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := []core.Competitor{
+		core.CompetitorFromMeasurement(memSolo),
+		core.CompetitorFromMeasurement(regexSolo),
+	}
+
+	var verdicts []Verdict
+	for _, mtbr := range []float64{40, 80, 800, 1000, 1100} {
+		prof := traffic.Default.With(traffic.AttrMTBR, mtbr)
+		w, err := tb.Workload("FlowMonitor", prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := tb.Run(w, memB, regexB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts = append(verdicts, YalaDiagnosis(model, prof, comps, ms[0].Bottleneck))
+	}
+	// The bottleneck must actually shift across the sweep (ground truth),
+	// and Yala should track it with high accuracy.
+	seen := map[nicsim.Resource]bool{}
+	for _, v := range verdicts {
+		seen[v.Actual] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("ground-truth bottleneck never shifted: %v", verdicts)
+	}
+	if acc := Accuracy(verdicts); acc < 80 {
+		t.Fatalf("Yala diagnosis accuracy %.0f%% (verdicts %v)", acc, verdicts)
+	}
+}

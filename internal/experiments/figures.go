@@ -1,0 +1,530 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/nf"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// Fig1 reproduces Figure 1: throughput drop ratios of the nine NFs when
+// co-located with up to three other random NFs at the default profile.
+func Fig1(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig1", Title: "Throughput drop under random co-location (%, median/95/99)"}
+	rng := sim.NewRNG(l.Seed ^ 0xf16)
+	names := nf.Table1Names()
+	sets := l.n(40, 10)
+
+	var rows [][]string
+	for _, target := range names {
+		w, err := l.TB.Workload(target, traffic.Default)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := l.TB.RunSolo(w)
+		if err != nil {
+			return nil, err
+		}
+		var drops []float64
+		for s := 0; s < sets; s++ {
+			k := 1 + rng.Intn(3)
+			ws := []*nicsim.Workload{w}
+			for j := 0; j < k; j++ {
+				other := names[rng.Intn(len(names))]
+				ow, err := l.TB.Workload(other, traffic.Default)
+				if err != nil {
+					return nil, err
+				}
+				ws = append(ws, ow)
+			}
+			ms, err := l.TB.Run(ws...)
+			if err != nil {
+				return nil, err
+			}
+			drop := 100 * (1 - ms[0].Throughput/solo.Throughput)
+			if drop < 0 {
+				drop = 0
+			}
+			drops = append(drops, drop)
+		}
+		rows = append(rows, []string{
+			target,
+			f1(ml.Median(drops)),
+			f1(ml.Quantile(drops, 0.95)),
+			f1(ml.Quantile(drops, 0.99)),
+		})
+	}
+	r.table([]string{"NF", "median", "p95", "p99"}, rows)
+	return r, nil
+}
+
+// Fig2 reproduces Figure 2: prediction error of single-resource models on
+// FlowMonitor under multi-resource contention (a), and MAPE of sum/min
+// composition for the synthetic NF1 (run-to-completion) and NF2
+// (pipeline) (b).
+func Fig2(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig2", Title: "Single-resource models under multi-resource contention"}
+
+	// (a) FlowMonitor: memory-only (SLOMO) vs regex-only predictions.
+	yala, err := l.Yala("FlowMonitor")
+	if err != nil {
+		return nil, err
+	}
+	sl, err := l.SLOMO("FlowMonitor")
+	if err != nil {
+		return nil, err
+	}
+	w, err := l.TB.Workload("FlowMonitor", traffic.Default)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(l.Seed ^ 0xf26)
+	var memPred, regexPred, truth []float64
+	for i := 0; i < l.n(60, 15); i++ {
+		memB := nfbench.MemBench(rng.Range(30e6, 200e6), rng.Range(1<<20, 14<<20))
+		regexB := nfbench.RegexBench(rng.Range(0.2e6, 0.9e6), 1000, 2000, 1)
+		ms, err := l.TB.Run(w, memB, regexB)
+		if err != nil {
+			return nil, err
+		}
+		memSolo, err := l.TB.RunSolo(memB)
+		if err != nil {
+			return nil, err
+		}
+		regexSolo, err := l.TB.RunSolo(regexB)
+		if err != nil {
+			return nil, err
+		}
+		truth = append(truth, ms[0].Throughput)
+		memPred = append(memPred, sl.Predict(memSolo.Counters))
+		rc := core.CompetitorFromMeasurement(regexSolo)
+		am := yala.Accels[nicsim.AccelRegex]
+		stage := am.PacketRate(traffic.Default.MTBR, []core.AccelLoad{rc.Accel[nicsim.AccelRegex]})
+		solo := yala.Solo.Predict(traffic.Default)
+		regexPred = append(regexPred, math.Min(stage, solo))
+	}
+	memAPE := ml.APEs(memPred, truth)
+	regexAPE := ml.APEs(regexPred, truth)
+	r.addf("(a) FlowMonitor, mem+regex contention:")
+	r.table([]string{"model", "median APE%", "p95 APE%"}, [][]string{
+		{"memory-only (SLOMO)", f1(ml.Median(memAPE)), f1(ml.Quantile(memAPE, 0.95))},
+		{"regex-only", f1(ml.Median(regexAPE)), f1(ml.Quantile(regexAPE, 0.95))},
+	})
+
+	// (b) Composition baselines on NF1 (RTC) and NF2 (pipeline).
+	r.addf("")
+	r.addf("(b) composition MAPE%% on synthetic NFs:")
+	var rows [][]string
+	for _, c := range []struct {
+		label   string
+		nf      string
+		pattern nicsim.ExecPattern
+	}{
+		{"NF1 (run-to-completion)", "NF1", nicsim.RunToCompletion},
+		{"NF2 (pipeline)", "NF2", nicsim.Pipeline},
+	} {
+		res, err := l.synthComposition(c.nf, c.pattern)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			c.label,
+			f1(res[core.ComposeSum]), f1(res[core.ComposeMin]), f1(res[memOnlyKey]), f1(res[regexOnlyKey]),
+		})
+	}
+	r.table([]string{"NF", "sum", "min", "mem-only", "regex-only"}, rows)
+	return r, nil
+}
+
+// Fig3 reproduces Figure 3: FlowStats throughput vs competing CAR across
+// traffic profiles (a), and SLOMO's error on the default vs other
+// profiles (b).
+func Fig3(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig3", Title: "Traffic-profile dependence of contention sensitivity"}
+	r.addf("(a) FlowStats throughput (Mpps) vs competing CAR (Mref/s):")
+	cars := []float64{25e6, 50e6, 75e6, 100e6, 150e6, 200e6}
+	header := []string{"flows\\CAR"}
+	for _, c := range cars {
+		header = append(header, f0(c/1e6))
+	}
+	var rows [][]string
+	for _, flows := range []int{4000, 8000, 16000} {
+		prof := traffic.Default.With(traffic.AttrFlows, float64(flows))
+		w, err := l.TB.Workload("FlowStats", prof)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dK", flows/1000)}
+		for _, car := range cars {
+			m, err := l.TB.WithMemBench(w, car, 10<<20)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, mpps(m.Throughput))
+		}
+		rows = append(rows, row)
+	}
+	r.table(header, rows)
+
+	r.addf("")
+	r.addf("(b) SLOMO median APE%%, default profile vs 100 random profiles:")
+	rng := sim.NewRNG(l.Seed ^ 0xf3b)
+	var brows [][]string
+	for _, name := range []string{"FlowStats", "FlowClassifier", "FlowTracker"} {
+		sl, err := l.SLOMO(name)
+		if err != nil {
+			return nil, err
+		}
+		evalOne := func(prof traffic.Profile) (float64, error) {
+			w, err := l.TB.Workload(name, prof)
+			if err != nil {
+				return 0, err
+			}
+			car, wss := rng.Range(30e6, 220e6), rng.Range(1<<20, 15<<20)
+			truth, err := l.TB.WithMemBench(w, car, wss)
+			if err != nil {
+				return 0, err
+			}
+			benchSolo, err := l.TB.RunSolo(nfbench.MemBench(car, wss))
+			if err != nil {
+				return 0, err
+			}
+			soloNew, err := l.soloAt(name, prof)
+			if err != nil {
+				return 0, err
+			}
+			pred := sl.PredictExtrapolated(benchSolo.Counters, soloNew)
+			return 100 * math.Abs(pred-truth.Throughput) / truth.Throughput, nil
+		}
+		var def, other []float64
+		for i := 0; i < l.n(20, 8); i++ {
+			e, err := evalOne(traffic.Default)
+			if err != nil {
+				return nil, err
+			}
+			def = append(def, e)
+		}
+		for i := 0; i < l.n(40, 12); i++ {
+			e, err := evalOne(traffic.Random(rng))
+			if err != nil {
+				return nil, err
+			}
+			other = append(other, e)
+		}
+		brows = append(brows, []string{name, f1(ml.Median(def)), f1(ml.Median(other))})
+	}
+	r.table([]string{"NF", "default profile", "other profiles"}, brows)
+	return r, nil
+}
+
+// Fig4 reproduces Figure 4: throughput of the synthetic regex-NF and
+// regex-bench as a function of regex-bench's arrival rate, at several
+// regex-NF MTBRs — linear decline into a shared equilibrium.
+func Fig4(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig4", Title: "Regex accelerator round-robin equilibrium (Mreq/s)"}
+	const reqBytes = 4096
+	benchMTBR := 300.0
+	rates := []float64{0, 0.1e6, 0.2e6, 0.3e6, 0.4e6, 0.6e6, 0.9e6, 1.3e6}
+	header := []string{"bench-rate(M/s)"}
+	for _, rate := range rates {
+		header = append(header, fmt.Sprintf("%.1f", rate/1e6))
+	}
+	var rows [][]string
+	for _, mtbr := range []float64{194, 220, 417, 628} {
+		nfRow := []string{fmt.Sprintf("regex-NF@%.0fm/MB", mtbr)}
+		benchRow := []string{"  regex-bench"}
+		for _, rate := range rates {
+			target := nfbench.RegexNF(reqBytes, mtbr, 1)
+			bench := nfbench.RegexBench(rate, reqBytes, benchMTBR, 1)
+			if rate == 0 {
+				m, err := l.TB.RunSolo(target)
+				if err != nil {
+					return nil, err
+				}
+				nfRow = append(nfRow, mpps(m.Throughput))
+				benchRow = append(benchRow, "0")
+				continue
+			}
+			ms, err := l.TB.Run(target, bench)
+			if err != nil {
+				return nil, err
+			}
+			nfRow = append(nfRow, mpps(ms[0].Throughput))
+			benchRow = append(benchRow, mpps(ms[1].Throughput))
+		}
+		rows = append(rows, nfRow, benchRow)
+	}
+	r.table(header, rows)
+	return r, nil
+}
+
+// Fig5 reproduces Figure 5: throughput of the synthetic pipeline and
+// run-to-completion NFs as a function of competing CAR and competing
+// regex match rate.
+func Fig5(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig5", Title: "Execution-pattern response to combined contention (Kpps)"}
+	cars := []float64{30e6, 84e6, 138e6, 192e6, 246e6}
+	matchRates := []float64{0, 520e3, 2600e3} // Kmatches/s
+	const benchBytes, benchMTBR = 1000.0, 2000.0
+	matchesPerReq := benchMTBR * benchBytes / 1e6
+
+	for _, c := range []struct {
+		label string
+		mk    func() *nicsim.Workload
+	}{
+		{"pipeline p-NF", nfbench.PNF},
+		{"run-to-completion r-NF", nfbench.RNF},
+	} {
+		r.addf("%s:", c.label)
+		header := []string{"match-rate\\CAR"}
+		for _, car := range cars {
+			header = append(header, f0(car/1e6))
+		}
+		var rows [][]string
+		for _, mr := range matchRates {
+			row := []string{fmt.Sprintf("%.0fK/s", mr/1e3)}
+			for _, car := range cars {
+				ws := []*nicsim.Workload{c.mk(), nfbench.MemBench(car, 8<<20)}
+				if mr > 0 {
+					ws = append(ws, nfbench.RegexBench(mr/matchesPerReq, benchBytes, benchMTBR, 1))
+				}
+				ms, err := l.TB.Run(ws...)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f0(ms[0].Throughput/1e3))
+			}
+			rows = append(rows, row)
+		}
+		r.table(header, rows)
+		r.addf("")
+	}
+	return r, nil
+}
+
+// Fig6 reproduces Figure 6: FlowStats throughput as a function of traffic
+// attributes — flow count under several competing WSS (a), packet size
+// under several competing WSS, normalized (b).
+func Fig6(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig6", Title: "FlowStats throughput vs traffic attributes"}
+	const car = 100e6
+	wss := []float64{0.5 * (1 << 20), 5 << 20, 10 << 20}
+
+	r.addf("(a) throughput (Mpps) vs flow count (packet size 1500B):")
+	header := []string{"flows\\WSS(MB)"}
+	for _, w := range wss {
+		header = append(header, f1(w/(1<<20)))
+	}
+	var rows [][]string
+	for _, flows := range []int{1000, 10000, 20000, 40000, 60000} {
+		prof := traffic.Default.With(traffic.AttrFlows, float64(flows))
+		w, err := l.TB.Workload("FlowStats", prof)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dK", flows/1000)}
+		for _, cw := range wss {
+			m, err := l.TB.WithMemBench(w, car, cw)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, mpps(m.Throughput))
+		}
+		rows = append(rows, row)
+	}
+	r.table(header, rows)
+
+	r.addf("")
+	r.addf("(b) normalized throughput vs competing WSS (16K flows):")
+	header = []string{"pktsize\\WSS(MB)"}
+	for _, w := range wss {
+		header = append(header, f1(w/(1<<20)))
+	}
+	rows = nil
+	for _, size := range []int{64, 128, 256, 512, 1024} {
+		prof := traffic.Default.With(traffic.AttrPktSize, float64(size))
+		w, err := l.TB.Workload("FlowStats", prof)
+		if err != nil {
+			return nil, err
+		}
+		solo, err := l.TB.RunSolo(w)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%dB", size)}
+		for _, cw := range wss {
+			m, err := l.TB.WithMemBench(w, car, cw)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", m.Throughput/solo.Throughput))
+		}
+		rows = append(rows, row)
+	}
+	r.table(header, rows)
+	return r, nil
+}
+
+// Fig7 reproduces Figure 7: error distributions under (a) low vs high
+// regex contention for Yala and SLOMO on FlowMonitor, and (b) low vs high
+// flow-count deviation for Yala, SLOMO, and SLOMO without extrapolation.
+func Fig7(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig7", Title: "Error distributions by contention level and traffic deviation"}
+	yala, err := l.Yala("FlowMonitor")
+	if err != nil {
+		return nil, err
+	}
+	sl, err := l.SLOMO("FlowMonitor")
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(l.Seed ^ 0xf77)
+
+	evalAt := func(mtbr float64) (yAPE, sAPE float64, err error) {
+		prof := traffic.Default.With(traffic.AttrMTBR, mtbr)
+		w, err := l.TB.Workload("FlowMonitor", prof)
+		if err != nil {
+			return 0, 0, err
+		}
+		memB := nfbench.MemBench(rng.Range(40e6, 160e6), rng.Range(2<<20, 12<<20))
+		regexB := nfbench.RegexBench(rng.Range(0.2e6, 0.6e6), 1000, 2000, 1)
+		ms, err := l.TB.Run(w, memB, regexB)
+		if err != nil {
+			return 0, 0, err
+		}
+		memSolo, err := l.TB.RunSolo(memB)
+		if err != nil {
+			return 0, 0, err
+		}
+		regexSolo, err := l.TB.RunSolo(regexB)
+		if err != nil {
+			return 0, 0, err
+		}
+		truth := ms[0].Throughput
+		yp := yala.Predict(prof, []core.Competitor{
+			core.CompetitorFromMeasurement(memSolo),
+			core.CompetitorFromMeasurement(regexSolo),
+		}).Throughput
+		soloNew, err := l.soloAt("FlowMonitor", prof)
+		if err != nil {
+			return 0, 0, err
+		}
+		var agg nicsim.Counters
+		agg.Add(memSolo.Counters)
+		agg.Add(regexSolo.Counters)
+		sp := sl.PredictExtrapolated(agg, soloNew)
+		return 100 * math.Abs(yp-truth) / truth, 100 * math.Abs(sp-truth) / truth, nil
+	}
+
+	var yLow, yHigh, sLow, sHigh []float64
+	for i := 0; i < l.n(30, 10); i++ {
+		y, s, err := evalAt(rng.Range(50, 600))
+		if err != nil {
+			return nil, err
+		}
+		yLow, sLow = append(yLow, y), append(sLow, s)
+		y, s, err = evalAt(rng.Range(600, 1100))
+		if err != nil {
+			return nil, err
+		}
+		yHigh, sHigh = append(yHigh, y), append(sHigh, s)
+	}
+	r.addf("(a) FlowMonitor median APE%% by regex contention level:")
+	r.table([]string{"model", "low (MTBR<=600)", "high (MTBR>600)"}, [][]string{
+		{"Yala", f1(ml.Median(yLow)), f1(ml.Median(yHigh))},
+		{"SLOMO", f1(ml.Median(sLow)), f1(ml.Median(sHigh))},
+	})
+
+	// (b) memory-only contention, flow-count deviation.
+	yalaFS, err := l.Yala("FlowStats")
+	if err != nil {
+		return nil, err
+	}
+	slFS, err := l.SLOMO("FlowStats")
+	if err != nil {
+		return nil, err
+	}
+	evalFlows := func(flows float64) (y, se, sr float64, err error) {
+		prof := traffic.Default.With(traffic.AttrFlows, flows)
+		w, err := l.TB.Workload("FlowStats", prof)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		car, wssV := rng.Range(40e6, 200e6), rng.Range(1<<20, 14<<20)
+		truth, err := l.TB.WithMemBench(w, car, wssV)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		benchSolo, err := l.TB.RunSolo(nfbench.MemBench(car, wssV))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		yp := yalaFS.Predict(prof, []core.Competitor{core.CompetitorFromMeasurement(benchSolo)}).Throughput
+		soloNew, err := l.soloAt("FlowStats", prof)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		spExt := slFS.PredictExtrapolated(benchSolo.Counters, soloNew)
+		spRaw := slFS.Predict(benchSolo.Counters)
+		t := truth.Throughput
+		return 100 * math.Abs(yp-t) / t, 100 * math.Abs(spExt-t) / t, 100 * math.Abs(spRaw-t) / t, nil
+	}
+	var yL, yH, seL, seH, srL, srH []float64
+	for i := 0; i < l.n(30, 10); i++ {
+		f := 16000 * rng.Range(0.8, 1.2) // within 20%
+		y, se, sr, err := evalFlows(f)
+		if err != nil {
+			return nil, err
+		}
+		yL, seL, srL = append(yL, y), append(seL, se), append(srL, sr)
+		f = rng.Range(40000, 500000) // far off
+		y, se, sr, err = evalFlows(f)
+		if err != nil {
+			return nil, err
+		}
+		yH, seH, srH = append(yH, y), append(seH, se), append(srH, sr)
+	}
+	r.addf("")
+	r.addf("(b) FlowStats median APE%% by flow-count deviation (memory-only):")
+	r.table([]string{"model", "low (<=20%)", "high (>20%)"}, [][]string{
+		{"Yala", f1(ml.Median(yL)), f1(ml.Median(yH))},
+		{"SLOMO", f1(ml.Median(seL)), f1(ml.Median(seH))},
+		{"SLOMO (w/o extrapolation)", f1(ml.Median(srL)), f1(ml.Median(srH))},
+	})
+	return r, nil
+}
+
+// Fig8 reproduces Figure 8: FlowClassifier prediction error under full,
+// random and adaptive profiling as the profiling quota changes.
+func Fig8(l *Lab) (*Report, error) {
+	r := &Report{ID: "fig8", Title: "FlowClassifier MAPE% vs profiling quota"}
+	baseQuota := l.n(400, 120)
+	rows := [][]string{}
+	for _, mult := range []float64{0.5, 1, 1.5} {
+		quota := int(float64(baseQuota) * mult)
+		randM, err := l.profiledMAPE("FlowClassifier", planRandom, quota)
+		if err != nil {
+			return nil, err
+		}
+		adapM, err := l.profiledMAPE("FlowClassifier", planAdaptive, quota)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1fx (%d)", mult, quota), f1(randM), f1(adapM),
+		})
+	}
+	fullM, err := l.profiledMAPE("FlowClassifier", planFull, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.table([]string{"quota", "random", "adaptive"}, rows)
+	r.addf("full profiling reference: %.1f%% (reduced grid; paper's full grid is 3200x)", fullM)
+	return r, nil
+}

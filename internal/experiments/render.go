@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure: an identifier matching the
+// paper ("fig4", "table2"), a title, and pre-rendered monospace lines.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// table renders rows with aligned columns.
+func (r *Report) table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	r.Lines = append(r.Lines, line(header))
+	sep := make([]string, len(header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	r.Lines = append(r.Lines, line(sep))
+	for _, row := range rows {
+		r.Lines = append(r.Lines, line(row))
+	}
+}
+
+// f1 and f0 format floats with one/zero decimals.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// mpps formats a packets/s rate in Mpps.
+func mpps(v float64) string { return fmt.Sprintf("%.3f", v/1e6) }

@@ -1,0 +1,35 @@
+package nf
+
+// FlowReserver is implemented by NFs whose per-flow state can pre-size
+// for an expected flow population; Measure uses it to avoid growth
+// cascades during table population.
+type FlowReserver interface {
+	ReserveFlows(n int)
+}
+
+// ReserveFlows implements FlowReserver.
+func (f *FlowStats) ReserveFlows(n int) { f.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (f *FlowClassifier) ReserveFlows(n int) { f.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (f *FlowTracker) ReserveFlows(n int) { f.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (t *IPTunnel) ReserveFlows(n int) { t.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (n *NAT) ReserveFlows(flows int) { n.table.Reserve(flows) }
+
+// ReserveFlows implements FlowReserver.
+func (f *FlowMonitor) ReserveFlows(n int) { f.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (n *NIDS) ReserveFlows(flows int) { n.streams.Reserve(flows) }
+
+// ReserveFlows implements FlowReserver.
+func (g *IPCompGateway) ReserveFlows(n int) { g.table.Reserve(n) }
+
+// ReserveFlows implements FlowReserver.
+func (f *Firewall) ReserveFlows(n int) { f.table.Reserve(n) }

@@ -1,0 +1,166 @@
+package nf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestFlowTableInsertLookup(t *testing.T) {
+	tb := NewFlowTable()
+	e, _, created := tb.Insert(42)
+	if !created {
+		t.Fatal("first insert not created")
+	}
+	e.Data[0] = 7
+	got, _ := tb.Lookup(42)
+	if got == nil || got.Data[0] != 7 {
+		t.Fatal("lookup after insert failed")
+	}
+	if _, _, created := tb.Insert(42); created {
+		t.Fatal("re-insert reported created")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestFlowTableMissingKey(t *testing.T) {
+	tb := NewFlowTable()
+	if e, _ := tb.Lookup(99); e != nil {
+		t.Fatal("lookup of absent key returned entry")
+	}
+}
+
+func TestFlowTableGrowthPreservesEntries(t *testing.T) {
+	tb := NewFlowTable()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		e, _, _ := tb.Insert(i * 2654435761)
+		e.Data[0] = i
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		e, _ := tb.Lookup(i * 2654435761)
+		if e == nil || e.Data[0] != i {
+			t.Fatalf("entry %d lost after growth", i)
+		}
+	}
+}
+
+func TestFlowTableStateBytesGrows(t *testing.T) {
+	tb := NewFlowTable()
+	before := tb.StateBytes()
+	for i := uint64(0); i < 100000; i++ {
+		tb.Insert(i*0x9e3779b97f4a7c15 + 1)
+	}
+	if tb.StateBytes() <= before {
+		t.Fatal("StateBytes did not grow with entries")
+	}
+	tb.Reset()
+	if tb.StateBytes() != before || tb.Len() != 0 {
+		t.Fatal("Reset did not restore initial size")
+	}
+}
+
+func TestFlowTableLoadFactorBound(t *testing.T) {
+	tb := NewFlowTable()
+	for i := uint64(0); i < 50000; i++ {
+		tb.Insert(i + 1)
+	}
+	load := float64(tb.Len()) / (tb.StateBytes() / entryBytes)
+	if load > maxLoad+0.01 {
+		t.Fatalf("load factor %v exceeds bound %v", load, maxLoad)
+	}
+}
+
+func TestFlowTableProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tb := NewFlowTable()
+		seen := map[uint64]bool{}
+		for _, k := range keys {
+			tb.Insert(k)
+			seen[k] = true
+		}
+		if tb.Len() != len(seen) {
+			return false
+		}
+		for k := range seen {
+			if e, _ := tb.Lookup(k); e == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPMBasic(t *testing.T) {
+	l := NewLPM()
+	l.Insert(0x0a000000, 8, 1)  // 10/8 -> 1
+	l.Insert(0x0a010000, 16, 2) // 10.1/16 -> 2
+	l.Insert(0x0a010200, 24, 3) // 10.1.2/24 -> 3
+	cases := []struct {
+		ip   uint32
+		want int32
+	}{
+		{0x0a636363, 1}, // 10.99.99.99 -> /8
+		{0x0a017f01, 2}, // 10.1.127.1 -> /16
+		{0x0a010203, 3}, // 10.1.2.3 -> /24
+		{0x0b000001, -1},
+	}
+	for _, c := range cases {
+		got, steps := l.Lookup(c.ip)
+		if got != c.want {
+			t.Errorf("Lookup(%08x) = %d, want %d", c.ip, got, c.want)
+		}
+		if steps < 1 || steps > 2 {
+			t.Errorf("steps = %d", steps)
+		}
+	}
+}
+
+func TestLPMLongestWinsInsertionOrder(t *testing.T) {
+	// Insert the long prefix first, then the short: the long one must
+	// still win for covered addresses.
+	l := NewLPM()
+	l.Insert(0x0a010200, 24, 3)
+	l.Insert(0x0a000000, 8, 1)
+	if got, _ := l.Lookup(0x0a010203); got != 3 {
+		t.Fatalf("long prefix lost: got %d", got)
+	}
+	if got, _ := l.Lookup(0x0a990001); got != 1 {
+		t.Fatalf("short prefix missing: got %d", got)
+	}
+}
+
+func TestLPMPopulateRandom(t *testing.T) {
+	l := NewLPM()
+	l.PopulateRandom(5000, sim.NewRNG(1))
+	if l.Routes() != 5000 {
+		t.Fatalf("Routes = %d", l.Routes())
+	}
+	if l.StateBytes() <= 4*65536 {
+		t.Fatal("no chunks allocated for long prefixes")
+	}
+	// Lookups must be well-formed for arbitrary addresses.
+	rng := sim.NewRNG(2)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		hop, steps := l.Lookup(uint32(rng.Uint64()))
+		if steps < 1 || steps > 2 {
+			t.Fatalf("steps = %d", steps)
+		}
+		if hop >= 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("random FIB matched nothing")
+	}
+}

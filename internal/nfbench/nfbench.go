@@ -1,0 +1,212 @@
+// Package nfbench builds the synthetic benchmarking workloads the paper
+// uses to assert controllable contention levels and to study resource
+// behaviour in isolation (§6): mem-bench, regex-bench and
+// compression-bench, plus the configurable synthetic NFs used in the
+// composition experiments (regex-NF, NF1, NF2, and the pipeline /
+// run-to-completion pair of Figure 5).
+package nfbench
+
+import "repro/internal/nicsim"
+
+// benchCores is the core allocation for synthetic workloads (the paper
+// gives every NF two dedicated cores).
+const benchCores = 2
+
+// memBenchRefsPerOp is the number of cache references one mem-bench
+// operation issues.
+const memBenchRefsPerOp = 100
+
+// MemBench returns an open-loop memory-contention generator targeting the
+// given cache access rate (refs/s) over a working set of wssBytes. It is
+// the stress-ng/mbw stand-in: streaming accesses with high memory-level
+// parallelism and negligible accelerator usage.
+func MemBench(targetCAR, wssBytes float64) *nicsim.Workload {
+	return &nicsim.Workload{
+		Name:          "mem-bench",
+		Pattern:       nicsim.RunToCompletion,
+		Cores:         benchCores,
+		CPUSecPerPkt:  40e-9,
+		MemRefsPerPkt: memBenchRefsPerOp,
+		WSSBytes:      wssBytes,
+		MemMLP:        8,
+		PktBytes:      64,
+		OfferedRate:   targetCAR / memBenchRefsPerOp,
+	}
+}
+
+// RegexBench returns an open-loop regex-contention generator issuing
+// reqRate requests/s of bytesPerReq bytes at the given match-to-byte
+// ratio (matches/MB), over queues request queues. Its memory footprint is
+// negligible by construction (§2.2.1 footnote: purpose-built to have
+// negligible memory usage but extensive regex usage).
+func RegexBench(reqRate, bytesPerReq, mtbr float64, queues int) *nicsim.Workload {
+	return &nicsim.Workload{
+		Name:          "regex-bench",
+		Pattern:       nicsim.RunToCompletion,
+		Cores:         benchCores,
+		CPUSecPerPkt:  30e-9,
+		MemRefsPerPkt: 2,
+		WSSBytes:      64 << 10,
+		MemMLP:        4,
+		PktBytes:      64,
+		OfferedRate:   reqRate,
+		Accel: map[nicsim.AccelKind]nicsim.AccelUse{
+			nicsim.AccelRegex: {
+				ReqsPerPkt:    1,
+				BytesPerReq:   bytesPerReq,
+				MatchesPerReq: mtbr * bytesPerReq / 1e6,
+				Queues:        queues,
+			},
+		},
+	}
+}
+
+// CompressBench returns an open-loop compression-contention generator.
+func CompressBench(reqRate, bytesPerReq float64, queues int) *nicsim.Workload {
+	return &nicsim.Workload{
+		Name:          "compression-bench",
+		Pattern:       nicsim.RunToCompletion,
+		Cores:         benchCores,
+		CPUSecPerPkt:  30e-9,
+		MemRefsPerPkt: 2,
+		WSSBytes:      64 << 10,
+		MemMLP:        4,
+		PktBytes:      64,
+		OfferedRate:   reqRate,
+		Accel: map[nicsim.AccelKind]nicsim.AccelUse{
+			nicsim.AccelCompress: {
+				ReqsPerPkt:  1,
+				BytesPerReq: bytesPerReq,
+				Queues:      queues,
+			},
+		},
+	}
+}
+
+// RegexNF returns the closed-loop synthetic pattern-matching NF of the
+// Figure 4 study: it saturates the regex accelerator with bytesPerReq
+// requests at the given MTBR and is bottlenecked on nothing else.
+func RegexNF(bytesPerReq, mtbr float64, queues int) *nicsim.Workload {
+	return &nicsim.Workload{
+		Name:          "regex-NF",
+		Pattern:       nicsim.Pipeline,
+		Cores:         benchCores,
+		CPUSecPerPkt:  25e-9,
+		MemRefsPerPkt: 2,
+		WSSBytes:      64 << 10,
+		MemMLP:        4,
+		PktBytes:      64,
+		Accel: map[nicsim.AccelKind]nicsim.AccelUse{
+			nicsim.AccelRegex: {
+				ReqsPerPkt:    1,
+				BytesPerReq:   bytesPerReq,
+				MatchesPerReq: mtbr * bytesPerReq / 1e6,
+				Queues:        queues,
+			},
+		},
+	}
+}
+
+// SyntheticSpec parameterizes a hand-built NF workload for the
+// composition experiments (§2.2.1's NF1/NF2, §4.2's p-NF/r-NF).
+type SyntheticSpec struct {
+	Name    string
+	Pattern nicsim.ExecPattern
+
+	CPUSecPerPkt  float64
+	MemRefsPerPkt float64
+	WSSBytes      float64
+	PktBytes      float64
+
+	// RegexBytes/RegexMTBR configure a regex stage (0 bytes = unused);
+	// CompressBytes a compression stage.
+	RegexBytes    float64
+	RegexMTBR     float64
+	CompressBytes float64
+}
+
+// Build materializes the spec as a workload.
+func (s SyntheticSpec) Build() *nicsim.Workload {
+	w := &nicsim.Workload{
+		Name:          s.Name,
+		Pattern:       s.Pattern,
+		Cores:         benchCores,
+		CPUSecPerPkt:  s.CPUSecPerPkt,
+		MemRefsPerPkt: s.MemRefsPerPkt,
+		WSSBytes:      s.WSSBytes,
+		MemMLP:        1.6,
+		PktBytes:      s.PktBytes,
+		Accel:         map[nicsim.AccelKind]nicsim.AccelUse{},
+	}
+	if s.RegexBytes > 0 {
+		w.Accel[nicsim.AccelRegex] = nicsim.AccelUse{
+			ReqsPerPkt:    1,
+			BytesPerReq:   s.RegexBytes,
+			MatchesPerReq: s.RegexMTBR * s.RegexBytes / 1e6,
+			Queues:        1,
+		}
+	}
+	if s.CompressBytes > 0 {
+		w.Accel[nicsim.AccelCompress] = nicsim.AccelUse{
+			ReqsPerPkt:  1,
+			BytesPerReq: s.CompressBytes,
+			Queues:      1,
+		}
+	}
+	return w
+}
+
+// NF1 is the two-resource synthetic NF (memory + regex) of §2.2.1 and
+// Table 4, in the requested execution pattern.
+func NF1(pattern nicsim.ExecPattern) *nicsim.Workload {
+	return SyntheticSpec{
+		Name:          "NF1",
+		Pattern:       pattern,
+		CPUSecPerPkt:  600e-9,
+		MemRefsPerPkt: 90,
+		WSSBytes:      5 << 20,
+		PktBytes:      1500,
+		RegexBytes:    1400,
+		RegexMTBR:     600,
+	}.Build()
+}
+
+// NF2 is NF1 plus a compression stage (§7.3, Table 4).
+func NF2(pattern nicsim.ExecPattern) *nicsim.Workload {
+	return SyntheticSpec{
+		Name:          "NF2",
+		Pattern:       pattern,
+		CPUSecPerPkt:  600e-9,
+		MemRefsPerPkt: 90,
+		WSSBytes:      5 << 20,
+		PktBytes:      1500,
+		RegexBytes:    1400,
+		RegexMTBR:     600,
+		CompressBytes: 1400,
+	}.Build()
+}
+
+// PNF and RNF are the synthetic Click NFs of Figure 5: identical resource
+// demands, differing only in execution pattern.
+func PNF() *nicsim.Workload {
+	w := fig5Spec("p-NF", nicsim.Pipeline).Build()
+	return w
+}
+
+// RNF is the run-to-completion twin of PNF.
+func RNF() *nicsim.Workload {
+	return fig5Spec("r-NF", nicsim.RunToCompletion).Build()
+}
+
+func fig5Spec(name string, pattern nicsim.ExecPattern) SyntheticSpec {
+	return SyntheticSpec{
+		Name:          name,
+		Pattern:       pattern,
+		CPUSecPerPkt:  1500e-9,
+		MemRefsPerPkt: 160,
+		WSSBytes:      4 << 20,
+		PktBytes:      1500,
+		RegexBytes:    1400,
+		RegexMTBR:     600,
+	}
+}

@@ -1,0 +1,299 @@
+package nicsim
+
+import "repro/internal/sim"
+
+// accelUser is one workload's demand on an accelerator at the current
+// solver iterate. Open-loop users (offered > 0) arrive Poisson; closed-
+// loop users (run-to-completion NFs) keep population requests cycling
+// with thinkSec of packet processing between completion and re-arrival.
+type accelUser struct {
+	offered    float64 // requests/s offered (open-loop)
+	closed     bool
+	population int     // outstanding requests (one per core)
+	thinkSec   float64 // per-request processing time outside the accelerator
+	bytes      float64 // bytes per request
+	matches    float64 // matches per request
+	queues     int
+}
+
+// accelResult is the per-user outcome of one accelerator simulation.
+type accelResult struct {
+	completionRate float64 // requests/s served
+	offeredRate    float64 // requests/s admitted to the queues
+	meanSojourn    float64 // queueing + service, seconds
+	meanService    float64 // service only, seconds
+}
+
+// saturated reports whether the engine could not keep up with the
+// offered load (the queue stage was binding).
+func (r accelResult) saturated() bool {
+	return r.offeredRate > 0 && r.completionRate < 0.95*r.offeredRate
+}
+
+// maxBacklog bounds per-queue occupancy so overloaded runs stay cheap;
+// arrivals beyond it are dropped (they would never be served within the
+// window anyway).
+const maxBacklog = 4096
+
+// simulateAccel runs a discrete-event simulation of one accelerator:
+// a single engine serving per-user FIFO request queues in round-robin
+// order — the arbitration the BlueField-2 regex driver documents and that
+// Eq. (1) of the paper is derived from. Service times are jittered, so
+// the analytic model remains an approximation of this ground truth.
+//
+// Arrivals are Poisson at each user's offered rate, spread across its
+// queues uniformly. The returned rates exclude a warmup prefix.
+func simulateAccel(cfg AccelConfig, users []accelUser, rng *sim.RNG, minEvents int) []accelResult {
+	n := len(users)
+	results := make([]accelResult, n)
+
+	serviceOf := func(u accelUser) float64 {
+		return cfg.BaseSec + u.bytes*cfg.PerByteSec + u.matches*cfg.PerMatchSec
+	}
+
+	// Window sized to produce at least minEvents arrivals, estimating
+	// closed-loop users at their cycle rate.
+	var totalRate float64
+	for _, u := range users {
+		if u.closed && u.population > 0 {
+			totalRate += float64(u.population) / (u.thinkSec + serviceOf(u) + 1e-12)
+		} else {
+			totalRate += u.offered
+		}
+	}
+	if totalRate <= 0 {
+		return results
+	}
+
+	// Fast path: with a single active user there is no cross-queue
+	// contention, and the expected rates have closed forms (the DES's
+	// uncontended limit). This dominates profiling runs, where the
+	// target is the only accelerator user.
+	activeUsers := 0
+	only := -1
+	for i, u := range users {
+		if u.queues > 0 && (u.offered > 0 || (u.closed && u.population > 0)) {
+			activeUsers++
+			only = i
+		}
+	}
+	if activeUsers == 1 {
+		u := users[only]
+		s := serviceOf(u)
+		r := &results[only]
+		r.meanService = s
+		if u.closed {
+			cycle := u.thinkSec + s
+			rate := float64(u.population) / cycle
+			if cap := 1 / s; rate > cap {
+				rate = cap
+			}
+			r.completionRate = rate
+			r.offeredRate = rate
+			// Residual sibling overlap: a request arriving while another
+			// is in service waits for its remainder.
+			busy := rate * s
+			r.meanSojourn = s + busy*s/2
+		} else {
+			rho := u.offered * s
+			if rho >= 1 {
+				r.completionRate = 1 / s
+				r.meanSojourn = s * 20 // deeply backlogged
+			} else {
+				r.completionRate = u.offered
+				r.meanSojourn = s / (1 - rho)
+			}
+			r.offeredRate = u.offered
+		}
+		return results
+	}
+
+	duration := float64(minEvents) / totalRate
+	warmup := duration * 0.1
+
+	active := func(u accelUser) bool {
+		if u.queues <= 0 {
+			return false
+		}
+		return u.offered > 0 || (u.closed && u.population > 0)
+	}
+
+	// Flatten queues: queue q belongs to owner[q].
+	type fifo struct {
+		times []float64 // arrival timestamps, FIFO
+		head  int
+	}
+	var owner []int
+	for i, u := range users {
+		if !active(u) {
+			continue
+		}
+		for q := 0; q < u.queues; q++ {
+			owner = append(owner, i)
+		}
+	}
+	if len(owner) == 0 {
+		return results
+	}
+	queues := make([]fifo, len(owner))
+	// Per-user queue index lists for arrival spreading.
+	userQueues := make([][]int, n)
+	for q, o := range owner {
+		userQueues[o] = append(userQueues[o], q)
+	}
+
+	nextArr := make([]float64, n)   // next Poisson arrival (open users)
+	returns := make([][]float64, n) // future re-arrivals (closed users)
+	for i, u := range users {
+		nextArr[i] = duration + 1
+		if !active(u) {
+			continue
+		}
+		if u.closed {
+			// Stagger the initial population over one think time.
+			for p := 0; p < u.population; p++ {
+				returns[i] = append(returns[i], rng.Range(0, u.thinkSec+1e-9))
+			}
+		} else {
+			nextArr[i] = rng.Exp(1 / u.offered)
+		}
+	}
+
+	serveSec := func(i int) float64 {
+		s := serviceOf(users[i])
+		if cfg.Jitter > 0 {
+			s = rng.Jitter(s, cfg.Jitter)
+		}
+		return s
+	}
+
+	type stats struct {
+		served     int
+		admitted   int
+		sojournSum float64
+		serviceSum float64
+	}
+	st := make([]stats, n)
+
+	enqueue := func(i int, at float64) {
+		if at > warmup {
+			st[i].admitted++
+		}
+		qs := userQueues[i]
+		var q int
+		if users[i].closed {
+			// Per-core queue pairs: each outstanding request goes to the
+			// emptiest of the user's queues, so cores never queue behind
+			// their siblings.
+			q = qs[0]
+			best := len(queues[q].times) - queues[q].head
+			for _, cand := range qs[1:] {
+				if b := len(queues[cand].times) - queues[cand].head; b < best {
+					best = b
+					q = cand
+				}
+			}
+		} else {
+			q = qs[rng.Intn(len(qs))]
+		}
+		f := &queues[q]
+		if len(f.times)-f.head < maxBacklog {
+			f.times = append(f.times, at)
+		}
+	}
+
+	admit := func(now float64) {
+		for i, u := range users {
+			if u.offered > 0 && !u.closed {
+				for nextArr[i] <= now {
+					enqueue(i, nextArr[i])
+					nextArr[i] += rng.Exp(1 / u.offered)
+				}
+			}
+			if rs := returns[i]; len(rs) > 0 {
+				kept := rs[:0]
+				for _, at := range rs {
+					if at <= now {
+						enqueue(i, at)
+					} else {
+						kept = append(kept, at)
+					}
+				}
+				returns[i] = kept
+			}
+		}
+	}
+
+	now := 0.0
+	rr := 0
+	for now < duration {
+		admit(now)
+		// Scan queues once from the RR pointer for a pending request.
+		served := false
+		for k := 0; k < len(queues); k++ {
+			q := (rr + k) % len(queues)
+			f := &queues[q]
+			if f.head >= len(f.times) {
+				continue
+			}
+			arr := f.times[f.head]
+			f.head++
+			if f.head > 1024 && f.head*2 > len(f.times) {
+				f.times = append([]float64(nil), f.times[f.head:]...)
+				f.head = 0
+			}
+			i := owner[q]
+			s := serveSec(i)
+			now += s
+			if now > warmup {
+				st[i].served++
+				st[i].sojournSum += now - arr // wait + service
+				st[i].serviceSum += s
+			}
+			if users[i].closed {
+				think := users[i].thinkSec
+				if cfg.Jitter > 0 && think > 0 {
+					think = rng.Jitter(think, cfg.Jitter)
+				}
+				returns[i] = append(returns[i], now+think)
+			}
+			rr = (q + 1) % len(queues)
+			served = true
+			break
+		}
+		if !served {
+			// Idle: jump to the next arrival or return.
+			next := duration + 1
+			for i := range users {
+				if users[i].offered > 0 && !users[i].closed && nextArr[i] < next {
+					next = nextArr[i]
+				}
+				for _, at := range returns[i] {
+					if at < next {
+						next = at
+					}
+				}
+			}
+			if next > duration {
+				break
+			}
+			now = next
+		}
+	}
+
+	window := duration - warmup
+	for i := range users {
+		if st[i].served == 0 {
+			// Nothing measured: report the uncontended service time so
+			// callers still have a sane stage cost.
+			results[i].meanService = cfg.BaseSec + users[i].bytes*cfg.PerByteSec + users[i].matches*cfg.PerMatchSec
+			results[i].meanSojourn = results[i].meanService
+			continue
+		}
+		results[i].completionRate = float64(st[i].served) / window
+		results[i].offeredRate = float64(st[i].admitted) / window
+		results[i].meanSojourn = st[i].sojournSum / float64(st[i].served)
+		results[i].meanService = st[i].serviceSum / float64(st[i].served)
+	}
+	return results
+}

@@ -1,0 +1,136 @@
+package nicsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+var accelCfg = AccelConfig{BaseSec: 200e-9, PerByteSec: 0.1e-9, PerMatchSec: 300e-9, Jitter: 0.05}
+
+func TestAccelSingleUserUnderload(t *testing.T) {
+	// Offered well under capacity: completions track offered rate.
+	users := []accelUser{{offered: 1e6, bytes: 100, matches: 0, queues: 1}}
+	res := simulateAccel(accelCfg, users, sim.NewRNG(1), 50000)
+	if rel := math.Abs(res[0].completionRate-1e6) / 1e6; rel > 0.05 {
+		t.Fatalf("completion %v, want ~1e6 (rel err %v)", res[0].completionRate, rel)
+	}
+}
+
+func TestAccelSingleUserSaturation(t *testing.T) {
+	// service ~ 200ns + 10ns = 210ns -> capacity ~4.76M req/s.
+	users := []accelUser{{offered: 50e6, bytes: 100, matches: 0, queues: 1}}
+	res := simulateAccel(accelCfg, users, sim.NewRNG(2), 50000)
+	capacity := 1.0 / 210e-9
+	if rel := math.Abs(res[0].completionRate-capacity) / capacity; rel > 0.08 {
+		t.Fatalf("completion %v, want ~%v", res[0].completionRate, capacity)
+	}
+}
+
+func TestAccelEqualQueuesEqualEquilibrium(t *testing.T) {
+	// Fig. 4's key observation: two saturated users with equal queue
+	// counts converge to the same throughput even with different
+	// service times.
+	users := []accelUser{
+		{offered: 50e6, bytes: 100, matches: 0, queues: 1},
+		{offered: 50e6, bytes: 1000, matches: 2, queues: 1},
+	}
+	res := simulateAccel(accelCfg, users, sim.NewRNG(3), 80000)
+	a, b := res[0].completionRate, res[1].completionRate
+	if a <= 0 || b <= 0 {
+		t.Fatalf("zero completion: %v %v", a, b)
+	}
+	if rel := math.Abs(a-b) / a; rel > 0.05 {
+		t.Fatalf("equilibrium rates differ: %v vs %v", a, b)
+	}
+}
+
+func TestAccelQueueWeighting(t *testing.T) {
+	// A user with 3 queues gets ~3x the saturated share of a 1-queue user.
+	users := []accelUser{
+		{offered: 50e6, bytes: 100, matches: 0, queues: 3},
+		{offered: 50e6, bytes: 100, matches: 0, queues: 1},
+	}
+	res := simulateAccel(accelCfg, users, sim.NewRNG(4), 80000)
+	ratio := res[0].completionRate / res[1].completionRate
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("queue weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestAccelLinearDeclineWithCompetitorRate(t *testing.T) {
+	// Fig. 4's O1: saturated target throughput declines roughly linearly
+	// as the open competitor's arrival rate grows, until equilibrium.
+	var rates []float64
+	serviceSec := 210e-9
+	capacity := 1.0 / serviceSec
+	for _, lam := range []float64{0, 0.2, 0.4, 0.6} {
+		users := []accelUser{
+			{offered: 50e6, bytes: 100, matches: 0, queues: 1}, // saturated target
+			{offered: lam * capacity, bytes: 100, matches: 0, queues: 1},
+		}
+		res := simulateAccel(accelCfg, users, sim.NewRNG(5), 60000)
+		rates = append(rates, res[0].completionRate)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] >= rates[i-1] {
+			t.Fatalf("target rate did not decline: %v", rates)
+		}
+	}
+	// Expected drop between consecutive 0.2-capacity steps is ~0.2·capacity.
+	drop1 := rates[0] - rates[1]
+	drop2 := rates[1] - rates[2]
+	if drop1 <= 0 || math.Abs(drop2-drop1)/drop1 > 0.5 {
+		t.Fatalf("decline not roughly linear: drops %v %v (rates %v)", drop1, drop2, rates)
+	}
+}
+
+func TestAccelEquilibriumFloor(t *testing.T) {
+	// Fig. 4's O2: past saturation, more competitor arrivals do not
+	// reduce the target further.
+	mk := func(lam float64) float64 {
+		users := []accelUser{
+			{offered: 50e6, bytes: 100, matches: 0, queues: 1},
+			{offered: lam, bytes: 100, matches: 0, queues: 1},
+		}
+		res := simulateAccel(accelCfg, users, sim.NewRNG(6), 60000)
+		return res[0].completionRate
+	}
+	atSat := mk(20e6)
+	wayPast := mk(45e6)
+	if rel := math.Abs(atSat-wayPast) / atSat; rel > 0.05 {
+		t.Fatalf("equilibrium floor violated: %v vs %v", atSat, wayPast)
+	}
+}
+
+func TestAccelSojournGrowsWithContention(t *testing.T) {
+	solo := simulateAccel(accelCfg, []accelUser{
+		{offered: 1e6, bytes: 100, queues: 1},
+	}, sim.NewRNG(7), 40000)
+	contended := simulateAccel(accelCfg, []accelUser{
+		{offered: 1e6, bytes: 100, queues: 1},
+		{offered: 4e6, bytes: 500, matches: 1, queues: 1},
+	}, sim.NewRNG(7), 40000)
+	if contended[0].meanSojourn <= solo[0].meanSojourn {
+		t.Fatalf("sojourn did not grow: solo %v contended %v",
+			solo[0].meanSojourn, contended[0].meanSojourn)
+	}
+}
+
+func TestAccelServiceTimeComposition(t *testing.T) {
+	// Mean service time should reflect base + bytes + matches.
+	users := []accelUser{{offered: 1e6, bytes: 1000, matches: 3, queues: 1}}
+	res := simulateAccel(accelCfg, users, sim.NewRNG(8), 40000)
+	want := 200e-9 + 1000*0.1e-9 + 3*300e-9
+	if rel := math.Abs(res[0].meanService-want) / want; rel > 0.05 {
+		t.Fatalf("mean service %v, want ~%v", res[0].meanService, want)
+	}
+}
+
+func TestAccelNoUsers(t *testing.T) {
+	res := simulateAccel(accelCfg, []accelUser{{offered: 0}}, sim.NewRNG(9), 1000)
+	if res[0].completionRate != 0 {
+		t.Fatal("expected zero completions for zero offered")
+	}
+}

@@ -1,0 +1,133 @@
+package nicsim
+
+// memState is the converged memory-subsystem view for one workload at one
+// solver iterate.
+type memState struct {
+	accessRate float64 // cache references/s (the paper's CAR)
+	occupancy  float64 // LLC bytes held
+	missRatio  float64
+	memSec     float64 // memory time per packet, including stalls
+}
+
+// memSolve evaluates the memory subsystem for co-located workloads given
+// their current throughputs. It returns per-workload state plus the DRAM
+// bandwidth utilization.
+//
+// Model, in three steps:
+//
+//  1. LLC occupancy: demand-proportional water-filling weighted by
+//     working-set size. A workload touching a larger set holds more of
+//     the cache, capped at its WSS, with spare capacity redistributed.
+//     This reproduces the "hash table fills the LLC" saturation behaviour
+//     behind Fig. 6 of the paper. Occupancy is rate-independent: even a
+//     slowed workload keeps cycling through its working set, so steady-
+//     state residency tracks footprints, not speeds.
+//
+//  2. Miss ratio: compulsory base plus a term linear in the fraction of
+//     the working set not resident.
+//
+//  3. DRAM bandwidth: *competing* miss traffic inflates a workload's
+//     per-miss penalty by an M/M/1-style queueing factor. A workload's
+//     own stream does not self-inflate — its requests are pipelined
+//     behind one another by design (MLP) — so the coupling is strictly
+//     cross-workload, which is what the paper's contention models assume.
+func memSolve(cfg *Config, ws []*Workload, tput []float64) ([]memState, float64) {
+	n := len(ws)
+	states := make([]memState, n)
+	for i, w := range ws {
+		states[i].accessRate = tput[i] * w.MemRefsPerPkt
+	}
+
+	occupancySolve(cfg.LLCBytes, ws, states)
+
+	// Miss ratios and per-workload DRAM demand.
+	missBytes := make([]float64, n)
+	var totalMiss float64
+	for i, w := range ws {
+		states[i].missRatio = missRatio(cfg.BaseMissRatio, w.WSSBytes, states[i].occupancy)
+		missBytes[i] = states[i].accessRate * states[i].missRatio * cfg.LineBytes
+		totalMiss += missBytes[i]
+	}
+	totalUtil := totalMiss / cfg.DRAMBandwidth
+	if totalUtil > 0.95 {
+		totalUtil = 0.95
+	}
+
+	for i, w := range ws {
+		util := (totalMiss - missBytes[i]) / cfg.DRAMBandwidth
+		if util > 0.95 {
+			util = 0.95
+		}
+		penalty := cfg.MissPenaltySec * (1 + util/(1-util))
+		perRef := cfg.CacheHitSec + states[i].missRatio*penalty
+		mlp := w.MemMLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		states[i].memSec = w.MemRefsPerPkt * perRef / mlp
+	}
+	return states, totalUtil
+}
+
+// occupancySolve distributes LLC capacity in proportion to working-set
+// sizes among workloads with active demand, capping each at its WSS and
+// redistributing the remainder (water-filling).
+func occupancySolve(llc float64, ws []*Workload, states []memState) {
+	n := len(ws)
+	capped := make([]bool, n)
+	active := func(i int) bool {
+		return !capped[i] && states[i].accessRate > 0 && ws[i].WSSBytes > 0
+	}
+	remaining := llc
+	for iter := 0; iter < n+1; iter++ {
+		var totalW float64
+		for i := range ws {
+			if active(i) {
+				totalW += ws[i].WSSBytes
+			}
+		}
+		if totalW <= 0 {
+			// No active demand left: idle workloads keep whatever fits.
+			for i, w := range ws {
+				if !capped[i] {
+					occ := w.WSSBytes
+					if occ > remaining {
+						occ = remaining
+					}
+					states[i].occupancy = occ
+				}
+			}
+			return
+		}
+		progress := false
+		for i, w := range ws {
+			if !active(i) {
+				continue
+			}
+			share := remaining * w.WSSBytes / totalW
+			if w.WSSBytes <= share {
+				states[i].occupancy = w.WSSBytes
+				capped[i] = true
+				remaining -= w.WSSBytes
+				progress = true
+			} else {
+				states[i].occupancy = share
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// missRatio is the fraction of references missing the LLC given a working
+// set of wss bytes with occ bytes resident.
+func missRatio(base, wss, occ float64) float64 {
+	if wss <= 0 {
+		return 0
+	}
+	if occ >= wss {
+		return base
+	}
+	return base + (1-base)*(1-occ/wss)
+}

@@ -1,0 +1,133 @@
+package nicsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config { return BlueField2() }
+
+func wl(name string, refs, wss float64) *Workload {
+	return &Workload{
+		Name: name, Pattern: RunToCompletion, Cores: 2,
+		CPUSecPerPkt: 500e-9, MemRefsPerPkt: refs, WSSBytes: wss,
+		PktBytes: 1500,
+	}
+}
+
+func TestOccupancyFitsWhenUnderLLC(t *testing.T) {
+	cfg := testCfg()
+	ws := []*Workload{wl("a", 50, 1<<20), wl("b", 50, 2<<20)}
+	states, _ := memSolve(&cfg, ws, []float64{1e6, 1e6})
+	for i, s := range states {
+		if math.Abs(s.occupancy-ws[i].WSSBytes) > 1 {
+			t.Errorf("workload %d occupancy %v, want full WSS %v", i, s.occupancy, ws[i].WSSBytes)
+		}
+		if s.missRatio > cfg.BaseMissRatio+1e-9 {
+			t.Errorf("workload %d miss ratio %v above base", i, s.missRatio)
+		}
+	}
+}
+
+func TestOccupancyNeverExceedsLLC(t *testing.T) {
+	cfg := testCfg()
+	f := func(w1, w2, w3 uint32, r1, r2, r3 uint16) bool {
+		ws := []*Workload{
+			wl("a", float64(r1)+1, float64(w1%64)*1e6+1),
+			wl("b", float64(r2)+1, float64(w2%64)*1e6+1),
+			wl("c", float64(r3)+1, float64(w3%64)*1e6+1),
+		}
+		states, _ := memSolve(&cfg, ws, []float64{1e6, 1e6, 1e6})
+		var total float64
+		for i, s := range states {
+			if s.occupancy < 0 || s.occupancy > ws[i].WSSBytes+1 {
+				return false
+			}
+			total += s.occupancy
+		}
+		return total <= cfg.LLCBytes*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRatioRisesWithCompetingWSS(t *testing.T) {
+	cfg := testCfg()
+	target := wl("target", 50, 4<<20)
+	// Competitor pressure grows through its working-set size (the Fig. 6b
+	// knob): bigger competing WSS squeezes the target's occupancy.
+	prevMiss := -1.0
+	for _, compWSS := range []float64{1 << 20, 4 << 20, 16 << 20, 64 << 20} {
+		comp := wl("comp", 100, compWSS)
+		states, _ := memSolve(&cfg, []*Workload{target, comp}, []float64{1e6, 1e6})
+		if states[0].missRatio < prevMiss-1e-9 {
+			t.Fatalf("miss ratio decreased under more contention: %v -> %v",
+				prevMiss, states[0].missRatio)
+		}
+		prevMiss = states[0].missRatio
+	}
+	if prevMiss <= cfg.BaseMissRatio {
+		t.Fatal("heavy contention did not raise miss ratio above base")
+	}
+}
+
+func TestPenaltyExcludesSelfTraffic(t *testing.T) {
+	cfg := testCfg()
+	// A single workload with enormous bandwidth demand must not inflate
+	// its own penalty: memSec should match the uncontended formula.
+	w := wl("solo", 2000, 64<<20)
+	states, _ := memSolve(&cfg, []*Workload{w}, []float64{2e6})
+	wantPerRef := cfg.CacheHitSec + states[0].missRatio*cfg.MissPenaltySec
+	want := w.MemRefsPerPkt * wantPerRef / 1 // MLP defaults to 1 in wl()
+	if math.Abs(states[0].memSec-want)/want > 1e-9 {
+		t.Fatalf("solo memSec %v, want uninflated %v", states[0].memSec, want)
+	}
+}
+
+func TestMemTimeGrowsWithMissRatio(t *testing.T) {
+	cfg := testCfg()
+	target := wl("target", 80, 5<<20)
+	solo, _ := memSolve(&cfg, []*Workload{target}, []float64{1e6})
+	comp := wl("comp", 600, 32<<20)
+	contended, _ := memSolve(&cfg, []*Workload{target, comp}, []float64{1e6, 1e6})
+	if contended[0].memSec <= solo[0].memSec {
+		t.Fatalf("memSec did not grow: solo %v contended %v", solo[0].memSec, contended[0].memSec)
+	}
+}
+
+func TestBandwidthSaturationInflatesPenalty(t *testing.T) {
+	cfg := testCfg()
+	// Enormous miss traffic from a giant-WSS, high-rate competitor.
+	a := wl("a", 100, 64<<20)
+	b := wl("b", 2000, 64<<20)
+	_, util := memSolve(&cfg, []*Workload{a, b}, []float64{2e6, 2e6})
+	if util <= 0.2 {
+		t.Fatalf("expected high DRAM utilization, got %v", util)
+	}
+	if util > 0.95 {
+		t.Fatalf("utilization should be clamped at 0.95, got %v", util)
+	}
+}
+
+func TestMissRatioEdgeCases(t *testing.T) {
+	if got := missRatio(0.02, 0, 0); got != 0 {
+		t.Errorf("zero WSS miss ratio = %v, want 0", got)
+	}
+	if got := missRatio(0.02, 100, 200); got != 0.02 {
+		t.Errorf("over-resident miss ratio = %v, want base", got)
+	}
+	if got := missRatio(0.02, 100, 0); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("zero occupancy miss ratio = %v, want 1", got)
+	}
+}
+
+func TestZeroRateWorkloadStillGetsOccupancy(t *testing.T) {
+	cfg := testCfg()
+	ws := []*Workload{wl("idle", 10, 1<<20)}
+	states, _ := memSolve(&cfg, ws, []float64{0})
+	if states[0].occupancy <= 0 {
+		t.Fatal("idle workload got no occupancy despite empty LLC")
+	}
+}

@@ -1,0 +1,150 @@
+package nicsim
+
+import "fmt"
+
+// ExecPattern is how an NF uses its resources end to end (§4.2 of the
+// paper): as a pipeline of stages on different resources, or
+// run-to-completion where each packet occupies a core until every stage
+// (including accelerator round trips) finishes.
+type ExecPattern int
+
+// Execution patterns.
+const (
+	Pipeline ExecPattern = iota
+	RunToCompletion
+)
+
+// String names the pattern.
+func (p ExecPattern) String() string {
+	if p == Pipeline {
+		return "pipeline"
+	}
+	return "run-to-completion"
+}
+
+// AccelUse describes how a workload exercises one accelerator, per packet.
+type AccelUse struct {
+	// ReqsPerPkt is the number of accelerator requests issued per packet
+	// (may be fractional for sampled inspection).
+	ReqsPerPkt float64
+	// BytesPerReq is the average request payload size.
+	BytesPerReq float64
+	// MatchesPerReq is the average ruleset matches per request; for the
+	// regex engine this is MTBR·BytesPerReq/1e6.
+	MatchesPerReq float64
+	// Queues is the number of request queues the workload opens.
+	Queues int
+}
+
+// Workload is what a packet-processing program looks like to the NIC
+// hardware: its per-packet compute and memory footprint plus accelerator
+// demands. Real NFs measure their own footprints from their packet-
+// processing code (internal/nf); synthetic benchmarks construct them
+// directly (internal/nfbench).
+type Workload struct {
+	// Name labels the workload in measurements.
+	Name string
+
+	// Pattern is the execution pattern.
+	Pattern ExecPattern
+
+	// Cores is the number of dedicated SoC cores (core-level isolation,
+	// §4.1: CPU contention does not happen).
+	Cores int
+
+	// CPUSecPerPkt is pure compute time per packet, excluding memory
+	// stalls and accelerator waits.
+	CPUSecPerPkt float64
+
+	// MemRefsPerPkt is the number of cache-hierarchy references per
+	// packet; WSSBytes the working-set size backing them.
+	MemRefsPerPkt float64
+	WSSBytes      float64
+
+	// MemMLP is the memory-level parallelism: how many references the
+	// workload keeps outstanding on average. Pointer-chasing table
+	// lookups sit near 1–2; streaming benchmarks reach 8+. Zero means 1.
+	MemMLP float64
+
+	// PktBytes is the average wire size of the packets processed,
+	// used for the line-rate cap.
+	PktBytes float64
+
+	// Accel holds per-accelerator usage; absent kinds are unused.
+	Accel map[AccelKind]AccelUse
+
+	// OfferedRate, if positive, makes this an open-loop workload: it
+	// processes at most this many packets/s regardless of capacity.
+	// Synthetic contention generators (mem-bench, regex-bench) use this
+	// to assert controllable contention levels.
+	OfferedRate float64
+}
+
+// Validate reports configuration errors that would make the solver
+// meaningless (non-positive cores, negative times).
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("nicsim: workload with empty name")
+	}
+	if w.Cores <= 0 {
+		return fmt.Errorf("nicsim: workload %s has %d cores", w.Name, w.Cores)
+	}
+	if w.CPUSecPerPkt < 0 || w.MemRefsPerPkt < 0 || w.WSSBytes < 0 {
+		return fmt.Errorf("nicsim: workload %s has negative cost", w.Name)
+	}
+	if w.PktBytes <= 0 {
+		return fmt.Errorf("nicsim: workload %s has non-positive packet size", w.Name)
+	}
+	for k, u := range w.Accel {
+		if u.ReqsPerPkt < 0 || u.BytesPerReq < 0 || u.MatchesPerReq < 0 {
+			return fmt.Errorf("nicsim: workload %s has negative %v usage", w.Name, k)
+		}
+		if u.ReqsPerPkt > 0 && u.Queues <= 0 {
+			return fmt.Errorf("nicsim: workload %s uses %v with %d queues", w.Name, k, u.Queues)
+		}
+	}
+	return nil
+}
+
+// UsesAccel reports whether the workload issues requests to kind.
+func (w *Workload) UsesAccel(kind AccelKind) bool {
+	u, ok := w.Accel[kind]
+	return ok && u.ReqsPerPkt > 0
+}
+
+// Resource identifies a contended resource for bottleneck attribution.
+type Resource int
+
+// Resources a workload can bottleneck on.
+const (
+	ResCPU Resource = iota
+	ResMemory
+	ResRegex
+	ResCompress
+	ResNICPort
+)
+
+// String names the resource.
+func (r Resource) String() string {
+	switch r {
+	case ResCPU:
+		return "cpu"
+	case ResMemory:
+		return "memory"
+	case ResRegex:
+		return "regex"
+	case ResCompress:
+		return "compress"
+	case ResNICPort:
+		return "nic-port"
+	}
+	return "resource?"
+}
+
+// AccelResource maps an accelerator kind to its Resource tag.
+func AccelResource(k AccelKind) Resource {
+	if k == AccelCompress {
+		return ResCompress
+	}
+	return ResRegex
+}

@@ -1,0 +1,240 @@
+// Package packet provides a minimal but real packet representation used by
+// the network functions: Ethernet/IPv4/TCP/UDP header construction and
+// parsing over raw bytes, plus the FiveTuple flow key.
+//
+// NFs in this repository operate on actual packet bytes (parse headers,
+// rewrite addresses, scan payloads), so the substrate exercises the same
+// code paths a DPDK/Click NF would.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header sizes and offsets for the fixed-size headers we generate.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	UDPHeaderLen  = 8
+
+	// EtherTypeIPv4 is the Ethernet type for IPv4 payloads.
+	EtherTypeIPv4 = 0x0800
+
+	// ProtoTCP and ProtoUDP are IPv4 protocol numbers.
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String renders the tuple in a dotted-quad form, useful in logs and tests.
+func (t FiveTuple) String() string {
+	return fmt.Sprintf("%s:%d->%s:%d/%d",
+		ipString(t.SrcIP), t.SrcPort, ipString(t.DstIP), t.DstPort, t.Proto)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Hash returns a 64-bit hash of the tuple (FNV-1a over the 13 key bytes).
+// NFs use it to index their flow tables.
+func (t FiveTuple) Hash() uint64 {
+	var b [13]byte
+	binary.BigEndian.PutUint32(b[0:], t.SrcIP)
+	binary.BigEndian.PutUint32(b[4:], t.DstIP)
+	binary.BigEndian.PutUint16(b[8:], t.SrcPort)
+	binary.BigEndian.PutUint16(b[10:], t.DstPort)
+	b[12] = t.Proto
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// Packet is a raw frame plus a parsed view. Data holds the full frame
+// starting at the Ethernet header.
+type Packet struct {
+	Data []byte
+
+	// Parsed view, valid after Parse.
+	Tuple      FiveTuple
+	PayloadOff int // offset of L4 payload within Data
+}
+
+// Build constructs an Ethernet+IPv4+L4 frame of exactly size bytes carrying
+// payload (truncated or zero-padded to fit). size must leave room for the
+// headers; Build panics otherwise, since callers control sizes.
+func Build(t FiveTuple, size int, payload []byte) *Packet {
+	l4len := TCPHeaderLen
+	if t.Proto == ProtoUDP {
+		l4len = UDPHeaderLen
+	}
+	hdr := EthHeaderLen + IPv4HeaderLen + l4len
+	if size < hdr {
+		panic(fmt.Sprintf("packet: size %d smaller than headers %d", size, hdr))
+	}
+	data := make([]byte, size)
+
+	// Ethernet: synthetic MACs, IPv4 ethertype.
+	copy(data[0:6], []byte{0x02, 0, 0, 0, 0, 1})
+	copy(data[6:12], []byte{0x02, 0, 0, 0, 0, 2})
+	binary.BigEndian.PutUint16(data[12:], EtherTypeIPv4)
+
+	// IPv4.
+	ip := data[EthHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:], uint16(size-EthHeaderLen))
+	ip[8] = 64 // TTL
+	ip[9] = t.Proto
+	binary.BigEndian.PutUint32(ip[12:], t.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:], t.DstIP)
+	binary.BigEndian.PutUint16(ip[10:], 0)
+	binary.BigEndian.PutUint16(ip[10:], ipChecksum(ip[:IPv4HeaderLen]))
+
+	// L4.
+	l4 := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(l4[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(l4[2:], t.DstPort)
+	if t.Proto == ProtoTCP {
+		l4[12] = 5 << 4 // data offset
+	} else {
+		binary.BigEndian.PutUint16(l4[4:], uint16(size-EthHeaderLen-IPv4HeaderLen))
+	}
+
+	off := hdr
+	copy(data[off:], payload)
+
+	return &Packet{Data: data, Tuple: t, PayloadOff: off}
+}
+
+// Parse decodes the headers in p.Data, filling Tuple and PayloadOff.
+// It returns an error for truncated or non-IPv4 frames.
+func (p *Packet) Parse() error {
+	if len(p.Data) < EthHeaderLen+IPv4HeaderLen {
+		return fmt.Errorf("packet: truncated frame (%d bytes)", len(p.Data))
+	}
+	if et := binary.BigEndian.Uint16(p.Data[12:]); et != EtherTypeIPv4 {
+		return fmt.Errorf("packet: unsupported ethertype %#04x", et)
+	}
+	ip := p.Data[EthHeaderLen:]
+	if v := ip[0] >> 4; v != 4 {
+		return fmt.Errorf("packet: unsupported IP version %d", v)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl {
+		return fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	p.Tuple.Proto = ip[9]
+	p.Tuple.SrcIP = binary.BigEndian.Uint32(ip[12:])
+	p.Tuple.DstIP = binary.BigEndian.Uint32(ip[16:])
+
+	l4 := ip[ihl:]
+	var l4len int
+	switch p.Tuple.Proto {
+	case ProtoTCP:
+		l4len = TCPHeaderLen
+	case ProtoUDP:
+		l4len = UDPHeaderLen
+	default:
+		return fmt.Errorf("packet: unsupported protocol %d", p.Tuple.Proto)
+	}
+	if len(l4) < l4len {
+		return fmt.Errorf("packet: truncated L4 header")
+	}
+	p.Tuple.SrcPort = binary.BigEndian.Uint16(l4[0:])
+	p.Tuple.DstPort = binary.BigEndian.Uint16(l4[2:])
+	p.PayloadOff = EthHeaderLen + ihl + l4len
+	return nil
+}
+
+// Payload returns the L4 payload bytes. Parse (or Build) must have run.
+func (p *Packet) Payload() []byte {
+	if p.PayloadOff <= 0 || p.PayloadOff > len(p.Data) {
+		return nil
+	}
+	return p.Data[p.PayloadOff:]
+}
+
+// Len returns the total frame length in bytes.
+func (p *Packet) Len() int { return len(p.Data) }
+
+// SetDstIP rewrites the IPv4 destination address and fixes the checksum.
+func (p *Packet) SetDstIP(ip uint32) {
+	hdr := p.Data[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	binary.BigEndian.PutUint32(hdr[16:], ip)
+	p.Tuple.DstIP = ip
+	p.reIPChecksum(hdr)
+}
+
+// SetSrcIP rewrites the IPv4 source address and fixes the checksum.
+func (p *Packet) SetSrcIP(ip uint32) {
+	hdr := p.Data[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	binary.BigEndian.PutUint32(hdr[12:], ip)
+	p.Tuple.SrcIP = ip
+	p.reIPChecksum(hdr)
+}
+
+// DecTTL decrements the IPv4 TTL, fixing the checksum, and reports whether
+// the packet is still live (TTL > 0).
+func (p *Packet) DecTTL() bool {
+	hdr := p.Data[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	if hdr[8] == 0 {
+		return false
+	}
+	hdr[8]--
+	p.reIPChecksum(hdr)
+	return hdr[8] > 0
+}
+
+func (p *Packet) reIPChecksum(hdr []byte) {
+	binary.BigEndian.PutUint16(hdr[10:], 0)
+	binary.BigEndian.PutUint16(hdr[10:], ipChecksum(hdr))
+}
+
+// ipChecksum computes the standard Internet checksum over hdr, which must
+// have the checksum field zeroed.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPChecksum reports whether the IPv4 header checksum in p is valid.
+func (p *Packet) VerifyIPChecksum() bool {
+	if len(p.Data) < EthHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	hdr := p.Data[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum) == 0xffff
+}

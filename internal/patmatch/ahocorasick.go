@@ -1,0 +1,157 @@
+// Package patmatch implements a multi-pattern string matcher (Aho-Corasick)
+// that stands in for the BlueField-2 RXP regex accelerator's matching
+// semantics: given a compiled rule set, it scans packet payloads and counts
+// rule matches. The match count per payload byte (match-to-byte ratio,
+// MTBR) is the traffic attribute the paper's accelerator model depends on.
+package patmatch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matcher is a compiled multi-pattern matcher. Build one with Compile; a
+// Matcher is immutable and safe for concurrent use.
+type Matcher struct {
+	patterns []string
+
+	// Automaton in flattened form: per-state child map, fail link, and the
+	// number of pattern occurrences ending at the state (output count,
+	// accumulated through suffix links at compile time).
+	next []map[byte]int32
+	fail []int32
+	outs []int32
+}
+
+// Compile builds the automaton for the given patterns. Empty patterns are
+// rejected. Duplicate patterns each count as separate outputs, matching
+// how a ruleset with duplicate rules would report.
+func Compile(patterns []string) (*Matcher, error) {
+	for i, p := range patterns {
+		if p == "" {
+			return nil, fmt.Errorf("patmatch: empty pattern at index %d", i)
+		}
+	}
+	m := &Matcher{
+		patterns: append([]string(nil), patterns...),
+		next:     []map[byte]int32{{}},
+		fail:     []int32{0},
+		outs:     []int32{0},
+	}
+	// Trie construction.
+	for _, p := range patterns {
+		s := int32(0)
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			nxt, ok := m.next[s][c]
+			if !ok {
+				nxt = int32(len(m.next))
+				m.next[s][c] = nxt
+				m.next = append(m.next, map[byte]int32{})
+				m.fail = append(m.fail, 0)
+				m.outs = append(m.outs, 0)
+			}
+			s = nxt
+		}
+		m.outs[s]++
+	}
+	// BFS to set failure links and accumulate outputs.
+	queue := make([]int32, 0, len(m.next))
+	for _, s := range m.next[0] {
+		queue = append(queue, s)
+	}
+	sortInt32(queue)
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		var children []byte
+		for c := range m.next[s] {
+			children = append(children, c)
+		}
+		sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+		for _, c := range children {
+			child := m.next[s][c]
+			f := m.fail[s]
+			for f != 0 {
+				if n, ok := m.next[f][c]; ok {
+					f = n
+					goto linked
+				}
+				f = m.fail[f]
+			}
+			if n, ok := m.next[0][c]; ok && n != child {
+				f = n
+			} else {
+				f = 0
+			}
+		linked:
+			m.fail[child] = f
+			m.outs[child] += m.outs[f]
+			queue = append(queue, child)
+		}
+	}
+	return m, nil
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// NumPatterns reports how many patterns the matcher was compiled from.
+func (m *Matcher) NumPatterns() int { return len(m.patterns) }
+
+// NumStates reports the automaton size, a proxy for compiled-rule memory.
+func (m *Matcher) NumStates() int { return len(m.next) }
+
+// Count returns the total number of pattern occurrences in data,
+// including overlapping occurrences.
+func (m *Matcher) Count(data []byte) int {
+	var s int32
+	total := 0
+	for _, c := range data {
+		for s != 0 {
+			if n, ok := m.next[s][c]; ok {
+				s = n
+				goto advanced
+			}
+			s = m.fail[s]
+		}
+		if n, ok := m.next[0][c]; ok {
+			s = n
+		}
+	advanced:
+		total += int(m.outs[s])
+	}
+	return total
+}
+
+// Contains reports whether any pattern occurs in data, stopping at the
+// first match.
+func (m *Matcher) Contains(data []byte) bool {
+	var s int32
+	for _, c := range data {
+		for s != 0 {
+			if n, ok := m.next[s][c]; ok {
+				s = n
+				goto advanced
+			}
+			s = m.fail[s]
+		}
+		if n, ok := m.next[0][c]; ok {
+			s = n
+		}
+	advanced:
+		if m.outs[s] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MTBR returns the match-to-byte ratio of data in matches per megabyte.
+func (m *Matcher) MTBR(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return float64(m.Count(data)) / float64(len(data)) * 1e6
+}

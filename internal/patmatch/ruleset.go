@@ -1,0 +1,34 @@
+package patmatch
+
+// DefaultRules is an L7-filter-style signature set: protocol keywords and
+// byte sequences typical of application-protocol classifiers. The paper's
+// regex NFs all share one ruleset [5]; the NFs here share this one.
+//
+// Patterns are plain strings (the RXP accelerator compiles regexes to a
+// DFA; our Aho-Corasick stand-in plays the role of that compiled form).
+var DefaultRules = []string{
+	"GET ", "POST ", "PUT ", "DELETE ", "HEAD ",
+	"HTTP/1.0", "HTTP/1.1", "Host: ", "User-Agent:", "Content-Length:",
+	"SSH-2.0", "SSH-1.99",
+	"220 ", "USER ", "PASS ", "RETR ", "STOR ",
+	"EHLO", "MAIL FROM:", "RCPT TO:", "DATA\r\n",
+	"\x16\x03\x01", "\x16\x03\x03", // TLS client hello versions
+	"BitTorrent protocol",
+	"RTSP/1.0", "SETUP rtsp",
+	"INVITE sip:", "REGISTER sip:",
+	"\x00\x00\x00\x00\x00\x01\x00\x00", // DNS-ish
+	"SELECT ", "INSERT INTO", "DROP TABLE",
+	"cmd.exe", "/bin/sh", "etc/passwd",
+	"%x90%x90", "\x90\x90\x90\x90",
+}
+
+// CompileDefault compiles DefaultRules. It panics on failure, which cannot
+// happen for the static set; the panic guards against future edits
+// introducing an empty pattern.
+func CompileDefault() *Matcher {
+	m, err := Compile(DefaultRules)
+	if err != nil {
+		panic("patmatch: default ruleset failed to compile: " + err.Error())
+	}
+	return m
+}

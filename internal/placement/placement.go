@@ -1,0 +1,296 @@
+// Package placement implements the paper's first use case (§7.5.1):
+// online, contention-aware scheduling of arriving NFs onto a cluster of
+// SmartNICs so as to minimize NICs used while meeting throughput SLAs.
+//
+// Strategies: Monopolization (one NF per NIC), Greedy (most free cores),
+// and contention-aware placement driven by SLOMO or Yala predictions. An
+// Oracle strategy that checks feasibility with actual co-runs stands in
+// for the paper's exhaustive-search optimum (offline bin packing is
+// NP-complete; the paper also compares against a search-based reference).
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// Arrival is one NF arrival: a catalog NF with its traffic profile and an
+// SLA expressed as the maximum tolerated throughput drop relative to solo
+// (e.g. 0.1 = may lose at most 10%).
+type Arrival struct {
+	Name    string
+	Profile traffic.Profile
+	SLA     float64
+}
+
+// Strategy selects a placement policy.
+type Strategy int
+
+// Placement strategies, in the order of the paper's Table 6.
+const (
+	Monopolization Strategy = iota
+	Greedy
+	SLOMOAware
+	YalaAware
+	Oracle
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Monopolization:
+		return "monopolization"
+	case Greedy:
+		return "greedy"
+	case SLOMOAware:
+		return "slomo"
+	case YalaAware:
+		return "yala"
+	case Oracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Result summarizes one placed sequence.
+type Result struct {
+	NICsUsed   int
+	Violations int // NFs whose ground-truth throughput violates their SLA
+	Total      int
+}
+
+// Simulator places NF arrival sequences under a strategy and evaluates
+// the outcome against simulator ground truth.
+type Simulator struct {
+	TB    *testbed.Testbed
+	Yala  map[string]*core.Model
+	SLOMO map[string]*slomo.Model
+
+	// NFCores is the per-NF core allocation; NICCores the per-NIC total.
+	NFCores  int
+	NICCores int
+
+	soloCache  map[string]nicsim.Measurement
+	coRunCache map[string][]nicsim.Measurement
+}
+
+// NewSimulator returns a placement simulator. The model maps may be nil
+// for strategies that do not need them.
+func NewSimulator(tb *testbed.Testbed, yala map[string]*core.Model, sl map[string]*slomo.Model) *Simulator {
+	return &Simulator{
+		TB: tb, Yala: yala, SLOMO: sl,
+		NFCores:    2,
+		NICCores:   tb.Config().Cores,
+		soloCache:  map[string]nicsim.Measurement{},
+		coRunCache: map[string][]nicsim.Measurement{},
+	}
+}
+
+func arrivalKey(a Arrival) string {
+	return fmt.Sprintf("%s@%s", a.Name, a.Profile)
+}
+
+// solo returns the cached solo measurement for an arrival.
+func (s *Simulator) solo(a Arrival) (nicsim.Measurement, error) {
+	key := arrivalKey(a)
+	if m, ok := s.soloCache[key]; ok {
+		return m, nil
+	}
+	m, err := s.TB.SoloNF(a.Name, a.Profile)
+	if err != nil {
+		return nicsim.Measurement{}, err
+	}
+	s.soloCache[key] = m
+	return m, nil
+}
+
+// coRun measures a NIC's residents together, cached by the (sorted)
+// resident multiset. The returned slice is ordered by the sorted keys.
+func (s *Simulator) coRun(residents []Arrival) ([]nicsim.Measurement, []Arrival, error) {
+	ordered := append([]Arrival(nil), residents...)
+	sort.Slice(ordered, func(i, j int) bool {
+		return arrivalKey(ordered[i]) < arrivalKey(ordered[j])
+	})
+	keys := make([]string, len(ordered))
+	for i, a := range ordered {
+		keys[i] = arrivalKey(a)
+	}
+	cacheKey := strings.Join(keys, "|")
+	if ms, ok := s.coRunCache[cacheKey]; ok {
+		return ms, ordered, nil
+	}
+	ws := make([]*nicsim.Workload, len(ordered))
+	for i, a := range ordered {
+		w, err := s.TB.Workload(a.Name, a.Profile)
+		if err != nil {
+			return nil, nil, err
+		}
+		ws[i] = w
+	}
+	ms, err := s.TB.Run(ws...)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.coRunCache[cacheKey] = ms
+	return ms, ordered, nil
+}
+
+// nic is one SmartNIC's residents during placement.
+type nic struct {
+	residents []Arrival
+	cores     int
+}
+
+// Place runs the strategy over the arrival sequence and evaluates the
+// final assignment against ground truth.
+func (s *Simulator) Place(seq []Arrival, strat Strategy) (Result, error) {
+	var nics []*nic
+	for _, a := range seq {
+		idx, err := s.chooseNIC(nics, a, strat)
+		if err != nil {
+			return Result{}, err
+		}
+		if idx < 0 {
+			nics = append(nics, &nic{})
+			idx = len(nics) - 1
+		}
+		nics[idx].residents = append(nics[idx].residents, a)
+		nics[idx].cores += s.NFCores
+	}
+	res := Result{NICsUsed: len(nics), Total: len(seq)}
+	for _, n := range nics {
+		v, err := s.violations(n.residents)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Violations += v
+	}
+	return res, nil
+}
+
+// chooseNIC returns the index of the NIC to place a on, or -1 for a new
+// NIC.
+func (s *Simulator) chooseNIC(nics []*nic, a Arrival, strat Strategy) (int, error) {
+	fits := func(n *nic) bool { return n.cores+s.NFCores <= s.NICCores }
+	switch strat {
+	case Monopolization:
+		return -1, nil
+	case Greedy:
+		// Most available resources first (the E3/Meili heuristic).
+		best, bestFree := -1, -1
+		for i, n := range nics {
+			if !fits(n) {
+				continue
+			}
+			if free := s.NICCores - n.cores; free > bestFree {
+				best, bestFree = i, free
+			}
+		}
+		return best, nil
+	case SLOMOAware, YalaAware, Oracle:
+		for i, n := range nics {
+			if !fits(n) {
+				continue
+			}
+			ok, err := s.feasible(n, a, strat)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return i, nil
+			}
+		}
+		return -1, nil
+	}
+	return 0, fmt.Errorf("placement: unknown strategy %v", strat)
+}
+
+// feasible predicts whether adding a to the NIC keeps every resident
+// (including a) within its SLA, according to the strategy's model.
+func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
+	all := append(append([]Arrival(nil), n.residents...), a)
+	if strat == Oracle {
+		ms, ordered, err := s.coRun(all)
+		if err != nil {
+			return false, err
+		}
+		for i, r := range ordered {
+			solo, err := s.solo(r)
+			if err != nil {
+				return false, err
+			}
+			if ms[i].Throughput < (1-r.SLA)*solo.Throughput {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, target := range all {
+		var comps []core.Competitor
+		var agg nicsim.Counters
+		for _, other := range all {
+			if other == target {
+				continue
+			}
+			m, err := s.solo(other)
+			if err != nil {
+				return false, err
+			}
+			comps = append(comps, core.CompetitorFromMeasurement(m))
+			agg.Add(m.Counters)
+		}
+		solo, err := s.solo(target)
+		if err != nil {
+			return false, err
+		}
+		var predicted float64
+		switch strat {
+		case YalaAware:
+			model, ok := s.Yala[target.Name]
+			if !ok {
+				return false, fmt.Errorf("placement: no Yala model for %s", target.Name)
+			}
+			predicted = model.Predict(target.Profile, comps).Throughput
+		case SLOMOAware:
+			model, ok := s.SLOMO[target.Name]
+			if !ok {
+				return false, fmt.Errorf("placement: no SLOMO model for %s", target.Name)
+			}
+			predicted = model.PredictExtrapolated(agg, solo.Throughput)
+		}
+		if predicted < (1-target.SLA)*solo.Throughput {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// violations counts residents whose ground-truth throughput breaks their
+// SLA.
+func (s *Simulator) violations(residents []Arrival) (int, error) {
+	if len(residents) <= 1 {
+		return 0, nil
+	}
+	ms, ordered, err := s.coRun(residents)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for i, r := range ordered {
+		solo, err := s.solo(r)
+		if err != nil {
+			return 0, err
+		}
+		if ms[i].Throughput < (1-r.SLA)*solo.Throughput {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,140 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/sim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// testArrivals builds a deterministic arrival sequence over memory-only
+// NFs (fast to model and to co-run).
+func testArrivals(n int, seed uint64) []Arrival {
+	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker"}
+	rng := sim.NewRNG(seed)
+	seq := make([]Arrival, n)
+	for i := range seq {
+		seq[i] = Arrival{
+			Name:    names[rng.Intn(len(names))],
+			Profile: traffic.Default,
+			SLA:     0.05 + 0.15*rng.Float64(),
+		}
+	}
+	return seq
+}
+
+func buildSim(t *testing.T) *Simulator {
+	t.Helper()
+	tb := testbed.New(nicsim.BlueField2(), 31)
+	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker"}
+	yala := map[string]*core.Model{}
+	sl := map[string]*slomo.Model{}
+	trainCfg := core.DefaultTrainConfig()
+	for _, n := range names {
+		m, err := core.NewTrainer(tb, trainCfg).Train(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yala[n] = m
+		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl[n] = sm
+	}
+	return NewSimulator(tb, yala, sl)
+}
+
+func TestPlacementStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement integration test is slow")
+	}
+	s := buildSim(t)
+	seq := testArrivals(40, 1)
+
+	mono, err := s.Place(seq, Monopolization)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.NICsUsed != len(seq) {
+		t.Fatalf("monopolization used %d NICs, want %d", mono.NICsUsed, len(seq))
+	}
+	if mono.Violations != 0 {
+		t.Fatalf("monopolization violated %d SLAs", mono.Violations)
+	}
+
+	greedy, err := s.Place(seq, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.NICsUsed >= mono.NICsUsed {
+		t.Fatal("greedy should pack tighter than monopolization")
+	}
+
+	oracle, err := s.Place(seq, Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Violations != 0 {
+		t.Fatalf("oracle violated %d SLAs", oracle.Violations)
+	}
+
+	yala, err := s.Place(seq, YalaAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yala.Violations > greedy.Violations {
+		t.Fatalf("yala violations %d exceed greedy %d", yala.Violations, greedy.Violations)
+	}
+	// Yala should land near the oracle packing.
+	if yala.NICsUsed > oracle.NICsUsed*2 {
+		t.Fatalf("yala used %d NICs vs oracle %d", yala.NICsUsed, oracle.NICsUsed)
+	}
+
+	slomoRes, err := s.Place(seq, SLOMOAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nics: mono=%d greedy=%d oracle=%d yala=%d slomo=%d",
+		mono.NICsUsed, greedy.NICsUsed, oracle.NICsUsed, yala.NICsUsed, slomoRes.NICsUsed)
+	t.Logf("violations: greedy=%d yala=%d slomo=%d",
+		greedy.Violations, yala.Violations, slomoRes.Violations)
+}
+
+func TestPlacementCoreCapacity(t *testing.T) {
+	tb := testbed.New(nicsim.BlueField2(), 32)
+	s := NewSimulator(tb, nil, nil)
+	seq := testArrivals(9, 2)
+	res, err := s.Place(seq, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 cores / 2 per NF = 4 NFs per NIC; 9 NFs need >= 3 NICs.
+	if res.NICsUsed < 3 {
+		t.Fatalf("used %d NICs for 9 NFs, capacity 4/NIC", res.NICsUsed)
+	}
+}
+
+func TestPlacementUnknownStrategyModel(t *testing.T) {
+	tb := testbed.New(nicsim.BlueField2(), 33)
+	s := NewSimulator(tb, nil, nil)
+	seq := testArrivals(6, 3)
+	if _, err := s.Place(seq, YalaAware); err == nil {
+		t.Fatal("expected error without Yala models")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Monopolization: "monopolization", Greedy: "greedy",
+		SLOMOAware: "slomo", YalaAware: "yala", Oracle: "oracle",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package slomo implements the paper's state-of-the-art baseline
+// (SLOMO, SIGCOMM'20): a gradient-boosting regressor over the
+// competitors' hardware performance counters, trained at one fixed
+// traffic profile, with sensitivity extrapolation to adapt to flow-count
+// deviations (§7.1 of the Yala paper).
+//
+// SLOMO models only memory-subsystem contention — it has no notion of
+// accelerator queues and no traffic features beyond the extrapolation —
+// which is exactly the gap Yala's evaluation quantifies.
+package slomo
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/nicsim"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// Model is a trained SLOMO predictor for one NF.
+type Model struct {
+	Name string
+	// TrainProfile is the fixed traffic profile the model was trained at
+	// (the paper's default: 16K flows, 1500B, 600 matches/MB).
+	TrainProfile traffic.Profile
+	// SoloAtTrain is the NF's solo throughput at the training profile.
+	SoloAtTrain float64
+
+	gbr *ml.GBR
+}
+
+// Config tunes SLOMO training.
+type Config struct {
+	// Samples is the number of mem-bench contention levels profiled.
+	Samples int
+	// GBR is the regressor configuration.
+	GBR ml.GBRConfig
+	// Seed drives contention sampling.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the training budget Yala's memory model gets, for
+// a fair comparison (§7.3: "SLOMO enjoys the same amount of training data
+// as Yala but concentrated on one fixed traffic profile").
+func DefaultConfig() Config {
+	return Config{Samples: 150, GBR: ml.DefaultGBRConfig(), Seed: 1}
+}
+
+// Train profiles the named NF at the fixed training profile under random
+// mem-bench contention levels and fits the counter-based GBR.
+func Train(tb *testbed.Testbed, name string, prof traffic.Profile, cfg Config) (*Model, error) {
+	if cfg.Samples <= 0 {
+		return nil, fmt.Errorf("slomo: non-positive sample budget")
+	}
+	w, err := tb.Workload(name, prof)
+	if err != nil {
+		return nil, err
+	}
+	solo, err := tb.RunSolo(w)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := newRNG(cfg.Seed)
+	b := testbed.MemContentionBounds
+	var d ml.Dataset
+	for i := 0; i < cfg.Samples; i++ {
+		car := b.CARLo + (b.CARHi-b.CARLo)*rng()
+		wss := b.WSSLo + (b.WSSHi-b.WSSLo)*rng()
+		m, err := tb.WithMemBench(w, car, wss)
+		if err != nil {
+			return nil, err
+		}
+		d.Add(m.Competitors.Vector(), m.Throughput)
+	}
+	g, err := ml.FitGBR(d.X, d.Y, cfg.GBR)
+	if err != nil {
+		return nil, fmt.Errorf("slomo: %w", err)
+	}
+	return &Model{
+		Name:         name,
+		TrainProfile: prof,
+		SoloAtTrain:  solo.Throughput,
+		gbr:          g,
+	}, nil
+}
+
+// Predict returns the throughput prediction for the training traffic
+// profile given the competitors' aggregate counters.
+func (m *Model) Predict(comp nicsim.Counters) float64 {
+	y := m.gbr.Predict(comp.Vector())
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// PredictExtrapolated adapts the fixed-profile prediction to a different
+// traffic profile via sensitivity extrapolation (Section 6 of the SLOMO
+// paper, as described in §7.1): the sensitivity curve learned at the
+// training profile is rescaled by the ratio of solo throughputs,
+//
+//	P_new = P_train · S_new / S_train .
+//
+// soloAtNew is the NF's solo throughput at the new profile, which SLOMO
+// obtains from its own flow-count profiling. The rescaling preserves
+// relative sensitivity, which holds only when the new profile's
+// sensitivity curve overlaps the trained one — the failure mode Figure 7b
+// demonstrates.
+func (m *Model) PredictExtrapolated(comp nicsim.Counters, soloAtNew float64) float64 {
+	p := m.Predict(comp)
+	if m.SoloAtTrain <= 0 || soloAtNew <= 0 {
+		return p
+	}
+	y := p * soloAtNew / m.SoloAtTrain
+	if y < 0 {
+		return 0
+	}
+	return y
+}
+
+// newRNG returns a tiny deterministic uniform generator. SLOMO's sampling
+// stays independent of the sim package to keep this baseline self-
+// contained.
+func newRNG(seed uint64) func() float64 {
+	state := seed
+	return func() float64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return float64(z>>11) / (1 << 53)
+	}
+}

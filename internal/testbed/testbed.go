@@ -1,0 +1,130 @@
+// Package testbed wires the simulated SmartNIC, the real NF
+// implementations and the synthetic benchmarks into the experiment rig
+// the paper's evaluation runs on: measure an NF's footprint under a
+// traffic profile, co-run it with competitors or contention generators,
+// and read back throughputs and counters.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/nf"
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/traffic"
+)
+
+// Testbed binds one NIC configuration and a base seed. It caches NF
+// footprint measurements per (NF, profile) since footprints are
+// deterministic given both.
+type Testbed struct {
+	cfg  nicsim.Config
+	seed uint64
+
+	workloads map[workloadKey]*nicsim.Workload
+	runSeq    uint64
+}
+
+type workloadKey struct {
+	name    string
+	profile traffic.Profile
+}
+
+// New returns a testbed on the given NIC model.
+func New(cfg nicsim.Config, seed uint64) *Testbed {
+	return &Testbed{
+		cfg:       cfg,
+		seed:      seed,
+		workloads: map[workloadKey]*nicsim.Workload{},
+	}
+}
+
+// Config returns the NIC hardware configuration.
+func (tb *Testbed) Config() nicsim.Config { return tb.cfg }
+
+// Workload measures (or returns the cached) hardware footprint of the
+// named catalog NF under a traffic profile.
+func (tb *Testbed) Workload(name string, prof traffic.Profile) (*nicsim.Workload, error) {
+	key := workloadKey{name, prof}
+	if w, ok := tb.workloads[key]; ok {
+		return w, nil
+	}
+	n, err := nf.New(name)
+	if err != nil {
+		return nil, err
+	}
+	// Seed derived from the key so footprints are stable regardless of
+	// measurement order.
+	h := tb.seed
+	for _, c := range name {
+		h = h*31 + uint64(c)
+	}
+	h ^= uint64(prof.Flows)<<32 ^ uint64(prof.PktSize)<<16 ^ uint64(prof.MTBR)
+	w, err := nf.Measure(n, prof, h)
+	if err != nil {
+		return nil, err
+	}
+	tb.workloads[key] = w
+	return w, nil
+}
+
+// Run co-locates workloads on a fresh NIC instance (distinct measurement
+// seed per run) and returns their measurements in input order.
+func (tb *Testbed) Run(ws ...*nicsim.Workload) ([]nicsim.Measurement, error) {
+	tb.runSeq++
+	nic := nicsim.New(tb.cfg, tb.seed+tb.runSeq*0x9e3779b9)
+	return nic.Run(ws...)
+}
+
+// RunSolo measures one workload alone.
+func (tb *Testbed) RunSolo(w *nicsim.Workload) (nicsim.Measurement, error) {
+	ms, err := tb.Run(w)
+	if err != nil {
+		return nicsim.Measurement{}, err
+	}
+	return ms[0], nil
+}
+
+// SoloNF measures the named NF alone under a profile.
+func (tb *Testbed) SoloNF(name string, prof traffic.Profile) (nicsim.Measurement, error) {
+	w, err := tb.Workload(name, prof)
+	if err != nil {
+		return nicsim.Measurement{}, err
+	}
+	return tb.RunSolo(w)
+}
+
+// WithMemBench co-runs the target workload with mem-bench at the given
+// cache access rate (refs/s) and working-set size, returning the target's
+// measurement.
+func (tb *Testbed) WithMemBench(target *nicsim.Workload, car, wss float64) (nicsim.Measurement, error) {
+	ms, err := tb.Run(target, nfbench.MemBench(car, wss))
+	if err != nil {
+		return nicsim.Measurement{}, err
+	}
+	return ms[0], nil
+}
+
+// WithRegexBench co-runs the target with regex-bench at the given request
+// rate, request size and MTBR, returning both measurements (target first).
+func (tb *Testbed) WithRegexBench(target *nicsim.Workload, reqRate, bytesPerReq, mtbr float64) ([]nicsim.Measurement, error) {
+	return tb.Run(target, nfbench.RegexBench(reqRate, bytesPerReq, mtbr, 1))
+}
+
+// MemContention describes a mem-bench setting used across profiling and
+// the experiments.
+type MemContention struct {
+	CAR float64 // target cache access rate, refs/s
+	WSS float64 // working-set size, bytes
+}
+
+// String renders the contention level.
+func (c MemContention) String() string {
+	return fmt.Sprintf("car=%.0fMref/s wss=%.1fMB", c.CAR/1e6, c.WSS/(1<<20))
+}
+
+// MemContentionBounds is the range profiling samples from, matching the
+// paper's figures (CAR up to ~250 Mref/s, WSS 0.5–16 MB).
+var MemContentionBounds = struct{ CARLo, CARHi, WSSLo, WSSHi float64 }{
+	CARLo: 5e6, CARHi: 250e6, WSSLo: 0.5 * (1 << 20), WSSHi: 16 * (1 << 20),
+}

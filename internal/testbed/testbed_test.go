@@ -1,0 +1,115 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/nfbench"
+	"repro/internal/nicsim"
+	"repro/internal/traffic"
+)
+
+func TestWorkloadCaching(t *testing.T) {
+	tb := New(nicsim.BlueField2(), 1)
+	w1, err := tb.Workload("FlowStats", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := tb.Workload("FlowStats", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Fatal("workload not cached")
+	}
+	w3, err := tb.Workload("FlowStats", traffic.Default.With(traffic.AttrFlows, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3 == w1 {
+		t.Fatal("distinct profiles shared a workload")
+	}
+}
+
+func TestWorkloadUnknownNF(t *testing.T) {
+	tb := New(nicsim.BlueField2(), 1)
+	if _, err := tb.Workload("Nope", traffic.Default); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWorkloadDeterministicAcrossOrder(t *testing.T) {
+	a := New(nicsim.BlueField2(), 7)
+	b := New(nicsim.BlueField2(), 7)
+	// Different measurement order, same footprints.
+	if _, err := a.Workload("NAT", traffic.Default); err != nil {
+		t.Fatal(err)
+	}
+	wa, err := a.Workload("FlowStats", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := b.Workload("FlowStats", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wa.CPUSecPerPkt != wb.CPUSecPerPkt || wa.WSSBytes != wb.WSSBytes {
+		t.Fatalf("order-dependent footprints: %+v vs %+v", wa, wb)
+	}
+}
+
+func TestWithMemBenchReducesThroughput(t *testing.T) {
+	tb := New(nicsim.BlueField2(), 2)
+	w, err := tb.Workload("FlowStats", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := tb.RunSolo(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tb.WithMemBench(w, 200e6, 12<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput >= solo.Throughput {
+		t.Fatal("mem-bench did not reduce throughput")
+	}
+}
+
+func TestWithRegexBenchReturnsBoth(t *testing.T) {
+	tb := New(nicsim.BlueField2(), 3)
+	w, err := tb.Workload("NIDS", traffic.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := tb.WithRegexBench(w, 1e6, 1000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[1].Name != "regex-bench" {
+		t.Fatalf("unexpected measurements: %d", len(ms))
+	}
+}
+
+func TestRunDistinctSeedsVary(t *testing.T) {
+	tb := New(nicsim.BlueField2(), 4)
+	w := nfbench.MemBench(100e6, 4<<20)
+	a, err := tb.RunSolo(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.RunSolo(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput == b.Throughput {
+		t.Fatal("repeated measurements identical — no run-to-run noise")
+	}
+}
+
+func TestMemContentionString(t *testing.T) {
+	s := MemContention{CAR: 100e6, WSS: 8 << 20}.String()
+	if s != "car=100Mref/s wss=8.0MB" {
+		t.Fatalf("String() = %q", s)
+	}
+}

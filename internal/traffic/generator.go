@@ -1,0 +1,114 @@
+package traffic
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// MinPktSize is the smallest frame we generate (classic 64B minimum).
+const MinPktSize = 64
+
+// markerPattern is the byte sequence inserted into payloads to produce
+// ruleset matches. It is the first DefaultRules entry ("GET "), so every
+// insertion yields exactly one match against the default matcher.
+const markerPattern = "GET "
+
+// fillerAlphabet contains bytes that cannot form any default-rule match:
+// no rule consists solely of these characters.
+var fillerAlphabet = []byte{'.', '-', '~', '#', '_'}
+
+// Generator produces packets for one traffic profile. It pre-builds the
+// flow set; Packet and Batch then draw flows uniformly (the paper's
+// uniform flow-size distribution).
+type Generator struct {
+	profile Profile
+	flows   []packet.FiveTuple
+	rng     *sim.RNG
+}
+
+// NewGenerator builds a generator for profile, drawing all randomness
+// from rng.
+func NewGenerator(profile Profile, rng *sim.RNG) *Generator {
+	if profile.PktSize < MinPktSize {
+		profile.PktSize = MinPktSize
+	}
+	if profile.Flows < 1 {
+		profile.Flows = 1
+	}
+	g := &Generator{profile: profile, rng: rng}
+	g.flows = make([]packet.FiveTuple, profile.Flows)
+	for i := range g.flows {
+		g.flows[i] = packet.FiveTuple{
+			SrcIP:   uint32(0x0a000000 + rng.Intn(1<<24)),
+			DstIP:   uint32(0xc0a80000 + rng.Intn(1<<16)),
+			SrcPort: uint16(1024 + rng.Intn(64000)),
+			DstPort: uint16([]int{80, 443, 53, 22, 25}[rng.Intn(5)]),
+			Proto:   packet.ProtoTCP,
+		}
+	}
+	return g
+}
+
+// Profile returns the generator's traffic profile.
+func (g *Generator) Profile() Profile { return g.profile }
+
+// NumFlows returns the number of distinct flows.
+func (g *Generator) NumFlows() int { return len(g.flows) }
+
+// Packet generates one packet: a uniformly drawn flow carrying a payload
+// synthesized at the profile's MTBR.
+func (g *Generator) Packet() *packet.Packet {
+	t := g.flows[g.rng.Intn(len(g.flows))]
+	payloadLen := g.profile.PktSize - packet.EthHeaderLen - packet.IPv4HeaderLen - packet.TCPHeaderLen
+	if payloadLen < 0 {
+		payloadLen = 0
+	}
+	payload := SynthPayload(payloadLen, g.profile.MTBR, g.rng)
+	return packet.Build(t, g.profile.PktSize, payload)
+}
+
+// HeaderPacket builds a minimum-size, payload-free packet for flow i.
+// NFs use it to populate per-flow state cheaply during footprint
+// measurement, where payload contents are irrelevant.
+func (g *Generator) HeaderPacket(i int) *packet.Packet {
+	return packet.Build(g.flows[i%len(g.flows)], MinPktSize, nil)
+}
+
+// Batch generates n packets.
+func (g *Generator) Batch(n int) []*packet.Packet {
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		pkts[i] = g.Packet()
+	}
+	return pkts
+}
+
+// SynthPayload produces size bytes whose expected match count against the
+// default ruleset is mtbr·size/1e6 (matches per MB), by inserting the
+// marker pattern into non-matching filler at stochastically rounded
+// density. This is the exrex role from the paper: payloads with a
+// controlled match-to-byte ratio.
+func SynthPayload(size int, mtbr float64, rng *sim.RNG) []byte {
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = fillerAlphabet[rng.Intn(len(fillerAlphabet))]
+	}
+	if size < len(markerPattern) || mtbr <= 0 {
+		return buf
+	}
+	want := mtbr * float64(size) / 1e6
+	n := int(want)
+	if rng.Float64() < want-float64(n) {
+		n++
+	}
+	// Place n non-overlapping markers in distinct slots so each insertion
+	// contributes exactly one match.
+	slots := size / len(markerPattern)
+	if n > slots {
+		n = slots
+	}
+	for _, slot := range rng.Perm(slots)[:n] {
+		copy(buf[slot*len(markerPattern):], markerPattern)
+	}
+	return buf
+}

@@ -1,0 +1,169 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/patmatch"
+	"repro/internal/sim"
+)
+
+func TestDefaultProfileVector(t *testing.T) {
+	v := Default.Vector()
+	want := []float64{16000, 1500, 600}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vector = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestProfileWithGetRoundTrip(t *testing.T) {
+	p := Default
+	for a := Attribute(0); a < NumAttributes; a++ {
+		lo, hi := a.Bounds()
+		if lo >= hi {
+			t.Fatalf("%v bounds inverted: [%v,%v]", a, lo, hi)
+		}
+		q := p.With(a, hi)
+		if got := q.Get(a); got != hi && a != AttrPktSize {
+			t.Errorf("With/Get %v: got %v want %v", a, got, hi)
+		}
+	}
+}
+
+func TestProfileWithClampsPktSize(t *testing.T) {
+	p := Default.With(AttrPktSize, 10)
+	if p.PktSize != MinPktSize {
+		t.Fatalf("PktSize = %d, want clamped to %d", p.PktSize, MinPktSize)
+	}
+}
+
+func TestAttributeString(t *testing.T) {
+	if AttrFlows.String() != "flows" || AttrMTBR.String() != "mtbr" {
+		t.Fatal("attribute names wrong")
+	}
+}
+
+func TestRandomProfileInBounds(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for i := 0; i < 200; i++ {
+		p := Random(rng)
+		fl, fh := AttrFlows.Bounds()
+		if float64(p.Flows) < fl || float64(p.Flows) >= fh {
+			t.Fatalf("flows %d out of bounds", p.Flows)
+		}
+		sl, sh := AttrPktSize.Bounds()
+		if float64(p.PktSize) < sl || float64(p.PktSize) >= sh {
+			t.Fatalf("pktsize %d out of bounds", p.PktSize)
+		}
+		ml, mh := AttrMTBR.Bounds()
+		if p.MTBR < ml || p.MTBR >= mh {
+			t.Fatalf("mtbr %v out of bounds", p.MTBR)
+		}
+	}
+}
+
+func TestEvalProfilesContainsDefault(t *testing.T) {
+	ps := EvalProfiles()
+	if len(ps) != 9 {
+		t.Fatalf("len = %d, want 9 (paper: 9 distinct profiles)", len(ps))
+	}
+	if ps[0] != Default {
+		t.Fatal("first eval profile is not the default")
+	}
+}
+
+func TestFullGridSize(t *testing.T) {
+	g := FullGrid(16, 200)
+	if len(g) != 3200 {
+		t.Fatalf("grid size %d, want 3200 (paper's 3200x cost)", len(g))
+	}
+}
+
+func TestGeneratorFlowCount(t *testing.T) {
+	g := NewGenerator(Profile{Flows: 100, PktSize: 256, MTBR: 0}, sim.NewRNG(2))
+	if g.NumFlows() != 100 {
+		t.Fatalf("NumFlows = %d", g.NumFlows())
+	}
+	seen := map[string]bool{}
+	for _, p := range g.Batch(2000) {
+		seen[p.Tuple.String()] = true
+	}
+	// Uniform draws over 100 flows in 2000 packets should hit most flows.
+	if len(seen) < 90 {
+		t.Fatalf("saw only %d distinct flows", len(seen))
+	}
+}
+
+func TestGeneratorPacketSize(t *testing.T) {
+	g := NewGenerator(Profile{Flows: 10, PktSize: 512, MTBR: 600}, sim.NewRNG(3))
+	for _, p := range g.Batch(50) {
+		if p.Len() != 512 {
+			t.Fatalf("packet len %d, want 512", p.Len())
+		}
+		if err := p.Parse(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGeneratorClampsDegenerate(t *testing.T) {
+	g := NewGenerator(Profile{Flows: 0, PktSize: 1}, sim.NewRNG(4))
+	if g.NumFlows() != 1 {
+		t.Fatalf("NumFlows = %d, want 1", g.NumFlows())
+	}
+	if g.Profile().PktSize != MinPktSize {
+		t.Fatalf("PktSize = %d, want %d", g.Profile().PktSize, MinPktSize)
+	}
+	if p := g.Packet(); p.Len() != MinPktSize {
+		t.Fatalf("packet len %d", p.Len())
+	}
+}
+
+func TestSynthPayloadMTBRAccuracy(t *testing.T) {
+	m := patmatch.CompileDefault()
+	rng := sim.NewRNG(5)
+	for _, target := range []float64{100, 600, 1000} {
+		var bytes, matches int
+		for i := 0; i < 400; i++ {
+			pl := SynthPayload(1460, target, rng)
+			bytes += len(pl)
+			matches += m.Count(pl)
+		}
+		got := float64(matches) / float64(bytes) * 1e6
+		if math.Abs(got-target)/target > 0.15 {
+			t.Errorf("target MTBR %v: measured %v", target, got)
+		}
+	}
+}
+
+func TestSynthPayloadZeroMTBRNoMatches(t *testing.T) {
+	m := patmatch.CompileDefault()
+	rng := sim.NewRNG(6)
+	for i := 0; i < 100; i++ {
+		if n := m.Count(SynthPayload(1460, 0, rng)); n != 0 {
+			t.Fatalf("filler produced %d matches", n)
+		}
+	}
+}
+
+func TestSynthPayloadTiny(t *testing.T) {
+	rng := sim.NewRNG(7)
+	if got := len(SynthPayload(2, 600, rng)); got != 2 {
+		t.Fatalf("len = %d", got)
+	}
+	if got := len(SynthPayload(0, 600, rng)); got != 0 {
+		t.Fatalf("len = %d", got)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := NewGenerator(Default, sim.NewRNG(42)).Batch(10)
+	b := NewGenerator(Default, sim.NewRNG(42)).Batch(10)
+	for i := range a {
+		if string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("packet %d differs between identical seeds", i)
+		}
+	}
+}
