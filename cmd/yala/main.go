@@ -1,6 +1,7 @@
 // Command yala is the CLI front end for the Yala reproduction: profile an
 // NF's footprint, train its models, predict throughput under a
-// co-location, diagnose its bottleneck, or schedule an arrival sequence.
+// co-location, diagnose its bottleneck, schedule an arrival sequence, or
+// run the online prediction service and its load generator.
 //
 // Usage:
 //
@@ -9,12 +10,16 @@
 //	yala predict  -nf FlowMonitor -with NIDS,FlowStats [-flows n] [-pktsize n] [-mtbr f]
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
+//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full]
+//	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-seed n]
 //	yala list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"strings"
 
@@ -23,6 +28,7 @@ import (
 	"repro/internal/nfbench"
 	"repro/internal/nicsim"
 	"repro/internal/placement"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/slomo"
 	"repro/internal/testbed"
@@ -46,6 +52,10 @@ func main() {
 		err = cmdDiagnose(args)
 	case "place":
 		err = cmdPlace(args)
+	case "serve":
+		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "list":
 		fmt.Println(strings.Join(nf.Names(), "\n"))
 	default:
@@ -58,7 +68,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|list} [flags]")
 	os.Exit(2)
 }
 
@@ -175,7 +185,7 @@ func cmdPredict(args []string) error {
 	}
 	truth := ms[0].Throughput
 	fmt.Printf("measured  co-located  %.3f Mpps (prediction error %.1f%%)\n",
-		truth/1e6, 100*abs(pred.Throughput-truth)/truth)
+		truth/1e6, 100*math.Abs(pred.Throughput-truth)/truth)
 	return nil
 }
 
@@ -264,9 +274,100 @@ func cmdPlace(args []string) error {
 	return nil
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+// cmdServe runs the online prediction service (internal/serve): models
+// load lazily from -models, train on demand when absent, and requests
+// arrive over HTTP/JSON.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8844", "listen address")
+	models := fs.String("models", "", "model directory (persisted models; trained on demand when absent)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "prediction cache capacity (0 = default 8192, negative disables)")
+	seed := fs.Uint64("seed", 1, "testbed and on-demand training seed")
+	full := fs.Bool("full", false, "use the full offline training protocol for on-demand training (slow; default is the quick serving config)")
+	fs.Parse(args)
+	if *models == "" {
+		return fmt.Errorf("serve: -models is required")
 	}
-	return x
+	if err := os.MkdirAll(*models, 0o755); err != nil {
+		return err
+	}
+
+	reg := serve.RegistryConfig{Dir: *models, Seed: *seed}
+	if *full {
+		cfg := core.DefaultTrainConfig()
+		cfg.Seed = *seed
+		reg.Train = cfg
+		sc := slomo.DefaultConfig()
+		sc.Seed = *seed
+		reg.SLOMO = sc
+	}
+	svc := serve.NewService(serve.ServiceConfig{
+		Registry:     reg,
+		Workers:      *workers,
+		CacheEntries: *cache,
+	})
+	defer svc.Close()
+
+	fmt.Printf("yala serve: listening on %s, models in %s\n", *addr, *models)
+	fmt.Printf("  POST /v1/predict /v1/predict/batch /v1/compare /v1/admit /v1/diagnose /v1/reload\n")
+	fmt.Printf("  GET  /v1/models /v1/stats /healthz\n")
+	return http.ListenAndServe(*addr, svc.Handler())
+}
+
+// cmdLoadgen replays randomized arrival scenarios against a live server.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8844", "server base URL")
+	n := fs.Int("n", 20000, "total request count")
+	c := fs.Int("c", 8, "concurrent client workers")
+	profiles := fs.Int("profiles", 4, "distinct traffic-profile pool size (small = warm cache)")
+	batch := fs.Int("batch", 1, "scenarios per Predict round trip (/v1/predict/batch)")
+	maxComp := fs.Int("maxcomp", 3, "max competitors per scenario")
+	nfs := fs.String("nfs", "", "comma-separated NF pool (default: a standard mix)")
+	compare := fs.Float64("compare", 0, "fraction of Compare requests")
+	diagnose := fs.Float64("diagnose", 0, "fraction of Diagnose requests")
+	admit := fs.Float64("admit", 0, "fraction of Admit requests")
+	seed := fs.Uint64("seed", 1, "scenario seed")
+	fs.Parse(args)
+
+	cfg := serve.LoadgenConfig{
+		URL:            *url,
+		Workers:        *c,
+		Requests:       *n,
+		Seed:           *seed,
+		Profiles:       *profiles,
+		Batch:          *batch,
+		MaxCompetitors: *maxComp,
+		CompareFrac:    *compare,
+		DiagnoseFrac:   *diagnose,
+		AdmitFrac:      *admit,
+	}
+	if *nfs != "" {
+		for _, name := range strings.Split(*nfs, ",") {
+			cfg.NFs = append(cfg.NFs, strings.TrimSpace(name))
+		}
+	}
+	// Snapshot server cache counters around the run so the reported hit
+	// rate is this run's, not the server's lifetime.
+	client := serve.NewClient(*url)
+	before, beforeErr := client.Stats()
+	rep, err := serve.Loadgen(cfg)
+	// A partially failed run still carries the measurement of everything
+	// that succeeded — print the report before surfacing the error.
+	if rep.Requests > 0 {
+		fmt.Println(rep)
+	}
+	if err != nil {
+		return err
+	}
+	if after, err := client.Stats(); err == nil && beforeErr == nil {
+		hits := after.Cache.Hits - before.Cache.Hits
+		total := hits + after.Cache.Misses - before.Cache.Misses
+		if total > 0 {
+			fmt.Printf("server      cache hit rate %.1f%% this run (%d entries)\n",
+				100*float64(hits)/float64(total), after.Cache.Entries)
+		}
+	}
+	return nil
 }

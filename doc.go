@@ -4,8 +4,7 @@
 // the network functions it models, and a simulated SoC SmartNIC standing
 // in for the paper's BlueField-2 testbed.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// hardware substitutions, and EXPERIMENTS.md for the paper-vs-measured
-// record of every table and figure. The benchmarks in bench_test.go
-// regenerate each experiment.
+// See README.md for the package map, CLI entry points and the online
+// prediction-serving subsystem (internal/serve). The benchmarks in
+// bench_test.go regenerate each of the paper's experiments.
 package repro

@@ -212,6 +212,33 @@ func (s *Simulator) chooseNIC(nics []*nic, a Arrival, strat Strategy) (int, erro
 	return 0, fmt.Errorf("placement: unknown strategy %v", strat)
 }
 
+// Fits reports whether a NIC already hosting residents NFs has the core
+// budget for one more — the capacity half of the admission decision.
+func (s *Simulator) Fits(residents int) bool {
+	return (residents+1)*s.NFCores <= s.NICCores
+}
+
+// SeedSolo pre-populates the solo-measurement cache for an arrival. The
+// serving layer shares its memoized deterministic measurements this way,
+// so online feasibility checks skip re-simulating solos the server has
+// already measured.
+func (s *Simulator) SeedSolo(a Arrival, m nicsim.Measurement) {
+	s.soloCache[arrivalKey(a)] = m
+}
+
+// Feasible reports whether adding a to a NIC already hosting residents
+// keeps every NF (including a) within its SLA according to the strategy's
+// predictor, and within the NIC's core budget — the same fits-plus-SLA
+// pair Place applies. It is the admission-control primitive the serving
+// layer (internal/serve) exposes online; Oracle additionally consults
+// ground-truth co-runs.
+func (s *Simulator) Feasible(residents []Arrival, a Arrival, strat Strategy) (bool, error) {
+	if !s.Fits(len(residents)) {
+		return false, nil
+	}
+	return s.feasible(&nic{residents: residents}, a, strat)
+}
+
 // feasible predicts whether adding a to the NIC keeps every resident
 // (including a) within its SLA, according to the strategy's model.
 func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
@@ -232,11 +259,14 @@ func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 		}
 		return true, nil
 	}
-	for _, target := range all {
+	for ti, target := range all {
 		var comps []core.Competitor
 		var agg nicsim.Counters
-		for _, other := range all {
-			if other == target {
+		// Skip by index, not value: two identical arrivals (same NF,
+		// profile and SLA) are distinct residents and contend with each
+		// other.
+		for oi, other := range all {
+			if oi == ti {
 				continue
 			}
 			m, err := s.solo(other)

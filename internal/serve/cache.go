@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheShards is the shard count; a power of two so the hash maps to a
+// shard with a mask. 16 shards keep lock contention negligible at the
+// concurrency levels the worker pool allows.
+const cacheShards = 16
+
+// Cache is a sharded LRU for prediction responses. Predictions are
+// deterministic functions of (backend, NF, competitor multiset, traffic
+// profile) given the loaded models, so entries never go stale under a
+// fixed model set; capacity is the only eviction pressure. Swapping a
+// model (Service.Reload) flushes the cache.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	seed   maphash.Seed
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// cacheShard is one independently locked LRU segment.
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+// cacheEntry is one resident key/value pair.
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding up to capacity entries across all
+// shards. Non-positive capacities disable caching (every Get misses).
+// Capacity is apportioned per shard (capacity/16, minimum 1), so small
+// capacities round up to one entry per shard — an effective floor of 16
+// — and non-multiples of 16 round down per shard.
+func NewCache(capacity int) *Cache {
+	c := &Cache{seed: maphash.MakeSeed()}
+	per := capacity / cacheShards
+	if capacity > 0 && per == 0 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: map[string]*list.Element{},
+		}
+	}
+	return c
+}
+
+// shard maps a key to its shard.
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+}
+
+// Get returns the cached value for key, if resident, counting the
+// lookup in the hit/miss stats. API entry points use Get; internal
+// re-checks behind an already-counted Get use getQuiet so one request
+// counts once.
+func (c *Cache) Get(key string) (any, bool) {
+	return c.lookup(key, true)
+}
+
+// getQuiet is Get without stats accounting (recency still refreshes).
+func (c *Cache) getQuiet(key string) (any, bool) {
+	return c.lookup(key, false)
+}
+
+func (c *Cache) lookup(key string, count bool) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		if count {
+			c.misses.Add(1)
+		}
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	if count {
+		c.hits.Add(1)
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting the shard's least-recently-used
+// entry when over capacity.
+func (c *Cache) Put(key string, val any) {
+	s := c.shard(key)
+	if s.cap <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key, val})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Flush drops every resident entry (hit/miss counters are kept).
+func (c *Cache) Flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		clear(s.items)
+		s.mu.Unlock()
+	}
+}
+
+// Len is the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Entries:   c.Len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import "sync"
+
+// flightGroup memoizes successful results per key with duplicate-call
+// suppression: the first caller for a key computes while concurrent
+// callers wait on the same attempt; failed attempts are evicted so a
+// later call retries. It is the one implementation of the idiom the
+// model registry and the solo-measurement memo both need.
+type flightGroup[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*flight[V]
+}
+
+// flight is one load attempt; ready closes when it resolves.
+type flight[V any] struct {
+	ready chan struct{}
+	val   V
+	err   error
+}
+
+// do returns the memoized value for key, computing it with fn on first
+// use. A positive maxEntries bounds the memo: resolved entries are
+// evicted (oldest-iteration-order) to stay under it — only correct when
+// fn is deterministic, so eviction merely costs recomputation.
+func (g *flightGroup[K, V]) do(key K, maxEntries int, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.entries == nil {
+		g.entries = map[K]*flight[V]{}
+	}
+	e, ok := g.entries[key]
+	if !ok {
+		if maxEntries > 0 && len(g.entries) >= maxEntries {
+			g.evictResolvedLocked(maxEntries)
+		}
+		e = &flight[V]{ready: make(chan struct{})}
+		g.entries[key] = e
+	}
+	g.mu.Unlock()
+	if !ok {
+		e.val, e.err = fn()
+		if e.err != nil {
+			g.mu.Lock()
+			if g.entries[key] == e {
+				delete(g.entries, key)
+			}
+			g.mu.Unlock()
+		}
+		close(e.ready)
+	}
+	<-e.ready
+	return e.val, e.err
+}
+
+// evictResolvedLocked drops resolved entries until under max; in-flight
+// attempts are never dropped. Caller holds g.mu.
+func (g *flightGroup[K, V]) evictResolvedLocked(max int) {
+	for k, e := range g.entries {
+		select {
+		case <-e.ready:
+			delete(g.entries, k)
+		default:
+		}
+		if len(g.entries) < max {
+			return
+		}
+	}
+}
+
+// forget drops the key so the next do recomputes (operator reloads).
+func (g *flightGroup[K, V]) forget(key K) {
+	g.mu.Lock()
+	delete(g.entries, key)
+	g.mu.Unlock()
+}
+
+// resolved lists keys whose attempts completed successfully.
+func (g *flightGroup[K, V]) resolved() []K {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	keys := make([]K, 0, len(g.entries))
+	for k, e := range g.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				keys = append(keys, k)
+			}
+		default:
+		}
+	}
+	return keys
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler exposes the service over HTTP/JSON:
+//
+//	POST /v1/predict        PredictRequest  → PredictResponse
+//	POST /v1/predict/batch  BatchRequest    → BatchResponse
+//	POST /v1/compare   CompareRequest  → CompareResponse
+//	POST /v1/admit     AdmitRequest    → AdmitResponse
+//	POST /v1/diagnose  DiagnoseRequest → DiagnoseResponse
+//	GET  /v1/models                    → []ModelInfo
+//	GET  /v1/stats                     → ServiceStats
+//	POST /v1/reload    reloadRequest   → {"ok": true}
+//	GET  /healthz                      → ok
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req PredictRequest) (PredictResponse, error) {
+			return s.Predict(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req BatchRequest) (BatchResponse, error) {
+			return s.PredictBatch(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req CompareRequest) (CompareResponse, error) {
+			return s.Compare(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("POST /v1/admit", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req AdmitRequest) (AdmitResponse, error) {
+			return s.Admit(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("POST /v1/diagnose", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req DiagnoseRequest) (DiagnoseResponse, error) {
+			return s.Diagnose(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Models())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req reloadRequest) (map[string]bool, error) {
+			backend, err := ParseBackend(req.Backend)
+			if err != nil {
+				return nil, err
+			}
+			s.Reload(backend, req.NF)
+			return map[string]bool{"ok": true}, nil
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// reloadRequest names the model to evict from the registry.
+type reloadRequest struct {
+	NF      string `json:"nf"`
+	Backend string `json:"backend,omitempty"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleJSON decodes one request type, runs the service call and encodes
+// the response.
+func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+	var req Req
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	resp, err := fn(req)
+	if err != nil {
+		// Transient server conditions are 503 so retry policies keyed on
+		// 4xx-vs-5xx retry them; everything else is a scenario the client
+		// asked for that the service cannot answer.
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client is a typed client for the HTTP API; the load generator and the
+// CLI use it.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for a server base URL (e.g.
+// "http://localhost:8844"). The transport keeps enough idle connections
+// per host for load-generation fan-out — net/http's default of 2 makes
+// every worker beyond the second re-handshake on each request.
+func NewClient(base string) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	return &Client{Base: base, HTTP: &http.Client{Transport: tr}}
+}
+
+// post round-trips one JSON call.
+func post[Req, Resp any](c *Client, path string, req Req) (Resp, error) {
+	var resp Resp
+	body, err := json.Marshal(req)
+	if err != nil {
+		return resp, err
+	}
+	hr, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return resp, err
+	}
+	defer hr.Body.Close()
+	data, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return resp, err
+	}
+	if hr.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return resp, fmt.Errorf("serve: %s: %s", path, eb.Error)
+		}
+		return resp, fmt.Errorf("serve: %s: HTTP %d", path, hr.StatusCode)
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return resp, fmt.Errorf("serve: %s: decoding response: %w", path, err)
+	}
+	return resp, nil
+}
+
+// Predict calls POST /v1/predict.
+func (c *Client) Predict(req PredictRequest) (PredictResponse, error) {
+	return post[PredictRequest, PredictResponse](c, "/v1/predict", req)
+}
+
+// PredictBatch calls POST /v1/predict/batch.
+func (c *Client) PredictBatch(req BatchRequest) (BatchResponse, error) {
+	return post[BatchRequest, BatchResponse](c, "/v1/predict/batch", req)
+}
+
+// Compare calls POST /v1/compare.
+func (c *Client) Compare(req CompareRequest) (CompareResponse, error) {
+	return post[CompareRequest, CompareResponse](c, "/v1/compare", req)
+}
+
+// Admit calls POST /v1/admit.
+func (c *Client) Admit(req AdmitRequest) (AdmitResponse, error) {
+	return post[AdmitRequest, AdmitResponse](c, "/v1/admit", req)
+}
+
+// Diagnose calls POST /v1/diagnose.
+func (c *Client) Diagnose(req DiagnoseRequest) (DiagnoseResponse, error) {
+	return post[DiagnoseRequest, DiagnoseResponse](c, "/v1/diagnose", req)
+}
+
+// Stats calls GET /v1/stats.
+func (c *Client) Stats() (ServiceStats, error) {
+	var stats ServiceStats
+	hr, err := c.HTTP.Get(c.Base + "/v1/stats")
+	if err != nil {
+		return stats, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return stats, fmt.Errorf("serve: /v1/stats: HTTP %d", hr.StatusCode)
+	}
+	err = json.NewDecoder(hr.Body).Decode(&stats)
+	return stats, err
+}

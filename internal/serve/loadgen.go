@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// LoadgenConfig shapes a load-generation run.
+type LoadgenConfig struct {
+	// URL is the server base URL.
+	URL string
+	// Workers is the number of concurrent client connections.
+	Workers int
+	// Requests is the total request count across workers.
+	Requests int
+	// Seed drives scenario randomization.
+	Seed uint64
+	// NFs is the target/competitor NF pool; empty selects a default mix
+	// of memory-bound and accelerator-using catalog NFs.
+	NFs []string
+	// Profiles is the size of the distinct traffic-profile pool. Small
+	// pools exercise the warm-cache path; large pools the miss path.
+	Profiles int
+	// MaxCompetitors bounds each scenario's co-location size.
+	MaxCompetitors int
+	// CompareFrac, DiagnoseFrac and AdmitFrac divert that fraction of
+	// requests to the respective API; the rest are Predicts.
+	CompareFrac  float64
+	DiagnoseFrac float64
+	AdmitFrac    float64
+	// Batch groups that many scenarios per Predict round trip via
+	// /v1/predict/batch (1 = single-scenario requests). Batching only
+	// applies to the Predict share of the mix.
+	Batch int
+}
+
+func (c LoadgenConfig) withDefaults() LoadgenConfig {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 10000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.NFs) == 0 {
+		c.NFs = []string{"FlowStats", "ACL", "NAT", "FlowMonitor", "NIDS"}
+	}
+	if c.Profiles <= 0 {
+		c.Profiles = 4
+	}
+	if c.MaxCompetitors <= 0 {
+		c.MaxCompetitors = 3
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+	return c
+}
+
+// LoadgenReport summarizes one run.
+type LoadgenReport struct {
+	// Requests is the HTTP round-trip count; Predictions the scenario
+	// count (a batch round trip carries Batch scenarios, a Compare two).
+	Requests    int           `json:"requests"`
+	Predictions int           `json:"predictions"`
+	Errors      int           `json:"errors"`
+	Duration    time.Duration `json:"duration"`
+	RPS         float64       `json:"rps"`
+	// PPS is predictions per second.
+	PPS float64       `json:"pps"`
+	P50 time.Duration `json:"p50"`
+	P90 time.Duration `json:"p90"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+}
+
+// String renders the report for the CLI.
+func (r LoadgenReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests    %d (%d errors)\n", r.Requests, r.Errors)
+	fmt.Fprintf(&b, "duration    %v\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput  %.0f req/s, %.0f predictions/s\n", r.RPS, r.PPS)
+	fmt.Fprintf(&b, "latency     p50 %v  p90 %v  p99 %v  max %v",
+		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// Loadgen replays randomized arrival scenarios against a live server and
+// measures client-observed latency. Scenarios are drawn from a bounded
+// pool of (NF, competitor set, traffic profile) combinations, so a run
+// first warms the server's cache and then mostly measures the hit path —
+// the paper's serving regime, where the same co-location is consulted on
+// every arrival event.
+func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return LoadgenReport{}, fmt.Errorf("serve: loadgen needs a server URL")
+	}
+
+	// Pre-generate the profile pool: the default profile plus random
+	// draws, shared by every worker.
+	rng := sim.NewRNG(cfg.Seed)
+	profiles := []ProfileSpec{SpecOf(traffic.Default)}
+	for len(profiles) < cfg.Profiles {
+		profiles = append(profiles, SpecOf(traffic.Random(rng)))
+	}
+
+	var (
+		issued      atomic.Int64
+		errs        atomic.Int64
+		predictions atomic.Int64
+		latencies   = make([][]time.Duration, cfg.Workers)
+		firstErr    atomic.Pointer[error]
+		wg          sync.WaitGroup
+	)
+	// Workers share one client (one connection pool), as a real
+	// high-fan-in front end would.
+	client := NewClient(cfg.URL)
+	start := time.Now()
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			wrng := sim.NewRNG(cfg.Seed + uint64(wk)*0x9e3779b9 + 1)
+			for {
+				n := issued.Add(1)
+				if n > int64(cfg.Requests) {
+					return
+				}
+				t0 := time.Now()
+				preds, err := fireOne(client, cfg, wrng, profiles)
+				latencies[wk] = append(latencies[wk], time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+				} else {
+					// Only served predictions count toward PPS.
+					predictions.Add(int64(preds))
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := LoadgenReport{
+		Requests:    len(all),
+		Predictions: int(predictions.Load()),
+		Errors:      int(errs.Load()),
+		Duration:    elapsed,
+	}
+	if elapsed > 0 {
+		rep.RPS = float64(len(all)) / elapsed.Seconds()
+		rep.PPS = float64(rep.Predictions) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = percentile(all, 0.50)
+		rep.P90 = percentile(all, 0.90)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
+	}
+	if ep := firstErr.Load(); ep != nil && rep.Errors > 0 {
+		return rep, fmt.Errorf("serve: loadgen: %d/%d requests failed (first: %w)", rep.Errors, rep.Requests, *ep)
+	}
+	return rep, nil
+}
+
+// randomScenario draws one (target, profile, competitors) combination.
+func randomScenario(cfg LoadgenConfig, rng *sim.RNG, profiles []ProfileSpec) (string, ProfileSpec, []CompetitorSpec) {
+	nf := cfg.NFs[rng.Intn(len(cfg.NFs))]
+	prof := profiles[rng.Intn(len(profiles))]
+	nComp := rng.Intn(cfg.MaxCompetitors + 1)
+	comps := make([]CompetitorSpec, 0, nComp)
+	for i := 0; i < nComp; i++ {
+		comps = append(comps, CompetitorSpec{
+			Name:    cfg.NFs[rng.Intn(len(cfg.NFs))],
+			Profile: profiles[rng.Intn(len(profiles))],
+		})
+	}
+	return nf, prof, comps
+}
+
+// fireOne issues one randomized round trip and reports how many
+// predictions it carried.
+func fireOne(client *Client, cfg LoadgenConfig, rng *sim.RNG, profiles []ProfileSpec) (int, error) {
+	nf, prof, comps := randomScenario(cfg, rng, profiles)
+	switch roll := rng.Float64(); {
+	case roll < cfg.AdmitFrac:
+		residents := make([]ColoNF, 0, len(comps))
+		for _, c := range comps {
+			residents = append(residents, ColoNF{Name: c.Name, Profile: c.Profile, SLA: 0.1})
+		}
+		_, err := client.Admit(AdmitRequest{
+			Residents: residents,
+			Candidate: ColoNF{Name: nf, Profile: prof, SLA: 0.1},
+		})
+		return 1, err
+	case roll < cfg.AdmitFrac+cfg.CompareFrac:
+		_, err := client.Compare(CompareRequest{NF: nf, Profile: prof, Competitors: comps})
+		return 2, err // Yala + SLOMO
+	case roll < cfg.AdmitFrac+cfg.CompareFrac+cfg.DiagnoseFrac:
+		_, err := client.Diagnose(DiagnoseRequest{NF: nf, Profile: prof, Competitors: comps})
+		return 1, err
+	case cfg.Batch > 1:
+		batch := BatchRequest{Requests: make([]PredictRequest, cfg.Batch)}
+		batch.Requests[0] = PredictRequest{NF: nf, Profile: prof, Competitors: comps}
+		for i := 1; i < cfg.Batch; i++ {
+			bnf, bprof, bcomps := randomScenario(cfg, rng, profiles)
+			batch.Requests[i] = PredictRequest{NF: bnf, Profile: bprof, Competitors: bcomps}
+		}
+		resp, err := client.PredictBatch(batch)
+		if err != nil {
+			return cfg.Batch, err
+		}
+		for _, e := range resp.Errors {
+			if e != "" {
+				return cfg.Batch, fmt.Errorf("serve: batch element failed: %s", e)
+			}
+		}
+		return cfg.Batch, nil
+	default:
+		_, err := client.Predict(PredictRequest{NF: nf, Profile: prof, Competitors: comps})
+		return 1, err
+	}
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

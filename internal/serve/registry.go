@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// RegistryConfig tunes a ModelRegistry.
+type RegistryConfig struct {
+	// Dir is the model directory. Persisted models are discovered here
+	// and on-demand-trained models are written back to it. Empty disables
+	// persistence (every model trains on demand, in memory only).
+	Dir string
+	// NIC is the hardware preset used when a model must be trained on
+	// demand; the zero value selects BlueField-2.
+	NIC nicsim.Config
+	// Seed drives on-demand training.
+	Seed uint64
+	// Train configures on-demand Yala training. The zero value selects
+	// QuickTrainConfig — full offline training belongs in `yala train`,
+	// not on a serving path.
+	Train core.TrainConfig
+	// SLOMO configures on-demand SLOMO training; zero value selects
+	// QuickSLOMOConfig.
+	SLOMO slomo.Config
+	// SLOMOProfile is the fixed profile SLOMO trains at; zero value
+	// selects the paper default.
+	SLOMOProfile traffic.Profile
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.NIC.Name == "" {
+		c.NIC = nicsim.BlueField2()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Train.GBR.Trees == 0 {
+		c.Train = QuickTrainConfig(c.Seed)
+	}
+	if c.SLOMO.Samples == 0 {
+		c.SLOMO = QuickSLOMOConfig(c.Seed)
+	}
+	if c.SLOMOProfile == (traffic.Profile{}) {
+		c.SLOMOProfile = traffic.Default
+	}
+	return c
+}
+
+// entryKey identifies one model slot.
+type entryKey struct {
+	backend Backend
+	name    string
+}
+
+// ModelRegistry loads persisted per-NF models lazily and concurrently
+// safely: the first Get for a key performs the load (or trains and
+// persists when no model file exists) while every concurrent Get for the
+// same key blocks until that one attempt resolves (flightGroup). Failed
+// loads are not cached; the next Get retries.
+type ModelRegistry struct {
+	cfg RegistryConfig
+
+	yala  flightGroup[string, *core.Model]
+	slomo flightGroup[string, *slomo.Model]
+
+	// persistFails counts model-persistence failures; lastPersistErr
+	// keeps the most recent one. A persist failure must not discard a
+	// trained model or fail the request — serving stays up, the operator
+	// sees the failure in stats.
+	statMu         sync.Mutex
+	persistFails   uint64
+	lastPersistErr string
+
+	// trainHook, when set, observes every on-demand training (tests).
+	trainHook func(Backend, string)
+}
+
+// NewRegistry returns a registry over a model directory.
+func NewRegistry(cfg RegistryConfig) *ModelRegistry {
+	return &ModelRegistry{cfg: cfg.withDefaults()}
+}
+
+// modelPath is the on-disk location for one model: <dir>/<nf>.<backend>.json.
+// The NF name keeps its catalog casing so names discovered from disk
+// round-trip into requests and Reload calls unchanged.
+func (r *ModelRegistry) modelPath(key entryKey) string {
+	return filepath.Join(r.cfg.Dir, fmt.Sprintf("%s.%s.json", key.name, key.backend))
+}
+
+// Yala returns the Yala model for an NF, loading it from the model
+// directory or training it on demand on first use.
+func (r *ModelRegistry) Yala(name string) (*core.Model, error) {
+	return r.yala.do(name, 0, func() (*core.Model, error) {
+		return r.loadYala(entryKey{BackendYala, name})
+	})
+}
+
+// SLOMO returns the SLOMO baseline model for an NF, loading or training
+// it like Yala.
+func (r *ModelRegistry) SLOMO(name string) (*slomo.Model, error) {
+	return r.slomo.do(name, 0, func() (*slomo.Model, error) {
+		return r.loadSLOMO(entryKey{BackendSLOMO, name})
+	})
+}
+
+// Reload drops the cached model so the next Get re-reads the model
+// directory. Callers also serving memoized responses computed with the
+// old model must flush those too — Service.Reload does both.
+func (r *ModelRegistry) Reload(backend Backend, name string) {
+	switch backend {
+	case BackendYala:
+		r.yala.forget(name)
+	case BackendSLOMO:
+		r.slomo.forget(name)
+	}
+}
+
+// loadYala reads the persisted model, or trains and persists one. An
+// unreadable model file (e.g. truncated by a crash mid-write) also falls
+// through to retraining, which rewrites it — a corrupt file must not
+// permanently wedge an NF's serving path.
+func (r *ModelRegistry) loadYala(key entryKey) (*core.Model, error) {
+	if r.cfg.Dir != "" {
+		if m, err := core.LoadModelFile(r.modelPath(key)); err == nil {
+			return m, nil
+		}
+	}
+	if r.trainHook != nil {
+		r.trainHook(BackendYala, key.name)
+	}
+	// A fresh testbed per training keeps the registry concurrent-safe
+	// (testbeds cache unsynchronized) and the result deterministic.
+	tb := testbed.New(r.cfg.NIC, r.cfg.Seed)
+	m, err := core.NewTrainer(tb, r.cfg.Train).Train(key.name)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training yala/%s: %w", key.name, err)
+	}
+	r.persist(key, m.SaveFile)
+	return m, nil
+}
+
+// loadSLOMO mirrors loadYala for the baseline.
+func (r *ModelRegistry) loadSLOMO(key entryKey) (*slomo.Model, error) {
+	if r.cfg.Dir != "" {
+		if m, err := slomo.LoadModelFile(r.modelPath(key)); err == nil {
+			return m, nil
+		}
+	}
+	if r.trainHook != nil {
+		r.trainHook(BackendSLOMO, key.name)
+	}
+	tb := testbed.New(r.cfg.NIC, r.cfg.Seed)
+	m, err := slomo.Train(tb, key.name, r.cfg.SLOMOProfile, r.cfg.SLOMO)
+	if err != nil {
+		return nil, fmt.Errorf("serve: training slomo/%s: %w", key.name, err)
+	}
+	r.persist(key, m.SaveFile)
+	return m, nil
+}
+
+// persist writes a model file atomically (temp + rename, so a crash
+// mid-write never leaves a truncated model where a valid one is
+// expected) and records rather than returns failures: the freshly
+// trained in-memory model is still good, so the NF keeps serving.
+func (r *ModelRegistry) persist(key entryKey, save func(string) error) {
+	if r.cfg.Dir == "" {
+		return
+	}
+	path := r.modelPath(key)
+	tmp := path + ".tmp"
+	err := save(tmp)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	} else {
+		os.Remove(tmp)
+	}
+	if err != nil {
+		r.statMu.Lock()
+		r.persistFails++
+		r.lastPersistErr = fmt.Sprintf("%s/%s: %v", key.backend, key.name, err)
+		r.statMu.Unlock()
+	}
+}
+
+// PersistFailures reports how many model persists have failed and the
+// most recent failure.
+func (r *ModelRegistry) PersistFailures() (uint64, string) {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.persistFails, r.lastPersistErr
+}
+
+// ModelInfo describes one model the registry knows about.
+type ModelInfo struct {
+	NF      string  `json:"nf"`
+	Backend Backend `json:"backend"`
+	Loaded  bool    `json:"loaded"`
+	OnDisk  bool    `json:"on_disk"`
+}
+
+// Models lists every model discovered in the model directory plus every
+// model loaded (or trained) in memory, sorted by NF then backend.
+func (r *ModelRegistry) Models() []ModelInfo {
+	infos := map[entryKey]*ModelInfo{}
+	if r.cfg.Dir != "" {
+		ents, err := os.ReadDir(r.cfg.Dir)
+		if err == nil {
+			for _, de := range ents {
+				name := de.Name()
+				for _, b := range []Backend{BackendYala, BackendSLOMO} {
+					suffix := fmt.Sprintf(".%s.json", b)
+					if nf, ok := strings.CutSuffix(name, suffix); ok && nf != "" {
+						infos[entryKey{b, nf}] = &ModelInfo{NF: nf, Backend: b, OnDisk: true}
+					}
+				}
+			}
+		}
+	}
+	loaded := make([]entryKey, 0)
+	for _, name := range r.yala.resolved() {
+		loaded = append(loaded, entryKey{BackendYala, name})
+	}
+	for _, name := range r.slomo.resolved() {
+		loaded = append(loaded, entryKey{BackendSLOMO, name})
+	}
+	for _, key := range loaded {
+		if info, ok := infos[key]; ok {
+			info.Loaded = true
+		} else {
+			infos[key] = &ModelInfo{NF: key.name, Backend: key.backend, Loaded: true}
+		}
+	}
+	out := make([]ModelInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, *info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NF != out[j].NF {
+			return out[i].NF < out[j].NF
+		}
+		return out[i].Backend < out[j].Backend
+	})
+	return out
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/profiling"
+	"repro/internal/slomo"
+)
+
+// testTrainConfig is a minimal-cost Yala training setup for tests: a tiny
+// random plan and a small regressor. Accuracy is irrelevant here — the
+// serving tests assert determinism and plumbing, not model quality.
+func testTrainConfig(seed uint64) core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = seed
+	cfg.Plan = profiling.Random(12, seed)
+	cfg.PatternProbes = 1
+	cfg.GBR = ml.GBRConfig{Trees: 25, LearningRate: 0.15, MaxDepth: 3, MinLeaf: 2, Subsample: 1, Seed: seed}
+	return cfg
+}
+
+func testSLOMOConfig(seed uint64) slomo.Config {
+	cfg := slomo.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Samples = 12
+	cfg.GBR = ml.GBRConfig{Trees: 25, LearningRate: 0.15, MaxDepth: 3, MinLeaf: 2, Subsample: 1, Seed: seed}
+	return cfg
+}
+
+func testRegistryConfig(t *testing.T) RegistryConfig {
+	t.Helper()
+	return RegistryConfig{
+		Dir:   t.TempDir(),
+		Seed:  1,
+		Train: testTrainConfig(1),
+		SLOMO: testSLOMOConfig(1),
+	}
+}
+
+// TestRegistryConcurrentLoad drives many concurrent Gets at one model and
+// asserts exactly one training happens and every caller sees the same
+// model instance (duplicate-load suppression). Run under -race.
+func TestRegistryConcurrentLoad(t *testing.T) {
+	reg := NewRegistry(testRegistryConfig(t))
+	var trainings atomic.Int64
+	reg.trainHook = func(Backend, string) { trainings.Add(1) }
+
+	const goroutines = 16
+	models := make([]*core.Model, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := reg.Yala("FlowStats")
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	if n := trainings.Load(); n != 1 {
+		t.Fatalf("expected exactly 1 training, got %d", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("goroutine %d received a different model instance", i)
+		}
+	}
+}
+
+// TestRegistryPersistsAndReloads checks the train-on-demand path writes a
+// model file a second registry can load without retraining, and that
+// Reload forces a re-read.
+func TestRegistryPersistsAndReloads(t *testing.T) {
+	cfg := testRegistryConfig(t)
+	reg := NewRegistry(cfg)
+	var trainings atomic.Int64
+	reg.trainHook = func(Backend, string) { trainings.Add(1) }
+
+	if _, err := reg.Yala("ACL"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SLOMO("ACL"); err != nil {
+		t.Fatal(err)
+	}
+	if n := trainings.Load(); n != 2 {
+		t.Fatalf("expected 2 trainings (yala+slomo), got %d", n)
+	}
+	for _, f := range []string{"ACL.yala.json", "ACL.slomo.json"} {
+		if _, err := core.LoadModelFile(filepath.Join(cfg.Dir, f)); f == "ACL.yala.json" && err != nil {
+			t.Fatalf("persisted yala model unreadable: %v", err)
+		}
+	}
+	if _, err := slomo.LoadModelFile(filepath.Join(cfg.Dir, "ACL.slomo.json")); err != nil {
+		t.Fatalf("persisted slomo model unreadable: %v", err)
+	}
+
+	// A fresh registry over the same directory must load, not train.
+	reg2 := NewRegistry(cfg)
+	reg2.trainHook = func(b Backend, name string) {
+		t.Errorf("unexpected retraining of %s/%s", b, name)
+	}
+	m, err := reg2.Yala("ACL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "ACL" {
+		t.Fatalf("loaded model for %q, want ACL", m.Name)
+	}
+	sm, err := reg2.SLOMO("ACL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Name != "ACL" || sm.SoloAtTrain <= 0 {
+		t.Fatalf("loaded slomo model %q solo=%.0f, want ACL with positive solo", sm.Name, sm.SoloAtTrain)
+	}
+
+	// Reload drops the in-memory copy; the next Get re-reads the file.
+	before, err := reg2.Yala("ACL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2.Reload(BackendYala, "ACL")
+	after, err := reg2.Yala("ACL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("Reload did not evict the cached model")
+	}
+
+	infos := reg2.Models()
+	if len(infos) != 2 {
+		t.Fatalf("Models() = %+v, want 2 entries", infos)
+	}
+	for _, info := range infos {
+		if info.NF != "ACL" || !info.OnDisk {
+			t.Fatalf("unexpected model info %+v", info)
+		}
+	}
+}
+
+// TestRegistryFailedLoadRetries ensures a failed load is not cached as a
+// permanent error.
+func TestRegistryFailedLoadRetries(t *testing.T) {
+	reg := NewRegistry(testRegistryConfig(t))
+	if _, err := reg.Yala("NoSuchNF"); err == nil {
+		t.Fatal("expected error for unknown NF")
+	}
+	// The failed entry must have been evicted so a valid name still works
+	// and the bad name fails again rather than deadlocking.
+	if _, err := reg.Yala("NoSuchNF"); err == nil {
+		t.Fatal("expected second failure for unknown NF")
+	}
+}

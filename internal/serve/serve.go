@@ -1,0 +1,156 @@
+// Package serve is the online prediction-serving subsystem: the
+// long-running system the paper's operators would deploy, layered over
+// the offline artifacts the rest of the tree produces.
+//
+// The paper frames Yala's predictor as an online component consulted at
+// NF-arrival time — persisted models are loaded "without re-profiling"
+// and drive admission and placement decisions. This package turns the
+// one-shot CLI flow into a service:
+//
+//   - ModelRegistry discovers and lazily loads persisted per-NF models
+//     (Yala and the SLOMO baseline) from a model directory, suppressing
+//     duplicate loads under concurrency and training-and-persisting on
+//     demand when a model file is absent.
+//   - Service answers Predict / Compare / Admit / Diagnose requests
+//     through a bounded worker pool, with a sharded LRU cache keyed on
+//     (NF, competitor set, traffic profile) — sound because predictions
+//     are deterministic functions of that key.
+//   - Handler exposes the service over HTTP/JSON (yala serve), and
+//     Loadgen replays randomized arrival scenarios against a live server
+//     (yala loadgen), reporting throughput and latency percentiles.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/profiling"
+	"repro/internal/slomo"
+	"repro/internal/traffic"
+)
+
+// Backend selects which predictor answers a request.
+type Backend string
+
+// Supported prediction backends.
+const (
+	BackendYala  Backend = "yala"
+	BackendSLOMO Backend = "slomo"
+)
+
+// ParseBackend normalizes a request's backend field; empty means Yala.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(strings.ToLower(strings.TrimSpace(s))) {
+	case "", BackendYala:
+		return BackendYala, nil
+	case BackendSLOMO:
+		return BackendSLOMO, nil
+	}
+	return "", fmt.Errorf("serve: unknown backend %q (have yala, slomo)", s)
+}
+
+// ProfileSpec is a traffic profile on the wire. Absent attributes fall
+// back to the paper's default profile. MTBR is a pointer because 0
+// matches/MB is a valid value (a match-free workload) that must remain
+// distinguishable from "not specified"; flows and packet size have
+// positive lower bounds, so 0 can mean absent there.
+type ProfileSpec struct {
+	Flows   int      `json:"flows,omitempty"`
+	PktSize int      `json:"pktsize,omitempty"`
+	MTBR    *float64 `json:"mtbr,omitempty"`
+}
+
+// F64 builds the pointer form MTBR takes in a ProfileSpec literal.
+func F64(v float64) *float64 { return &v }
+
+// Profile resolves the spec against the default profile.
+func (p ProfileSpec) Profile() traffic.Profile {
+	prof := traffic.Default
+	if p.Flows > 0 {
+		prof.Flows = p.Flows
+	}
+	if p.PktSize > 0 {
+		prof.PktSize = p.PktSize
+	}
+	if p.MTBR != nil {
+		prof.MTBR = *p.MTBR
+	}
+	return prof
+}
+
+// SpecOf converts a resolved profile back to its wire form.
+func SpecOf(p traffic.Profile) ProfileSpec {
+	return ProfileSpec{Flows: p.Flows, PktSize: p.PktSize, MTBR: F64(p.MTBR)}
+}
+
+// CompetitorSpec names one co-located NF and its traffic profile.
+type CompetitorSpec struct {
+	Name    string      `json:"name"`
+	Profile ProfileSpec `json:"profile,omitzero"`
+}
+
+// specKey renders one competitor canonically.
+func specKey(c CompetitorSpec) string {
+	return fmt.Sprintf("%s@%s", c.Name, c.Profile.Profile())
+}
+
+// canonSpecs returns the competitor set in canonical order. Both the
+// cache key and the computation must see one order: counter aggregation
+// and ground-truth co-runs are order-sensitive (IPC averaging, per-run
+// RNG draws), so serving a sorted-key cache entry for an unsorted
+// computation would break the cache-equals-direct invariant.
+func canonSpecs(specs []CompetitorSpec) []CompetitorSpec {
+	out := append([]CompetitorSpec(nil), specs...)
+	sort.Slice(out, func(i, j int) bool { return specKey(out[i]) < specKey(out[j]) })
+	return out
+}
+
+// scenarioKey renders the deterministic cache-key fragment for a target
+// NF, its profile and a canonically ordered competitor set (canonSpecs).
+func scenarioKey(nf string, prof traffic.Profile, comps []CompetitorSpec) string {
+	parts := make([]string, len(comps))
+	for i, c := range comps {
+		parts[i] = specKey(c)
+	}
+	return fmt.Sprintf("%s@%s|%s", nf, prof, strings.Join(parts, ","))
+}
+
+// QuickTrainConfig is a reduced-cost Yala training configuration for
+// on-demand training in a serving context: a small random profiling plan
+// and a slimmer regressor. Accuracy is below the paper's full protocol
+// but training completes in well under a second per NF, which is what an
+// online admission path can afford. Offline-trained full models in the
+// model directory always take precedence.
+func QuickTrainConfig(seed uint64) core.TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = seed
+	cfg.Plan = profiling.Random(48, seed)
+	cfg.GBR = ml.GBRConfig{
+		Trees:        60,
+		LearningRate: 0.1,
+		MaxDepth:     4,
+		MinLeaf:      2,
+		Subsample:    0.85,
+		Seed:         seed,
+	}
+	return cfg
+}
+
+// QuickSLOMOConfig mirrors QuickTrainConfig for the SLOMO baseline.
+func QuickSLOMOConfig(seed uint64) slomo.Config {
+	cfg := slomo.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Samples = 48
+	cfg.GBR = ml.GBRConfig{
+		Trees:        60,
+		LearningRate: 0.1,
+		MaxDepth:     4,
+		MinLeaf:      2,
+		Subsample:    0.85,
+		Seed:         seed,
+	}
+	return cfg
+}

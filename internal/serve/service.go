@@ -1,0 +1,701 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/placement"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// ServiceConfig tunes a Service.
+type ServiceConfig struct {
+	Registry RegistryConfig
+	// Workers bounds concurrent prediction work; default GOMAXPROCS.
+	Workers int
+	// QueueDepth is the pending-request backlog before submitters block
+	// (backpressure); default 4×Workers.
+	QueueDepth int
+	// CacheEntries is the LRU capacity across all shards; default 8192.
+	// Negative disables caching.
+	CacheEntries int
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 8192
+	}
+	return c
+}
+
+// soloKey identifies one solo measurement.
+type soloKey struct {
+	name string
+	prof traffic.Profile
+}
+
+// Service answers prediction-serving requests: Predict, Compare, Admit
+// and Diagnose run on a bounded worker pool, consult the model registry,
+// and memoize full responses in a sharded LRU. Every measurement a
+// request needs runs on a fresh deterministic testbed, so a response is a
+// pure function of the request (plus the registry's models) and caching
+// is exact, not approximate.
+type Service struct {
+	cfg   ServiceConfig
+	reg   *ModelRegistry
+	cache *Cache
+
+	solo flightGroup[soloKey, nicsim.Measurement]
+
+	jobs    chan func()
+	wg      sync.WaitGroup
+	closeMu sync.RWMutex
+	closed  bool
+
+	started time.Time
+
+	predicts  atomic.Uint64
+	compares  atomic.Uint64
+	admits    atomic.Uint64
+	diagnoses atomic.Uint64
+	errors    atomic.Uint64
+}
+
+// NewService starts a service and its worker pool. Call Close to stop it.
+func NewService(cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.Registry),
+		cache:   NewCache(cfg.CacheEntries),
+		jobs:    make(chan func(), cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer s.wg.Done()
+			for job := range s.jobs {
+				job()
+			}
+		}()
+	}
+	return s
+}
+
+// Registry exposes the service's model registry.
+func (s *Service) Registry() *ModelRegistry { return s.reg }
+
+// Reload evicts a model so the next request re-reads the model directory
+// — the operator hook for pushing retrained models into a live server —
+// and flushes the response cache, whose entries were computed with the
+// old model. The solo-measurement memo survives: measurements depend
+// only on the testbed, not on models.
+func (s *Service) Reload(backend Backend, name string) {
+	s.reg.Reload(backend, name)
+	s.cache.Flush()
+}
+
+// ErrClosed reports a request arriving after Close. The HTTP layer maps
+// it to 503 so retry policies treat it as a transient server condition,
+// not a bad request.
+var ErrClosed = errors.New("serve: service closed")
+
+// Close drains the worker pool. In-flight requests finish; subsequent
+// requests fail with ErrClosed.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// enqueue hands a job to the pool. A full backlog applies backpressure
+// until the caller's context expires — abandoned clients must not keep
+// handler goroutines parked on the queue forever.
+func (s *Service) enqueue(ctx context.Context, job func()) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submit runs fn on the worker pool and waits for its result. A context
+// canceled while the job is still queued skips the compute.
+func submit[T any](ctx context.Context, s *Service, fn func() (T, error)) (T, error) {
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	if err := s.enqueue(ctx, func() {
+		if ctx.Err() != nil {
+			ch <- outcome{err: ctx.Err()}
+			return
+		}
+		v, err := fn()
+		ch <- outcome{v, err}
+	}); err != nil {
+		var zero T
+		return zero, err
+	}
+	o := <-ch
+	if o.err != nil {
+		s.errors.Add(1)
+	}
+	return o.v, o.err
+}
+
+// freshTestbed returns a new testbed at the service's NIC preset and
+// seed. Measurements on a fresh testbed are deterministic regardless of
+// request interleaving — the property the response cache relies on.
+func (s *Service) freshTestbed() *testbed.Testbed {
+	cfg := s.cfg.Registry.withDefaults()
+	return testbed.New(cfg.NIC, cfg.Seed)
+}
+
+// maxSoloEntries bounds the solo-measurement memo. Clients choose
+// profiles freely, so without a cap a profile-sweeping client would grow
+// the map (one full simulation result per distinct profile) forever.
+// Eviction only costs a deterministic re-measurement later.
+const maxSoloEntries = 4096
+
+// soloMeasurement returns the NF's solo measurement at a profile, with
+// duplicate-measurement suppression across concurrent requests. The cap
+// is safe because measurements are deterministic — eviction only costs a
+// re-measurement.
+func (s *Service) soloMeasurement(name string, prof traffic.Profile) (nicsim.Measurement, error) {
+	return s.solo.do(soloKey{name, prof}, maxSoloEntries, func() (nicsim.Measurement, error) {
+		return s.freshTestbed().SoloNF(name, prof)
+	})
+}
+
+// competitors resolves competitor specs into the predictor-facing form
+// plus the aggregate counters SLOMO consumes.
+func (s *Service) competitors(specs []CompetitorSpec) ([]core.Competitor, nicsim.Counters, error) {
+	var comps []core.Competitor
+	var agg nicsim.Counters
+	for _, spec := range specs {
+		m, err := s.soloMeasurement(spec.Name, spec.Profile.Profile())
+		if err != nil {
+			return nil, nicsim.Counters{}, err
+		}
+		comps = append(comps, core.CompetitorFromMeasurement(m))
+		agg.Add(m.Counters)
+	}
+	return comps, agg, nil
+}
+
+// PredictRequest asks for an NF's throughput under a co-location.
+type PredictRequest struct {
+	NF          string           `json:"nf"`
+	Profile     ProfileSpec      `json:"profile,omitzero"`
+	Competitors []CompetitorSpec `json:"competitors,omitempty"`
+	Backend     string           `json:"backend,omitempty"`
+}
+
+// PredictResponse is the predictor's answer.
+type PredictResponse struct {
+	NF           string      `json:"nf"`
+	Backend      Backend     `json:"backend"`
+	Profile      ProfileSpec `json:"profile"`
+	SoloPPS      float64     `json:"solo_pps"`
+	PredictedPPS float64     `json:"predicted_pps"`
+	// PerResourcePPS and Bottleneck carry Yala's per-resource breakdown;
+	// SLOMO, memory-only, omits them.
+	PerResourcePPS map[string]float64 `json:"per_resource_pps,omitempty"`
+	Bottleneck     string             `json:"bottleneck,omitempty"`
+}
+
+// predictKey is the shared cache key for one prediction scenario;
+// Compare and Diagnose derive from the same entries.
+func predictKey(backend Backend, name string, prof traffic.Profile, comps []CompetitorSpec) string {
+	return fmt.Sprintf("predict|%s|%s", backend, scenarioKey(name, prof, comps))
+}
+
+// predictCached answers one scenario through the shared predict cache,
+// on the caller's goroutine (pool scheduling is the caller's concern).
+// Its lookup is quiet: the API entry point already counted this request
+// in the hit/miss stats.
+func (s *Service) predictCached(backend Backend, name string, prof traffic.Profile, comps []CompetitorSpec) (PredictResponse, error) {
+	key := predictKey(backend, name, prof, comps)
+	if v, ok := s.cache.getQuiet(key); ok {
+		return v.(PredictResponse), nil
+	}
+	resp, err := s.predictUncached(backend, name, prof, comps)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	s.cache.Put(key, resp)
+	return resp, nil
+}
+
+// Predict estimates throughput for the request's scenario, serving from
+// the response cache when the scenario has been answered before. Cache
+// hits answer synchronously on the caller's goroutine; only predictor
+// work goes through the worker pool — the pool bounds compute, and a
+// lookup is not compute.
+func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	s.predicts.Add(1)
+	backend, err := ParseBackend(req.Backend)
+	if err != nil {
+		s.errors.Add(1)
+		return PredictResponse{}, err
+	}
+	prof := req.Profile.Profile()
+	comps := canonSpecs(req.Competitors)
+	// A hit answers inline — a lookup is not compute. A miss (including
+	// the rare eviction race) always goes through the worker pool, so
+	// predictor work stays bounded no matter the HTTP concurrency.
+	if v, ok := s.cache.Get(predictKey(backend, req.NF, prof, comps)); ok {
+		return v.(PredictResponse), nil
+	}
+	return submit(ctx, s, func() (PredictResponse, error) {
+		return s.predictCached(backend, req.NF, prof, comps)
+	})
+}
+
+// predictUncached computes a prediction straight from the models.
+func (s *Service) predictUncached(backend Backend, name string, prof traffic.Profile, specs []CompetitorSpec) (PredictResponse, error) {
+	comps, agg, err := s.competitors(specs)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	resp := PredictResponse{NF: name, Backend: backend, Profile: SpecOf(prof)}
+	switch backend {
+	case BackendYala:
+		model, err := s.reg.Yala(name)
+		if err != nil {
+			return PredictResponse{}, err
+		}
+		pred := model.Predict(prof, comps)
+		resp.SoloPPS = pred.Solo
+		resp.PredictedPPS = pred.Throughput
+		resp.Bottleneck = pred.Bottleneck.String()
+		resp.PerResourcePPS = map[string]float64{}
+		for res, t := range pred.PerResource {
+			resp.PerResourcePPS[res.String()] = t
+		}
+	case BackendSLOMO:
+		model, err := s.reg.SLOMO(name)
+		if err != nil {
+			return PredictResponse{}, err
+		}
+		// SLOMO extrapolates its fixed-profile sensitivity using the NF's
+		// solo throughput at the requested profile (§7.1).
+		solo, err := s.soloMeasurement(name, prof)
+		if err != nil {
+			return PredictResponse{}, err
+		}
+		resp.SoloPPS = solo.Throughput
+		resp.PredictedPPS = model.PredictExtrapolated(agg, solo.Throughput)
+	}
+	return resp, nil
+}
+
+// BatchRequest carries many prediction scenarios in one round trip —
+// the amortization lever for high-throughput clients (an operator
+// evaluating a whole arrival wave at once).
+type BatchRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchResponse returns one response per request, in order. A scenario
+// that fails reports its error in Errors at the same index and a zero
+// response; the batch itself still succeeds.
+type BatchResponse struct {
+	Responses []PredictResponse `json:"responses"`
+	Errors    []string          `json:"errors,omitempty"`
+}
+
+// PredictBatch serves every scenario in the batch, each through the
+// cache. Elements run concurrently so a batch of misses overlaps on the
+// worker pool instead of serializing; hits cost a lookup each.
+func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	resp := BatchResponse{Responses: make([]PredictResponse, len(req.Requests))}
+	errs := make([]string, len(req.Requests))
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i, r := range req.Requests {
+		wg.Add(1)
+		go func(i int, r PredictRequest) {
+			defer wg.Done()
+			one, err := s.Predict(ctx, r)
+			if err != nil {
+				errs[i] = err.Error()
+				failed.Store(true)
+				return
+			}
+			resp.Responses[i] = one
+		}(i, r)
+	}
+	wg.Wait()
+	if failed.Load() {
+		resp.Errors = errs
+	}
+	return resp, nil
+}
+
+// CompareRequest pits Yala against SLOMO on one scenario.
+type CompareRequest struct {
+	NF          string           `json:"nf"`
+	Profile     ProfileSpec      `json:"profile,omitzero"`
+	Competitors []CompetitorSpec `json:"competitors,omitempty"`
+	// GroundTruth additionally co-runs the scenario on the simulator and
+	// reports each predictor's error against the measurement.
+	GroundTruth bool `json:"ground_truth,omitempty"`
+}
+
+// CompareResponse is the head-to-head result.
+type CompareResponse struct {
+	NF      string          `json:"nf"`
+	Profile ProfileSpec     `json:"profile"`
+	Yala    PredictResponse `json:"yala"`
+	SLOMO   PredictResponse `json:"slomo"`
+
+	MeasuredPPS float64 `json:"measured_pps,omitempty"`
+	YalaErrPct  float64 `json:"yala_err_pct,omitempty"`
+	SLOMOErrPct float64 `json:"slomo_err_pct,omitempty"`
+}
+
+// Compare runs both predictors on the same scenario. It is assembled
+// entirely from predict-keyed (and measure-keyed) cache entries, so a
+// Compare after a Predict of the same scenario reuses that work instead
+// of recomputing it under a separate key.
+func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
+	s.compares.Add(1)
+	prof := req.Profile.Profile()
+	comps := canonSpecs(req.Competitors)
+	// Warm fast path: every piece already resident → assemble inline.
+	// Any missing piece (including an eviction race) goes through the
+	// worker pool; assembly itself is not compute.
+	vy, okY := s.cache.Get(predictKey(BackendYala, req.NF, prof, comps))
+	vs, okS := s.cache.Get(predictKey(BackendSLOMO, req.NF, prof, comps))
+	truth, okM := 0.0, !req.GroundTruth
+	if req.GroundTruth {
+		if v, ok := s.cache.Get(measureKey(req.NF, prof, comps)); ok {
+			truth, okM = v.(float64), true
+		}
+	}
+	if okY && okS && okM {
+		return assembleCompare(req.NF, prof, vy.(PredictResponse), vs.(PredictResponse), req.GroundTruth, truth), nil
+	}
+	return submit(ctx, s, func() (CompareResponse, error) {
+		yala, err := s.predictCached(BackendYala, req.NF, prof, comps)
+		if err != nil {
+			return CompareResponse{}, err
+		}
+		sl, err := s.predictCached(BackendSLOMO, req.NF, prof, comps)
+		if err != nil {
+			return CompareResponse{}, err
+		}
+		var truth float64
+		if req.GroundTruth {
+			if truth, err = s.measureCached(req.NF, prof, comps); err != nil {
+				return CompareResponse{}, err
+			}
+		}
+		return assembleCompare(req.NF, prof, yala, sl, req.GroundTruth, truth), nil
+	})
+}
+
+// assembleCompare builds the head-to-head response from its parts.
+func assembleCompare(nf string, prof traffic.Profile, yala, sl PredictResponse, groundTruth bool, truth float64) CompareResponse {
+	resp := CompareResponse{NF: nf, Profile: SpecOf(prof), Yala: yala, SLOMO: sl}
+	if groundTruth {
+		resp.MeasuredPPS = truth
+		if truth > 0 {
+			resp.YalaErrPct = 100 * math.Abs(yala.PredictedPPS-truth) / truth
+			resp.SLOMOErrPct = 100 * math.Abs(sl.PredictedPPS-truth) / truth
+		}
+	}
+	return resp
+}
+
+// measureKey caches ground-truth co-run measurements.
+func measureKey(name string, prof traffic.Profile, comps []CompetitorSpec) string {
+	return "measure|" + scenarioKey(name, prof, comps)
+}
+
+// measureCached memoizes measureScenario in the response cache. Quiet
+// lookup: the API entry point already counted this request.
+func (s *Service) measureCached(name string, prof traffic.Profile, comps []CompetitorSpec) (float64, error) {
+	key := measureKey(name, prof, comps)
+	if v, ok := s.cache.getQuiet(key); ok {
+		return v.(float64), nil
+	}
+	truth, err := s.measureScenario(name, prof, comps)
+	if err != nil {
+		return 0, err
+	}
+	s.cache.Put(key, truth)
+	return truth, nil
+}
+
+// measureScenario co-runs the scenario on a fresh testbed and returns the
+// target's ground-truth throughput.
+func (s *Service) measureScenario(name string, prof traffic.Profile, specs []CompetitorSpec) (float64, error) {
+	tb := s.freshTestbed()
+	ws := make([]*nicsim.Workload, 0, len(specs)+1)
+	w, err := tb.Workload(name, prof)
+	if err != nil {
+		return 0, err
+	}
+	ws = append(ws, w)
+	for _, spec := range specs {
+		cw, err := tb.Workload(spec.Name, spec.Profile.Profile())
+		if err != nil {
+			return 0, err
+		}
+		ws = append(ws, cw)
+	}
+	ms, err := tb.Run(ws...)
+	if err != nil {
+		return 0, err
+	}
+	return ms[0].Throughput, nil
+}
+
+// ColoNF is one NF in an admission scenario: its traffic profile and SLA
+// (maximum tolerated throughput drop relative to solo, e.g. 0.1).
+type ColoNF struct {
+	Name    string      `json:"name"`
+	Profile ProfileSpec `json:"profile,omitzero"`
+	SLA     float64     `json:"sla"`
+}
+
+// AdmitRequest asks whether placing Candidate on a NIC already hosting
+// Residents keeps every SLA intact, per the chosen predictor.
+type AdmitRequest struct {
+	Residents []ColoNF `json:"residents"`
+	Candidate ColoNF   `json:"candidate"`
+	Backend   string   `json:"backend,omitempty"`
+}
+
+// AdmitResponse is the admission decision. Reason distinguishes a
+// core-capacity rejection from a predicted SLA violation.
+type AdmitResponse struct {
+	Admit     bool    `json:"admit"`
+	Backend   Backend `json:"backend"`
+	Residents int     `json:"residents"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// Admit answers an online admission-control query by reusing the
+// placement package's feasibility check (§7.5.1) with registry models.
+func (s *Service) Admit(ctx context.Context, req AdmitRequest) (AdmitResponse, error) {
+	s.admits.Add(1)
+	backend, err := ParseBackend(req.Backend)
+	if err != nil {
+		s.errors.Add(1)
+		return AdmitResponse{}, err
+	}
+	// Canonical resident order makes the cache key (and the fresh
+	// testbed's measurement order) independent of caller ordering.
+	residents := append([]ColoNF(nil), req.Residents...)
+	sort.Slice(residents, func(i, j int) bool {
+		return coloKey(residents[i]) < coloKey(residents[j])
+	})
+	parts := make([]string, len(residents))
+	for i, r := range residents {
+		parts[i] = coloKey(r)
+	}
+	key := fmt.Sprintf("admit|%s|%s|cand=%s", backend, strings.Join(parts, ","), coloKey(req.Candidate))
+	if v, ok := s.cache.Get(key); ok {
+		return v.(AdmitResponse), nil
+	}
+	return submit(ctx, s, func() (AdmitResponse, error) {
+		return s.admit(backend, key, residents, req.Candidate)
+	})
+}
+
+func (s *Service) admit(backend Backend, key string, residents []ColoNF, candidate ColoNF) (AdmitResponse, error) {
+	// Load every model involved before building the simulator, so the
+	// feasibility pass never trains under its own latency budget. A fresh
+	// simulator per request keeps the answer a pure function of the
+	// request (the simulator's measurement caches are order-dependent).
+	strat := placement.YalaAware
+	sim := placement.NewSimulator(s.freshTestbed(), map[string]*core.Model{}, map[string]*slomo.Model{})
+
+	// Core capacity first — placement always pairs the SLA check with the
+	// Fits check, and an infeasible core budget needs no predictions.
+	if !sim.Fits(len(residents)) {
+		resp := AdmitResponse{Admit: false, Backend: backend, Residents: len(residents), Reason: "cores"}
+		s.cache.Put(key, resp)
+		return resp, nil
+	}
+
+	names := map[string]bool{candidate.Name: true}
+	for _, r := range residents {
+		names[r.Name] = true
+	}
+	for name := range names {
+		switch backend {
+		case BackendYala:
+			m, err := s.reg.Yala(name)
+			if err != nil {
+				return AdmitResponse{}, err
+			}
+			sim.Yala[name] = m
+		case BackendSLOMO:
+			strat = placement.SLOMOAware
+			m, err := s.reg.SLOMO(name)
+			if err != nil {
+				return AdmitResponse{}, err
+			}
+			sim.SLOMO[name] = m
+		}
+	}
+
+	arr := make([]placement.Arrival, len(residents))
+	for i, r := range residents {
+		arr[i] = placement.Arrival{Name: r.Name, Profile: r.Profile.Profile(), SLA: r.SLA}
+	}
+	cand := placement.Arrival{
+		Name:    candidate.Name,
+		Profile: candidate.Profile.Profile(),
+		SLA:     candidate.SLA,
+	}
+	// Seed the simulator with the service's memoized solo measurements:
+	// the feasibility pass then runs no simulations of its own, and
+	// repeated admits over the same NFs reuse the same measurements.
+	for _, a := range append(append([]placement.Arrival(nil), arr...), cand) {
+		m, err := s.soloMeasurement(a.Name, a.Profile)
+		if err != nil {
+			return AdmitResponse{}, err
+		}
+		sim.SeedSolo(a, m)
+	}
+	ok, err := sim.Feasible(arr, cand, strat)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	resp := AdmitResponse{Admit: ok, Backend: backend, Residents: len(residents)}
+	if !ok {
+		resp.Reason = "sla"
+	}
+	s.cache.Put(key, resp)
+	return resp, nil
+}
+
+// coloKey renders one admission participant canonically. The SLA prints
+// at full precision — a truncated rendering would alias near-equal SLAs
+// onto one cache key and serve the wrong admission decision.
+func coloKey(c ColoNF) string {
+	return fmt.Sprintf("%s@%s~%s", c.Name, c.Profile.Profile(),
+		strconv.FormatFloat(c.SLA, 'g', -1, 64))
+}
+
+// DiagnoseRequest asks which resource bottlenecks the NF in a scenario.
+type DiagnoseRequest struct {
+	NF          string           `json:"nf"`
+	Profile     ProfileSpec      `json:"profile,omitzero"`
+	Competitors []CompetitorSpec `json:"competitors,omitempty"`
+}
+
+// DiagnoseResponse is Yala's bottleneck attribution (§7.5.2).
+type DiagnoseResponse struct {
+	NF             string             `json:"nf"`
+	Profile        ProfileSpec        `json:"profile"`
+	Bottleneck     string             `json:"bottleneck"`
+	SoloPPS        float64            `json:"solo_pps"`
+	PredictedPPS   float64            `json:"predicted_pps"`
+	DropPct        float64            `json:"drop_pct"`
+	PerResourcePPS map[string]float64 `json:"per_resource_pps"`
+}
+
+// Diagnose attributes the scenario's predicted slowdown to a resource.
+// The response is pure derivation from the Yala prediction, so it shares
+// the predict-keyed cache entry instead of storing its own.
+func (s *Service) Diagnose(ctx context.Context, req DiagnoseRequest) (DiagnoseResponse, error) {
+	s.diagnoses.Add(1)
+	prof := req.Profile.Profile()
+	comps := canonSpecs(req.Competitors)
+	if v, ok := s.cache.Get(predictKey(BackendYala, req.NF, prof, comps)); ok {
+		return diagnoseFrom(v.(PredictResponse)), nil
+	}
+	return submit(ctx, s, func() (DiagnoseResponse, error) {
+		pred, err := s.predictCached(BackendYala, req.NF, prof, comps)
+		if err != nil {
+			return DiagnoseResponse{}, err
+		}
+		return diagnoseFrom(pred), nil
+	})
+}
+
+// diagnoseFrom derives the diagnosis view of a Yala prediction.
+func diagnoseFrom(pred PredictResponse) DiagnoseResponse {
+	resp := DiagnoseResponse{
+		NF:             pred.NF,
+		Profile:        pred.Profile,
+		Bottleneck:     pred.Bottleneck,
+		SoloPPS:        pred.SoloPPS,
+		PredictedPPS:   pred.PredictedPPS,
+		PerResourcePPS: pred.PerResourcePPS,
+	}
+	if pred.SoloPPS > 0 {
+		resp.DropPct = 100 * (pred.SoloPPS - pred.PredictedPPS) / pred.SoloPPS
+	}
+	return resp
+}
+
+// ServiceStats is the operator-facing counter snapshot.
+type ServiceStats struct {
+	UptimeSec       float64           `json:"uptime_sec"`
+	Workers         int               `json:"workers"`
+	Requests        map[string]uint64 `json:"requests"`
+	Errors          uint64            `json:"errors"`
+	Cache           CacheStats        `json:"cache"`
+	Models          []ModelInfo       `json:"models"`
+	PersistFailures uint64            `json:"persist_failures,omitempty"`
+	LastPersistErr  string            `json:"last_persist_error,omitempty"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	fails, lastErr := s.reg.PersistFailures()
+	return ServiceStats{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Workers:   s.cfg.Workers,
+		Requests: map[string]uint64{
+			"predict":  s.predicts.Load(),
+			"compare":  s.compares.Load(),
+			"admit":    s.admits.Load(),
+			"diagnose": s.diagnoses.Load(),
+		},
+		Errors:          s.errors.Load(),
+		Cache:           s.cache.Stats(),
+		Models:          s.reg.Models(),
+		PersistFailures: fails,
+		LastPersistErr:  lastErr,
+	}
+}

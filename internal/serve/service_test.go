@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/placement"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService(ServiceConfig{
+		Registry: testRegistryConfig(t),
+		Workers:  4,
+	})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestPredictCacheMatchesDirectPredictor is the cache-correctness
+// contract: a cached response must be identical — byte-for-byte once
+// marshaled — to both the first (uncached) response and to the output of
+// the underlying core predictor invoked directly on the same persisted
+// model and the same deterministic measurements.
+func TestPredictCacheMatchesDirectPredictor(t *testing.T) {
+	s := testService(t)
+	req := PredictRequest{
+		NF:      "FlowStats",
+		Profile: ProfileSpec{Flows: 32000, PktSize: 512, MTBR: F64(600)},
+		Competitors: []CompetitorSpec{
+			{Name: "ACL"},
+			{Name: "NAT", Profile: ProfileSpec{Flows: 8000}},
+		},
+	}
+	first, err := s.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.cache.Stats(); st.Hits != 0 {
+		t.Fatalf("first request should miss, stats %+v", st)
+	}
+	second, err := s.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("second request should hit, stats %+v", st)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached response differs:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	b1, _ := json.Marshal(first)
+	b2, _ := json.Marshal(second)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cached response not byte-identical:\n%s\n%s", b1, b2)
+	}
+
+	// Direct path: load the persisted model the service trained, rebuild
+	// the competitors from the same deterministic fresh-testbed solo
+	// measurements, and predict.
+	cfg := s.cfg.Registry.withDefaults()
+	model, err := core.LoadModelFile(filepath.Join(cfg.Dir, "FlowStats.yala.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comps []core.Competitor
+	for _, spec := range req.Competitors {
+		m, err := testbed.New(nicsim.BlueField2(), cfg.Seed).SoloNF(spec.Name, spec.Profile.Profile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps = append(comps, core.CompetitorFromMeasurement(m))
+	}
+	direct := model.Predict(req.Profile.Profile(), comps)
+	if second.PredictedPPS != direct.Throughput || second.SoloPPS != direct.Solo {
+		t.Fatalf("cached response diverges from direct predictor: served (%.6f, %.6f), direct (%.6f, %.6f)",
+			second.PredictedPPS, second.SoloPPS, direct.Throughput, direct.Solo)
+	}
+	if second.Bottleneck != direct.Bottleneck.String() {
+		t.Fatalf("bottleneck %q, direct %q", second.Bottleneck, direct.Bottleneck)
+	}
+	for res, want := range direct.PerResource {
+		if got := second.PerResourcePPS[res.String()]; got != want {
+			t.Fatalf("per-resource %v: served %.6f, direct %.6f", res, got, want)
+		}
+	}
+}
+
+// TestSLOMOBackendMatchesDirectPredictor does the same for the baseline.
+func TestSLOMOBackendMatchesDirectPredictor(t *testing.T) {
+	s := testService(t)
+	req := PredictRequest{
+		NF:          "ACL",
+		Profile:     ProfileSpec{Flows: 64000},
+		Competitors: []CompetitorSpec{{Name: "FlowStats"}},
+		Backend:     "slomo",
+	}
+	got, err := s.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := s.Predict(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cached) {
+		t.Fatalf("cached slomo response differs: %+v vs %+v", got, cached)
+	}
+
+	cfg := s.cfg.Registry.withDefaults()
+	model, err := slomo.LoadModelFile(filepath.Join(cfg.Dir, "ACL.slomo.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg nicsim.Counters
+	for _, spec := range req.Competitors {
+		m, err := testbed.New(nicsim.BlueField2(), cfg.Seed).SoloNF(spec.Name, spec.Profile.Profile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(m.Counters)
+	}
+	solo, err := testbed.New(nicsim.BlueField2(), cfg.Seed).SoloNF(req.NF, req.Profile.Profile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := model.PredictExtrapolated(agg, solo.Throughput)
+	if got.PredictedPPS != direct {
+		t.Fatalf("served %.6f, direct slomo %.6f", got.PredictedPPS, direct)
+	}
+}
+
+// TestCompare checks both predictors answer the same scenario and ground
+// truth is attached on request.
+func TestCompare(t *testing.T) {
+	s := testService(t)
+	resp, err := s.Compare(context.Background(), CompareRequest{
+		NF:          "FlowStats",
+		Competitors: []CompetitorSpec{{Name: "ACL"}},
+		GroundTruth: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Yala.PredictedPPS <= 0 || resp.SLOMO.PredictedPPS <= 0 {
+		t.Fatalf("non-positive predictions: %+v", resp)
+	}
+	if resp.MeasuredPPS <= 0 {
+		t.Fatalf("ground truth missing: %+v", resp)
+	}
+	if resp.Yala.Backend != BackendYala || resp.SLOMO.Backend != BackendSLOMO {
+		t.Fatalf("backend labels wrong: %+v", resp)
+	}
+}
+
+// TestAdmitMatchesPlacementFeasibility checks Admit agrees with the
+// placement package invoked directly with the same models and testbed
+// seed, and that the trivial SLA cases come out right.
+func TestAdmitMatchesPlacementFeasibility(t *testing.T) {
+	s := testService(t)
+	residents := []ColoNF{{Name: "ACL", SLA: 0.15}}
+	candidate := ColoNF{Name: "FlowStats", SLA: 0.15}
+	resp, err := s.Admit(context.Background(), AdmitRequest{Residents: residents, Candidate: candidate})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := s.cfg.Registry.withDefaults()
+	yala := map[string]*core.Model{}
+	for _, name := range []string{"ACL", "FlowStats"} {
+		m, err := s.Registry().Yala(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yala[name] = m
+	}
+	sim := placement.NewSimulator(testbed.New(nicsim.BlueField2(), cfg.Seed), yala, nil)
+	// Seed solos exactly as the service does (fresh testbed per
+	// measurement) so the decisions must match, not merely tend to.
+	for _, name := range []string{"ACL", "FlowStats"} {
+		m, err := testbed.New(nicsim.BlueField2(), cfg.Seed).SoloNF(name, traffic.Default)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SeedSolo(placement.Arrival{Name: name, Profile: traffic.Default}, m)
+	}
+	want, err := sim.Feasible(
+		[]placement.Arrival{{Name: "ACL", Profile: traffic.Default, SLA: 0.15}},
+		placement.Arrival{Name: "FlowStats", Profile: traffic.Default, SLA: 0.15},
+		placement.YalaAware,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Admit != want {
+		t.Fatalf("Admit = %v, placement.Feasible = %v", resp.Admit, want)
+	}
+
+	// An empty NIC and a 100%-drop SLA always admits.
+	free, err := s.Admit(context.Background(), AdmitRequest{Candidate: ColoNF{Name: "ACL", SLA: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Admit {
+		t.Fatal("empty NIC with SLA=1 must admit")
+	}
+
+	// Core capacity rejects before any SLA prediction: BlueField-2 has 8
+	// cores at 2 per NF, so a 4-resident NIC cannot take a fifth even
+	// with maximally loose SLAs.
+	var full []ColoNF
+	for i := 0; i < 4; i++ {
+		full = append(full, ColoNF{Name: "ACL", SLA: 1})
+	}
+	over, err := s.Admit(context.Background(), AdmitRequest{Residents: full, Candidate: ColoNF{Name: "ACL", SLA: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Admit || over.Reason != "cores" {
+		t.Fatalf("over-capacity NIC admitted: %+v", over)
+	}
+}
+
+// TestHTTPRoundTrip runs the full stack: HTTP server, typed client, and a
+// small load-generation run that must complete without errors.
+func TestHTTPRoundTrip(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	direct, err := s.Predict(context.Background(), PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaHTTP, err := client.Predict(PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, viaHTTP) {
+		t.Fatalf("HTTP response differs from direct call:\n%+v\n%+v", direct, viaHTTP)
+	}
+
+	if _, err := client.Diagnose(DiagnoseRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown NFs surface as a client error, not a hang or a 500-shaped
+	// mystery.
+	if _, err := client.Predict(PredictRequest{NF: "NoSuchNF"}); err == nil {
+		t.Fatal("expected error for unknown NF over HTTP")
+	}
+
+	rep, err := Loadgen(LoadgenConfig{
+		URL:          srv.URL,
+		Workers:      4,
+		Requests:     200,
+		Seed:         7,
+		NFs:          []string{"FlowStats", "ACL"},
+		Profiles:     2,
+		DiagnoseFrac: 0.1,
+		AdmitFrac:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", rep.Errors)
+	}
+	if rep.Requests != 200 {
+		t.Fatalf("loadgen issued %d requests, want 200", rep.Requests)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits == 0 {
+		t.Fatalf("expected warm-cache hits after loadgen, stats %+v", stats.Cache)
+	}
+	if stats.Requests["predict"] == 0 {
+		t.Fatalf("stats did not count predicts: %+v", stats.Requests)
+	}
+}
+
+// TestPredictBatch checks batch elements match single-request answers
+// and per-element failures don't fail the batch.
+func TestPredictBatch(t *testing.T) {
+	s := testService(t)
+	good := PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}}
+	single, err := s.Predict(context.Background(), good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.PredictBatch(context.Background(), BatchRequest{Requests: []PredictRequest{
+		good,
+		{NF: "NoSuchNF"},
+		good,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch.Responses[0], single) || !reflect.DeepEqual(batch.Responses[2], single) {
+		t.Fatalf("batch elements differ from single response: %+v", batch.Responses)
+	}
+	if batch.Errors == nil || batch.Errors[1] == "" {
+		t.Fatalf("expected per-element error for unknown NF, got %+v", batch.Errors)
+	}
+	if batch.Errors[0] != "" || batch.Errors[2] != "" {
+		t.Fatalf("good elements reported errors: %+v", batch.Errors)
+	}
+}
+
+// TestReloadFlushesCache verifies Service.Reload drops memoized
+// responses along with the model — otherwise scenarios answered before
+// the reload would keep serving the old model's predictions.
+func TestReloadFlushesCache(t *testing.T) {
+	s := testService(t)
+	if _, err := s.Predict(context.Background(), PredictRequest{NF: "ACL"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Len() == 0 {
+		t.Fatal("expected a cached response before reload")
+	}
+	s.Reload(BackendYala, "ACL")
+	if n := s.cache.Len(); n != 0 {
+		t.Fatalf("cache still holds %d entries after reload", n)
+	}
+}
+
+// TestServiceClosedRejects verifies requests after Close fail cleanly.
+func TestServiceClosedRejects(t *testing.T) {
+	s := NewService(ServiceConfig{Registry: testRegistryConfig(t), Workers: 1})
+	s.Close()
+	if _, err := s.Predict(context.Background(), PredictRequest{NF: "ACL"}); err == nil {
+		t.Fatal("expected error from closed service")
+	}
+}

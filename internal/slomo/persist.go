@@ -1,0 +1,83 @@
+package slomo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ml"
+	"repro/internal/traffic"
+)
+
+// SLOMO models persist as JSON exactly like Yala's (core/persist.go), so
+// the serving layer can load either predictor from a model directory
+// without re-profiling.
+
+// modelJSON mirrors Model.
+type modelJSON struct {
+	Name         string          `json:"name"`
+	TrainProfile traffic.Profile `json:"train_profile"`
+	SoloAtTrain  float64         `json:"solo_at_train"`
+	GBR          *ml.GBR         `json:"gbr"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{m.Name, m.TrainProfile, m.SoloAtTrain, m.gbr})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var v modelJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.GBR == nil {
+		return fmt.Errorf("slomo: model without regressor")
+	}
+	m.Name, m.TrainProfile, m.SoloAtTrain, m.gbr = v.Name, v.TrainProfile, v.SoloAtTrain, v.GBR
+	return nil
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("slomo: saving model %s: %w", m.Name, err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model saved with Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("slomo: loading model: %w", err)
+	}
+	return &m, nil
+}
+
+// LoadModelFile reads a model from a file.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
