@@ -11,11 +11,14 @@
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
 //	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full]
-//	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-seed n]
+//	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-seed n] [-json path]
+//	yala cluster  -nics 16 -arrivals 120 [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
 //	yala list
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/nf"
 	"repro/internal/nfbench"
@@ -56,6 +60,8 @@ func main() {
 		err = cmdServe(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "list":
 		fmt.Println(strings.Join(nf.Names(), "\n"))
 	default:
@@ -68,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|cluster|list} [flags]")
 	os.Exit(2)
 }
 
@@ -310,12 +316,14 @@ func cmdServe(args []string) error {
 	defer svc.Close()
 
 	fmt.Printf("yala serve: listening on %s, models in %s\n", *addr, *models)
-	fmt.Printf("  POST /v1/predict /v1/predict/batch /v1/compare /v1/admit /v1/diagnose /v1/reload\n")
-	fmt.Printf("  GET  /v1/models /v1/stats /healthz\n")
+	fmt.Printf("  POST /v1/predict /v1/predict/batch /v1/compare /v1/admit /v1/diagnose /v1/cluster/run /v1/reload\n")
+	fmt.Printf("  GET  /v1/models /v1/stats /v1/cluster/policies /healthz\n")
 	return http.ListenAndServe(*addr, svc.Handler())
 }
 
 // cmdLoadgen replays randomized arrival scenarios against a live server.
+// It exits nonzero when the run recorded any transport or server error,
+// so CI can gate on it.
 func cmdLoadgen(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	url := fs.String("url", "http://localhost:8844", "server base URL")
@@ -329,6 +337,7 @@ func cmdLoadgen(args []string) error {
 	diagnose := fs.Float64("diagnose", 0, "fraction of Diagnose requests")
 	admit := fs.Float64("admit", 0, "fraction of Admit requests")
 	seed := fs.Uint64("seed", 1, "scenario seed")
+	jsonPath := fs.String("json", "", "write the machine-readable report to this path")
 	fs.Parse(args)
 
 	cfg := serve.LoadgenConfig{
@@ -352,14 +361,30 @@ func cmdLoadgen(args []string) error {
 	// rate is this run's, not the server's lifetime.
 	client := serve.NewClient(*url)
 	before, beforeErr := client.Stats()
-	rep, err := serve.Loadgen(cfg)
+	rep, runErr := serve.Loadgen(cfg)
 	// A partially failed run still carries the measurement of everything
-	// that succeeded — print the report before surfacing the error.
+	// that succeeded — print and persist the report before surfacing the
+	// error.
 	if rep.Requests > 0 {
 		fmt.Println(rep)
 	}
-	if err != nil {
-		return err
+	if *jsonPath != "" {
+		bench := struct {
+			Kind   string              `json:"kind"`
+			Config serve.LoadgenConfig `json:"config"`
+			Report serve.LoadgenReport `json:"report"`
+		}{Kind: "loadgen", Config: cfg, Report: rep}
+		if err := writeJSONFile(*jsonPath, bench); err != nil {
+			return err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	// Belt and braces for the CI gate: never exit 0 with recorded errors,
+	// even if the error path above missed them.
+	if rep.Errors > 0 {
+		return fmt.Errorf("loadgen: %d/%d requests failed", rep.Errors, rep.Requests)
 	}
 	if after, err := client.Stats(); err == nil && beforeErr == nil {
 		hits := after.Cache.Hits - before.Cache.Hits
@@ -370,4 +395,85 @@ func cmdLoadgen(args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdCluster runs a fleet-orchestration scenario locally and prints the
+// policy comparison (internal/cluster). Models come from a
+// serve.ModelRegistry, so they load from -models (or quick-train on
+// demand) exactly once across all compared policies.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nics := fs.Int("nics", 16, "fleet size (NIC count)")
+	arrivals := fs.Int("arrivals", 120, "NF arrival count")
+	seed := fs.Uint64("seed", 1, "scenario and testbed seed")
+	nfs := fs.String("nfs", "", "comma-separated NF pool (default: a standard mix)")
+	policies := fs.String("policies", "", "comma-separated policies to compare (default: all)")
+	profiles := fs.Int("profiles", 4, "traffic-profile pool size")
+	drift := fs.Float64("drift", cluster.DefaultDriftProb, "per-tenant traffic-drift probability")
+	iat := fs.Float64("iat", 1, "mean inter-arrival time (s)")
+	meanlife := fs.Float64("meanlife", 40, "mean tenant lifetime (s)")
+	slaLo := fs.Float64("slalo", 0.05, "SLA lower bound (max tolerated throughput drop)")
+	slaHi := fs.Float64("slahi", 0.2, "SLA upper bound")
+	models := fs.String("models", "", "model directory (persisted models; quick-trained on demand when absent or empty)")
+	jsonPath := fs.String("json", "", "write the machine-readable comparison to this path")
+	fs.Parse(args)
+
+	if *models != "" {
+		if err := os.MkdirAll(*models, 0o755); err != nil {
+			return err
+		}
+	}
+	sc := cluster.Scenario{
+		NICs:         *nics,
+		Arrivals:     *arrivals,
+		Seed:         *seed,
+		Profiles:     *profiles,
+		MeanIAT:      *iat,
+		MeanLifetime: *meanlife,
+		DriftProb:    *drift,
+		SLALo:        *slaLo,
+		SLAHi:        *slaHi,
+	}
+	if *nfs != "" {
+		for _, name := range strings.Split(*nfs, ",") {
+			sc.NFs = append(sc.NFs, strings.TrimSpace(name))
+		}
+	}
+	var pols []string
+	if *policies != "" {
+		for _, p := range strings.Split(*policies, ",") {
+			pols = append(pols, strings.TrimSpace(p))
+		}
+	}
+	sc = sc.WithDefaults()
+	reg := serve.NewRegistry(serve.RegistryConfig{Dir: *models, Seed: *seed})
+	env := cluster.NewEnv(nicsim.BlueField2(), *seed, reg)
+	fmt.Printf("cluster: %d NICs, %d arrivals, NF pool %v (models %s)\n",
+		sc.NICs, sc.Arrivals, sc.NFs, modelSourceDesc(*models))
+	cmp, err := cluster.Run(context.Background(), env, sc, pols)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cmp.Table())
+	if *jsonPath != "" {
+		return writeJSONFile(*jsonPath, cmp)
+	}
+	return nil
+}
+
+func modelSourceDesc(dir string) string {
+	if dir == "" {
+		return "quick-trained in memory"
+	}
+	return "loaded from " + dir
+}
+
+// writeJSONFile writes v as indented JSON — the machine-readable output
+// behind the -json flags.
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -4,7 +4,10 @@
 // the network functions it models, and a simulated SoC SmartNIC standing
 // in for the paper's BlueField-2 testbed.
 //
-// See README.md for the package map, CLI entry points and the online
-// prediction-serving subsystem (internal/serve). The benchmarks in
-// bench_test.go regenerate each of the paper's experiments.
+// See README.md for the package map, CLI entry points, the online
+// prediction-serving subsystem (internal/serve) and the cluster-scale
+// fleet orchestrator (internal/cluster), which schedules churning NF
+// lifecycles across many simulated SmartNICs under pluggable,
+// prediction-guided placement policies. The benchmarks in bench_test.go
+// regenerate each of the paper's experiments.
 package repro

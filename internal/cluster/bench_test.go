@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/traffic"
+)
+
+// benchFleet builds a half-loaded fleet over a prewarmed environment —
+// the steady state the scheduling hot path runs in.
+func benchFleet(b *testing.B, env *Env, nics int) *Fleet {
+	b.Helper()
+	sc := Scenario{NICs: nics, NFs: testNFs, Profiles: 2, Seed: 1}.WithDefaults()
+	if err := env.Prewarm(context.Background(), sc, []string{"yala", "slomo"}); err != nil {
+		b.Fatal(err)
+	}
+	pool := sc.ProfilePool()
+	f := env.NewFleet(nics)
+	id := 0
+	for i := 0; i < nics; i++ {
+		for j := 0; j < 1+i%2; j++ {
+			f.place(i, Tenant{ID: id, Arrival: placement.Arrival{
+				Name:    testNFs[id%len(testNFs)],
+				Profile: pool[id%len(pool)],
+				SLA:     0.5,
+			}})
+			id++
+		}
+	}
+	return f
+}
+
+// benchChoose measures one policy's scheduling decision over a 32-NIC
+// fleet — the hot path every arrival, drift and migration goes through.
+func benchChoose(b *testing.B, policy string) {
+	env := testEnv(b, testModels(b))
+	f := benchFleet(b, env, 32)
+	a := placement.Arrival{Name: "FlowStats", Profile: traffic.Default, SLA: 0.2}
+	sched, err := NewScheduler(policy, env, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sched.Choose(f, a); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Choose(f, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChooseYala(b *testing.B)     { benchChoose(b, "yala") }
+func BenchmarkChooseSLOMO(b *testing.B)    { benchChoose(b, "slomo") }
+func BenchmarkChooseFirstFit(b *testing.B) { benchChoose(b, "firstfit") }

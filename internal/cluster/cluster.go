@@ -1,0 +1,271 @@
+// Package cluster is the fleet-scale orchestration layer over the
+// prediction stack: it manages tens to hundreds of simulated SmartNICs
+// and schedules a continuous, churning stream of NF arrivals, departures
+// and traffic-profile drift against them.
+//
+// The paper's placement use case (§7.5.1) evaluates one NIC-pool and one
+// arrival batch at a time; the interesting behavior of a real deployment
+// — load skew, churn, rebalancing under drift — only emerges at cluster
+// scale. This package supplies that scenario space:
+//
+//   - Fleet tracks per-NIC resident sets and core budgets.
+//   - Scenario generates a deterministic lifecycle event stream (arrivals
+//     with exponential inter-arrival times, per-tenant lifetimes and
+//     drift) from a seed, replayed identically against every policy.
+//   - Scheduler is the pluggable placement policy: random, first-fit,
+//     and prediction-guided best-fit driven by Yala or SLOMO models
+//     through placement.Feasible, with models supplied once by a
+//     ModelSource (serve.ModelRegistry in production).
+//   - The orchestrator (Env.Run) replays a scenario on sim.Engine,
+//     enforces SLAs against simulator ground truth (a placement that
+//     immediately breaches an SLA is rolled back), migrates tenants whose
+//     drift pushes a NIC out of feasibility, and accounts violations,
+//     utilization and decision latency.
+//   - Run compares several policies on one shared environment and
+//     renders the comparison table `yala cluster` prints.
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nicsim"
+	"repro/internal/placement"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+)
+
+// ModelSource supplies per-NF prediction models to the schedulers. It is
+// the seam between the orchestrator and the serving layer: in production
+// serve.ModelRegistry implements it (models load once and are shared by
+// every policy in a comparison), tests may supply pre-trained maps.
+type ModelSource interface {
+	Yala(name string) (*core.Model, error)
+	SLOMO(name string) (*slomo.Model, error)
+}
+
+// MapModels is a static ModelSource over pre-trained model maps.
+type MapModels struct {
+	YalaModels  map[string]*core.Model
+	SLOMOModels map[string]*slomo.Model
+}
+
+// Yala returns the mapped Yala model.
+func (m MapModels) Yala(name string) (*core.Model, error) {
+	if mm, ok := m.YalaModels[name]; ok {
+		return mm, nil
+	}
+	return nil, fmt.Errorf("cluster: no Yala model for %s", name)
+}
+
+// SLOMO returns the mapped SLOMO model.
+func (m MapModels) SLOMO(name string) (*slomo.Model, error) {
+	if mm, ok := m.SLOMOModels[name]; ok {
+		return mm, nil
+	}
+	return nil, fmt.Errorf("cluster: no SLOMO model for %s", name)
+}
+
+// Tenant is one admitted NF instance: the arrival it came from plus the
+// stream-unique ID lifecycle events are keyed on.
+type Tenant struct {
+	ID int
+	placement.Arrival
+}
+
+// NIC is one fleet member's state: the tenants currently resident on it.
+type NIC struct {
+	ID      int
+	Tenants []Tenant
+}
+
+// arrivals projects the resident set into the placement package's form.
+func (n *NIC) arrivals() []placement.Arrival {
+	out := make([]placement.Arrival, len(n.Tenants))
+	for i, t := range n.Tenants {
+		out[i] = t.Arrival
+	}
+	return out
+}
+
+// Fleet is the mutable cluster state a scheduler decides over.
+type Fleet struct {
+	NICs []*NIC
+	// NFCores is the per-NF core allocation, NICCores the per-NIC total —
+	// mirrored from the placement simulator so scheduler capacity checks
+	// and feasibility checks agree.
+	NFCores  int
+	NICCores int
+}
+
+// NewFleet returns an empty fleet of n NICs sized to the environment's
+// core budget.
+func (e *Env) NewFleet(n int) *Fleet {
+	f := &Fleet{NFCores: e.Sim.NFCores, NICCores: e.Sim.NICCores}
+	for i := 0; i < n; i++ {
+		f.NICs = append(f.NICs, &NIC{ID: i})
+	}
+	return f
+}
+
+// Fits reports whether NIC i has the core budget for one more NF.
+func (f *Fleet) Fits(i int) bool {
+	return (len(f.NICs[i].Tenants)+1)*f.NFCores <= f.NICCores
+}
+
+// FreeCores is NIC i's unallocated core count.
+func (f *Fleet) FreeCores(i int) int {
+	return f.NICCores - len(f.NICs[i].Tenants)*f.NFCores
+}
+
+// UsedCores is the fleet-wide allocated core count.
+func (f *Fleet) UsedCores() int {
+	used := 0
+	for _, n := range f.NICs {
+		used += len(n.Tenants) * f.NFCores
+	}
+	return used
+}
+
+// Tenants is the fleet-wide resident count.
+func (f *Fleet) Tenants() int {
+	total := 0
+	for _, n := range f.NICs {
+		total += len(n.Tenants)
+	}
+	return total
+}
+
+// place adds a tenant to NIC i.
+func (f *Fleet) place(i int, t Tenant) {
+	f.NICs[i].Tenants = append(f.NICs[i].Tenants, t)
+}
+
+// remove deletes the tenant by ID from NIC i, reporting the removed
+// tenant and whether it was resident.
+func (f *Fleet) remove(i, id int) (Tenant, bool) {
+	n := f.NICs[i]
+	for j, t := range n.Tenants {
+		if t.ID == id {
+			n.Tenants = append(n.Tenants[:j], n.Tenants[j+1:]...)
+			return t, true
+		}
+	}
+	return Tenant{}, false
+}
+
+// locate finds the NIC hosting tenant id, or -1: lifecycle events may
+// outlive their tenant (an SLA eviction beats a scheduled departure).
+func (f *Fleet) locate(id int) int {
+	for i, n := range f.NICs {
+		for _, t := range n.Tenants {
+			if t.ID == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Env binds the shared pieces one comparison run needs: a placement
+// simulator (ground truth plus prediction-side feasibility, with its
+// solo/co-run measurement caches) and the model source. Sharing one Env
+// across policies evaluates every policy against identical cached
+// measurements and loads each model exactly once.
+type Env struct {
+	Sim    *placement.Simulator
+	Models ModelSource
+}
+
+// NewEnv builds an environment on a fresh testbed at the given NIC
+// preset and seed.
+func NewEnv(cfg nicsim.Config, seed uint64, models ModelSource) *Env {
+	tb := testbed.New(cfg, seed)
+	return &Env{
+		Sim:    placement.NewSimulator(tb, map[string]*core.Model{}, map[string]*slomo.Model{}),
+		Models: models,
+	}
+}
+
+// ensureModels pulls the named NFs' models for the strategy from the
+// model source into the simulator, once per name.
+func (e *Env) ensureModels(strat placement.Strategy, names []string) error {
+	for _, name := range names {
+		switch strat {
+		case placement.YalaAware:
+			if _, ok := e.Sim.Yala[name]; ok {
+				continue
+			}
+			m, err := e.Models.Yala(name)
+			if err != nil {
+				return err
+			}
+			e.Sim.Yala[name] = m
+		case placement.SLOMOAware:
+			if _, ok := e.Sim.SLOMO[name]; ok {
+				continue
+			}
+			m, err := e.Models.SLOMO(name)
+			if err != nil {
+				return err
+			}
+			e.Sim.SLOMO[name] = m
+		}
+	}
+	return nil
+}
+
+// Prewarm loads every model the named policies will consult and seeds
+// the simulator's solo-measurement cache for the scenario's (NF,
+// profile) pool. Decisions during the run then measure scheduling, not
+// lazy model training or first-touch measurements — and every policy
+// starts from identical cache state. The context cancels the warm-up
+// between models and measurements.
+func (e *Env) Prewarm(ctx context.Context, sc Scenario, policies []string) error {
+	sc = sc.WithDefaults()
+	for _, p := range policies {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch p {
+		case "yala":
+			if err := e.ensureModels(placement.YalaAware, sc.NFs); err != nil {
+				return err
+			}
+		case "slomo":
+			if err := e.ensureModels(placement.SLOMOAware, sc.NFs); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sc.NFs {
+		for _, prof := range sc.ProfilePool() {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			a := placement.Arrival{Name: name, Profile: prof}
+			m, err := e.Sim.TB.SoloNF(name, prof)
+			if err != nil {
+				return err
+			}
+			e.Sim.SeedSolo(a, m)
+		}
+	}
+	return nil
+}
+
+// feasible is the prediction-guided admission check: load the models
+// involved, then ask placement.Feasible whether adding a to the resident
+// set keeps every SLA intact per the strategy's predictor.
+func (e *Env) feasible(residents []placement.Arrival, a placement.Arrival, strat placement.Strategy) (bool, error) {
+	names := make([]string, 0, len(residents)+1)
+	names = append(names, a.Name)
+	for _, r := range residents {
+		names = append(names, r.Name)
+	}
+	if err := e.ensureModels(strat, names); err != nil {
+		return false, err
+	}
+	return e.Sim.Feasible(residents, a, strat)
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// PolicyResult summarizes one policy's run over a scenario.
+type PolicyResult struct {
+	Policy   string `json:"policy"`
+	Arrivals int    `json:"arrivals"`
+	// Admitted counts placements that stuck: chosen by the policy and
+	// clean under ground-truth SLA enforcement at placement time.
+	Admitted int `json:"admitted"`
+	// Rejected counts arrivals the policy declined (no capacity, or no
+	// predicted-feasible NIC for prediction-guided policies).
+	Rejected int `json:"rejected"`
+	// Rollbacks counts placements undone by enforcement: the policy
+	// placed, ground truth immediately breached an SLA, the newcomer was
+	// evicted.
+	Rollbacks int `json:"rollbacks"`
+	// Migrations counts tenants moved to another NIC after drift pushed
+	// their NIC out of feasibility; Evictions counts drifted tenants no
+	// NIC could host within SLA.
+	Migrations int `json:"migrations"`
+	Evictions  int `json:"evictions"`
+	Departures int `json:"departures"`
+	// Violations is the total count of NF-SLA breaches observed by
+	// ground-truth checks (at placements, drifts and migrations).
+	Violations int `json:"violations"`
+	// PeakTenants is the high-water fleet occupancy; AvgUtilization the
+	// time-weighted fraction of fleet cores allocated.
+	PeakTenants    int     `json:"peak_tenants"`
+	AvgUtilization float64 `json:"avg_utilization"`
+	// DecisionP50/P99 are wall-clock scheduling-decision latencies.
+	DecisionP50 time.Duration `json:"decision_p50_ns"`
+	DecisionP99 time.Duration `json:"decision_p99_ns"`
+}
+
+// orchestrator replays one scenario against one policy on a discrete
+// event loop.
+type orchestrator struct {
+	ctx    context.Context
+	env    *Env
+	sc     Scenario
+	policy Scheduler
+	fleet  *Fleet
+	engine *sim.Engine
+	pool   []traffic.Profile
+
+	res       PolicyResult
+	decisions []time.Duration
+
+	// Utilization integral: allocated core-seconds accumulated at every
+	// state transition.
+	lastT       float64
+	coreSeconds float64
+
+	err error
+}
+
+// newOrchestrator wires a run; Run drives it.
+func newOrchestrator(ctx context.Context, env *Env, sc Scenario, policy Scheduler) *orchestrator {
+	return &orchestrator{
+		ctx:    ctx,
+		env:    env,
+		sc:     sc,
+		policy: policy,
+		fleet:  env.NewFleet(sc.NICs),
+		engine: sim.NewEngine(),
+		pool:   sc.ProfilePool(),
+		res:    PolicyResult{Policy: policy.Name()},
+	}
+}
+
+// halted reports whether the run should stop: a prior error, or the
+// caller's context expired (an abandoned HTTP request must not keep a
+// fleet simulation running to completion). Event handlers call it first.
+func (o *orchestrator) halted() bool {
+	if o.err != nil {
+		return true
+	}
+	if err := o.ctx.Err(); err != nil {
+		o.err = err
+		return true
+	}
+	return false
+}
+
+// RunPolicy replays the scenario against one scheduling policy: arrivals
+// are placed (or rejected), placements are enforced against simulator
+// ground truth, admitted tenants live out exponential lifetimes, and
+// drift triggers migration or eviction. Deterministic given (env state,
+// scenario, policy) — only the reported decision latencies vary run to
+// run. The context cancels the run between events.
+func (e *Env) RunPolicy(ctx context.Context, sc Scenario, policy Scheduler) (PolicyResult, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return PolicyResult{}, err
+	}
+	o := newOrchestrator(ctx, e, sc, policy)
+	for _, ev := range sc.ArrivalStream() {
+		ev := ev
+		o.engine.At(ev.Time, func() { o.arrive(ev.Tenant) })
+	}
+	o.engine.Run()
+	if o.err != nil {
+		return PolicyResult{}, o.err
+	}
+	o.tick()
+	if total := float64(o.fleet.NICCores*len(o.fleet.NICs)) * o.engine.Now(); total > 0 {
+		o.res.AvgUtilization = o.coreSeconds / total
+	}
+	o.res.DecisionP50 = latencyPercentile(o.decisions, 0.50)
+	o.res.DecisionP99 = latencyPercentile(o.decisions, 0.99)
+	return o.res, nil
+}
+
+// tick folds the interval since the last state change into the
+// core-seconds integral.
+func (o *orchestrator) tick() {
+	now := o.engine.Now()
+	o.coreSeconds += float64(o.fleet.UsedCores()) * (now - o.lastT)
+	o.lastT = now
+}
+
+// decide times one scheduling decision — the latency the comparison
+// reports.
+func (o *orchestrator) decide(a placement.Arrival) (int, error) {
+	t0 := time.Now()
+	idx, err := o.policy.Choose(o.fleet, a)
+	o.decisions = append(o.decisions, time.Since(t0))
+	return idx, err
+}
+
+// enforce ground-truth-checks NIC i, counting breaches. The placement
+// simulator caches co-runs by resident multiset, so repeated checks of
+// an unchanged NIC are lookups.
+func (o *orchestrator) enforce(i int) (int, error) {
+	breaches, err := o.env.Sim.Violations(o.fleet.NICs[i].arrivals())
+	if err != nil {
+		return 0, err
+	}
+	o.res.Violations += breaches
+	return breaches, nil
+}
+
+// arrive handles one arrival event: decide, place, enforce, and — if the
+// placement sticks — schedule the tenant's departure and optional drift.
+func (o *orchestrator) arrive(t Tenant) {
+	if o.halted() {
+		return
+	}
+	o.res.Arrivals++
+	o.tick()
+	idx, err := o.decide(t.Arrival)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if idx < 0 {
+		o.res.Rejected++
+		return
+	}
+	o.fleet.place(idx, t)
+	breaches, err := o.enforce(idx)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if breaches > 0 {
+		// SLA enforcement: a placement that breaches ground truth is
+		// rolled back — the blind policies pay here, the guided ones
+		// only on prediction error.
+		o.fleet.remove(idx, t.ID)
+		o.res.Rollbacks++
+		return
+	}
+	o.res.Admitted++
+	if n := o.fleet.Tenants(); n > o.res.PeakTenants {
+		o.res.PeakTenants = n
+	}
+	trng := o.sc.tenantRNG(t.ID)
+	life := trng.Exp(o.sc.MeanLifetime)
+	o.engine.After(life, func() { o.depart(t.ID) })
+	if trng.Float64() < o.sc.DriftProb {
+		at := trng.Range(0.1, 0.9) * life
+		prof := o.pool[trng.Intn(len(o.pool))]
+		o.engine.After(at, func() { o.drift(t.ID, prof) })
+	}
+}
+
+// depart removes a tenant at end of life, if enforcement has not already
+// evicted it.
+func (o *orchestrator) depart(id int) {
+	if o.halted() {
+		return
+	}
+	idx := o.fleet.locate(id)
+	if idx < 0 {
+		return
+	}
+	o.tick()
+	o.fleet.remove(idx, id)
+	o.res.Departures++
+}
+
+// drift mutates a tenant's traffic profile in place and re-enforces its
+// NIC. A breach triggers the rebalance path: ask the policy for a new
+// home; a move that holds is a migration, anything else evicts the
+// drifted tenant.
+func (o *orchestrator) drift(id int, prof traffic.Profile) {
+	if o.halted() {
+		return
+	}
+	idx := o.fleet.locate(id)
+	if idx < 0 {
+		return
+	}
+	o.tick()
+	t, _ := o.fleet.remove(idx, id)
+	t.Profile = prof
+	o.fleet.place(idx, t)
+	breaches, err := o.enforce(idx)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if breaches == 0 {
+		return
+	}
+	// Drift pushed the NIC out of feasibility; try to rehome the
+	// drifted tenant.
+	o.fleet.remove(idx, id)
+	target, err := o.decide(t.Arrival)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if target < 0 || target == idx {
+		o.res.Evictions++
+		return
+	}
+	o.fleet.place(target, t)
+	breaches, err = o.enforce(target)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if breaches > 0 {
+		o.fleet.remove(target, id)
+		o.res.Evictions++
+		return
+	}
+	o.res.Migrations++
+}
+
+// latencyPercentile reads the p-quantile of the (unsorted) samples.
+func latencyPercentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}

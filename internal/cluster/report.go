@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Comparison is the result of running one scenario under several
+// policies on a shared environment.
+type Comparison struct {
+	Scenario Scenario       `json:"scenario"`
+	Results  []PolicyResult `json:"results"`
+}
+
+// Run replays the scenario under each named policy on the shared
+// environment and collects the comparison. One environment means one
+// model load per NF (via the ModelSource) and one ground-truth
+// measurement per distinct co-location across all policies. The context
+// cancels the comparison between events.
+func Run(ctx context.Context, env *Env, sc Scenario, policies []string) (Comparison, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	if err := env.Prewarm(ctx, sc, policies); err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{Scenario: sc}
+	for _, p := range policies {
+		sched, err := NewScheduler(p, env, sc.Seed)
+		if err != nil {
+			return Comparison{}, err
+		}
+		res, err := env.RunPolicy(ctx, sc, sched)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("cluster: policy %s: %w", p, err)
+		}
+		cmp.Results = append(cmp.Results, res)
+	}
+	return cmp, nil
+}
+
+// Table renders the policy comparison for the CLI.
+func (c Comparison) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %d NICs, %d arrivals, %d NFs × %d profiles, drift %.0f%%, SLA %.0f–%.0f%%, seed %d\n",
+		c.Scenario.NICs, c.Scenario.Arrivals, len(c.Scenario.NFs), c.Scenario.Profiles,
+		100*c.Scenario.DriftProb, 100*c.Scenario.SLALo, 100*c.Scenario.SLAHi, c.Scenario.Seed)
+	fmt.Fprintf(&b, "%-10s %9s %9s %10s %9s %9s %11s %6s %10s %10s\n",
+		"policy", "admitted", "rejected", "rollbacks", "migrated", "evicted", "violations", "util", "p50", "p99")
+	for _, r := range c.Results {
+		fmt.Fprintf(&b, "%-10s %9d %9d %10d %9d %9d %11d %5.1f%% %10v %10v\n",
+			r.Policy, r.Admitted, r.Rejected, r.Rollbacks, r.Migrations, r.Evictions,
+			r.Violations, 100*r.AvgUtilization,
+			r.DecisionP50.Round(time.Microsecond), r.DecisionP99.Round(time.Microsecond))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

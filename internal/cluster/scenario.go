@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// DefaultDriftProb is the standard churn setup's traffic-drift
+// probability. It lives here — not in WithDefaults — because a zero
+// DriftProb legitimately means "no drift": callers with an
+// absent-vs-zero distinction on the wire (the serve layer, the CLI flag
+// default) apply it themselves.
+const DefaultDriftProb = 0.35
+
+// Scenario specifies one churning fleet workload. Everything the run
+// does is a deterministic function of the scenario (given an Env), so a
+// seed fully reproduces a comparison.
+type Scenario struct {
+	// NICs is the fleet size.
+	NICs int `json:"nics"`
+	// Arrivals is the total NF-arrival count in the stream.
+	Arrivals int `json:"arrivals"`
+	// Seed drives every random draw: the arrival stream and each
+	// tenant's lifetime/drift schedule.
+	Seed uint64 `json:"seed"`
+	// NFs is the catalog pool arrivals draw from.
+	NFs []string `json:"nfs"`
+	// Profiles is the traffic-profile pool size: the default profile
+	// plus random draws from the paper's attribute bounds.
+	Profiles int `json:"profiles"`
+	// MeanIAT is the mean inter-arrival time (exponential), seconds.
+	MeanIAT float64 `json:"mean_iat"`
+	// MeanLifetime is the mean tenant lifetime (exponential), seconds.
+	// Lifetime/MeanIAT sets the steady-state load on the fleet.
+	MeanLifetime float64 `json:"mean_lifetime"`
+	// DriftProb is the probability a tenant's traffic profile drifts to
+	// a new pool draw at a random point of its life.
+	DriftProb float64 `json:"drift_prob"`
+	// SLALo and SLAHi bound each arrival's SLA draw (max tolerated
+	// throughput drop relative to solo).
+	SLALo float64 `json:"sla_lo"`
+	SLAHi float64 `json:"sla_hi"`
+}
+
+// WithDefaults fills unset scenario fields with the standard churn
+// setup: a 16-NIC fleet at ~60% steady-state core load with a mixed
+// memory/accelerator NF pool and the paper's placement SLA range.
+func (sc Scenario) WithDefaults() Scenario {
+	if sc.NICs <= 0 {
+		sc.NICs = 16
+	}
+	if sc.Arrivals <= 0 {
+		sc.Arrivals = 120
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if len(sc.NFs) == 0 {
+		sc.NFs = []string{"FlowStats", "ACL", "NAT", "FlowMonitor", "NIDS"}
+	}
+	if sc.Profiles <= 0 {
+		sc.Profiles = 4
+	}
+	if sc.MeanIAT <= 0 {
+		sc.MeanIAT = 1
+	}
+	if sc.MeanLifetime <= 0 {
+		sc.MeanLifetime = 40
+	}
+	if sc.DriftProb < 0 {
+		sc.DriftProb = 0
+	}
+	if sc.SLALo <= 0 {
+		sc.SLALo = 0.05
+	}
+	if sc.SLAHi <= 0 {
+		sc.SLAHi = 0.2
+	}
+	return sc
+}
+
+// Validate rejects scenarios the orchestrator cannot run.
+func (sc Scenario) Validate() error {
+	if len(sc.NFs) == 0 {
+		return fmt.Errorf("cluster: scenario has no NF pool")
+	}
+	if sc.SLAHi < sc.SLALo {
+		return fmt.Errorf("cluster: SLA range [%g, %g] is inverted", sc.SLALo, sc.SLAHi)
+	}
+	if sc.DriftProb > 1 {
+		return fmt.Errorf("cluster: drift probability %g above 1", sc.DriftProb)
+	}
+	return nil
+}
+
+// ProfilePool returns the scenario's traffic-profile pool: the paper's
+// default profile plus deterministic random draws. The pool is derived
+// from the seed alone, so drift redraws and the arrival stream agree on
+// it.
+func (sc Scenario) ProfilePool() []traffic.Profile {
+	rng := sim.NewRNG(sc.Seed ^ 0x70726f66696c6573) // "profiles"
+	pool := []traffic.Profile{traffic.Default}
+	for len(pool) < sc.Profiles {
+		pool = append(pool, traffic.Random(rng))
+	}
+	return pool
+}
+
+// ArrivalEvent is one NF arrival in the stream.
+type ArrivalEvent struct {
+	Time   float64
+	Tenant Tenant
+}
+
+// ArrivalStream generates the scenario's arrival sequence: exponential
+// inter-arrival times, NFs and profiles drawn from the pools, SLAs from
+// the scenario range. The stream depends only on the scenario, never on
+// placement outcomes, so every policy replays the identical workload.
+func (sc Scenario) ArrivalStream() []ArrivalEvent {
+	rng := sim.NewRNG(sc.Seed)
+	pool := sc.ProfilePool()
+	events := make([]ArrivalEvent, 0, sc.Arrivals)
+	now := 0.0
+	for i := 0; i < sc.Arrivals; i++ {
+		now += rng.Exp(sc.MeanIAT)
+		events = append(events, ArrivalEvent{
+			Time: now,
+			Tenant: Tenant{
+				ID: i,
+				Arrival: placement.Arrival{
+					Name:    sc.NFs[rng.Intn(len(sc.NFs))],
+					Profile: pool[rng.Intn(len(pool))],
+					SLA:     sc.SLALo + (sc.SLAHi-sc.SLALo)*rng.Float64(),
+				},
+			},
+		})
+	}
+	return events
+}
+
+// tenantRNG derives tenant id's private random stream. Lifetime and
+// drift draws come from here, so a tenant behaves identically under
+// every policy that admits it, regardless of what else that policy
+// placed.
+func (sc Scenario) tenantRNG(id int) *sim.RNG {
+	return sim.NewRNG(sc.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+// Scheduler decides where an arriving NF goes. Choose returns the index
+// of the NIC to place a on, or -1 to reject the arrival. Implementations
+// must be deterministic given their construction seed — the comparison's
+// reproducibility rests on it.
+type Scheduler interface {
+	Name() string
+	Choose(f *Fleet, a placement.Arrival) (int, error)
+}
+
+// Policies lists the built-in scheduling policies in comparison order.
+func Policies() []string {
+	return []string{"random", "firstfit", "slomo", "yala"}
+}
+
+// NewScheduler constructs a built-in policy over the environment. The
+// seed only matters to randomized policies.
+func NewScheduler(policy string, env *Env, seed uint64) (Scheduler, error) {
+	switch policy {
+	case "random":
+		return &randomFit{rng: sim.NewRNG(seed ^ 0x72616e646f6d)}, nil
+	case "firstfit":
+		return firstFit{}, nil
+	case "yala":
+		return predictFit{env: env, strat: placement.YalaAware, name: "yala"}, nil
+	case "slomo":
+		return predictFit{env: env, strat: placement.SLOMOAware, name: "slomo"}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (have %v)", policy, Policies())
+}
+
+// randomFit places on a uniformly random NIC with core capacity —
+// contention-blind, the scheduling floor.
+type randomFit struct {
+	rng *sim.RNG
+}
+
+func (r *randomFit) Name() string { return "random" }
+
+func (r *randomFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
+	fitting := make([]int, 0, len(f.NICs))
+	for i := range f.NICs {
+		if f.Fits(i) {
+			fitting = append(fitting, i)
+		}
+	}
+	if len(fitting) == 0 {
+		return -1, nil
+	}
+	return fitting[r.rng.Intn(len(fitting))], nil
+}
+
+// firstFit places on the lowest-indexed NIC with core capacity — the
+// classic bin-packing heuristic, which concentrates load (and therefore
+// contention) on the front of the fleet.
+type firstFit struct{}
+
+func (firstFit) Name() string { return "firstfit" }
+
+func (firstFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
+	for i := range f.NICs {
+		if f.Fits(i) {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// predictFit is prediction-guided best-fit: among NICs where the
+// strategy's predictor deems the placement SLA-feasible
+// (placement.Feasible), pick the tightest fit — fewest free cores — to
+// consolidate load without breaching SLAs. No feasible NIC means the
+// arrival is rejected outright: admission control in the paper's §7.5.1
+// sense, applied fleet-wide.
+type predictFit struct {
+	env   *Env
+	strat placement.Strategy
+	name  string
+}
+
+func (p predictFit) Name() string { return p.name }
+
+func (p predictFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
+	best, bestFree := -1, f.NICCores+1
+	for i, n := range f.NICs {
+		if !f.Fits(i) {
+			continue
+		}
+		// An empty NIC is feasible by construction — alone, the NF runs
+		// at its solo throughput — so no prediction is consulted. This
+		// also mirrors placement.Place, which opens a fresh NIC without a
+		// feasibility check. Best-fit ordering still prefers occupied
+		// NICs (fewer free cores), so consolidation is tried first.
+		if len(n.Tenants) > 0 {
+			ok, err := p.env.feasible(n.arrivals(), a, p.strat)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if free := f.FreeCores(i); free < bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best, nil
+}

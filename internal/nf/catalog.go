@@ -33,6 +33,13 @@ func New(name string) (NF, error) {
 	return c(), nil
 }
 
+// Known reports whether name is in the catalog, without constructing
+// the NF — request validation uses it on serving hot paths.
+func Known(name string) bool {
+	_, ok := constructors[name]
+	return ok
+}
+
 // MustNew is New for static names; it panics on unknown names.
 func MustNew(name string) NF {
 	n, err := New(name)

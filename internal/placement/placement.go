@@ -302,6 +302,15 @@ func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 	return true, nil
 }
 
+// Violations counts residents whose ground-truth throughput breaks
+// their SLA when co-run together. It is the enforcement probe the fleet
+// orchestrator (internal/cluster) applies after every placement and
+// drift; co-runs are cached by resident multiset, so re-checking an
+// unchanged NIC is a lookup.
+func (s *Simulator) Violations(residents []Arrival) (int, error) {
+	return s.violations(residents)
+}
+
 // violations counts residents whose ground-truth throughput breaks their
 // SLA.
 func (s *Simulator) violations(residents []Arrival) (int, error) {

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/cluster"
 )
 
 // Handler exposes the service over HTTP/JSON:
@@ -17,12 +19,22 @@ import (
 //	POST /v1/compare   CompareRequest  → CompareResponse
 //	POST /v1/admit     AdmitRequest    → AdmitResponse
 //	POST /v1/diagnose  DiagnoseRequest → DiagnoseResponse
+//	POST /v1/cluster/run    ClusterRunRequest → cluster.Comparison
+//	GET  /v1/cluster/policies          → ClusterPoliciesResponse
 //	GET  /v1/models                    → []ModelInfo
 //	GET  /v1/stats                     → ServiceStats
 //	POST /v1/reload    reloadRequest   → {"ok": true}
 //	GET  /healthz                      → ok
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/run", func(w http.ResponseWriter, r *http.Request) {
+		handleJSON(w, r, func(req ClusterRunRequest) (cluster.Comparison, error) {
+			return s.ClusterRun(r.Context(), req)
+		})
+	})
+	mux.HandleFunc("GET /v1/cluster/policies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ClusterPoliciesResponse{Policies: cluster.Policies()})
+	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req PredictRequest) (PredictResponse, error) {
 			return s.Predict(r.Context(), req)
@@ -93,11 +105,16 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 	}
 	resp, err := fn(req)
 	if err != nil {
-		// Transient server conditions are 503 so retry policies keyed on
-		// 4xx-vs-5xx retry them; everything else is a scenario the client
-		// asked for that the service cannot answer.
+		// Client-caused errors (unknown NF, malformed profile, unknown
+		// backend/policy) are 400; transient server conditions are 503 so
+		// retry policies keyed on 4xx-vs-5xx retry them; everything else
+		// is a scenario the client asked for that the service cannot
+		// answer.
 		status := http.StatusUnprocessableEntity
-		if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, ErrBadRequest):
+			status = http.StatusBadRequest
+		case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			status = http.StatusServiceUnavailable
 		}
 		writeJSON(w, status, errorBody{err.Error()})
@@ -182,6 +199,11 @@ func (c *Client) Admit(req AdmitRequest) (AdmitResponse, error) {
 // Diagnose calls POST /v1/diagnose.
 func (c *Client) Diagnose(req DiagnoseRequest) (DiagnoseResponse, error) {
 	return post[DiagnoseRequest, DiagnoseResponse](c, "/v1/diagnose", req)
+}
+
+// ClusterRun calls POST /v1/cluster/run.
+func (c *Client) ClusterRun(req ClusterRunRequest) (cluster.Comparison, error) {
+	return post[ClusterRunRequest, cluster.Comparison](c, "/v1/cluster/run", req)
 }
 
 // Stats calls GET /v1/stats.

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// httpModelDir is shared by every HTTP-layer test server: the first
+// server quick-trains and persists the tiny models, later servers load
+// them from disk instead of retraining. TestMain removes it.
+var (
+	httpModelDirOnce sync.Once
+	httpModelDir     string
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if httpModelDir != "" {
+		os.RemoveAll(httpModelDir)
+	}
+	os.Exit(code)
+}
+
+// testServer runs a service behind httptest with the cheap test
+// training config and the shared model directory.
+func testServer(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	httpModelDirOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "serve-http-models-")
+		if err != nil {
+			t.Fatalf("creating shared model dir: %v", err)
+		}
+		httpModelDir = dir
+	})
+	cfg := RegistryConfig{
+		Dir:   httpModelDir,
+		Seed:  1,
+		Train: testTrainConfig(1),
+		SLOMO: testSLOMOConfig(1),
+	}
+	svc := NewService(ServiceConfig{Registry: cfg, Workers: 2})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts, NewClient(ts.URL)
+}
+
+// postRaw round-trips a raw JSON body and returns (status, body).
+func postRaw(t *testing.T, ts *httptest.Server, path, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", path, err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+func TestHTTPPredict(t *testing.T) {
+	_, client := testServer(t)
+	resp, err := client.Predict(PredictRequest{
+		NF:          "FlowStats",
+		Competitors: []CompetitorSpec{{Name: "ACL"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NF != "FlowStats" || resp.SoloPPS <= 0 || resp.PredictedPPS <= 0 {
+		t.Fatalf("implausible prediction: %+v", resp)
+	}
+}
+
+// TestHTTPPredictBadRequest is the regression test for unknown NFs and
+// malformed profiles: both must surface as HTTP 400 with a message that
+// names the problem, not as an opaque 5xx.
+func TestHTTPPredictBadRequest(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []struct {
+		name, body, wantMsg string
+	}{
+		{"unknown nf", `{"nf":"NoSuchNF"}`, "unknown NF"},
+		{"missing nf", `{}`, "missing NF name"},
+		{"unknown competitor", `{"nf":"FlowStats","competitors":[{"name":"Bogus"}]}`, "unknown NF"},
+		{"negative flows", `{"nf":"FlowStats","profile":{"flows":-5}}`, "flows"},
+		{"oversized pktsize", `{"nf":"FlowStats","profile":{"pktsize":100000}}`, "pktsize"},
+		{"negative mtbr", `{"nf":"FlowStats","profile":{"mtbr":-1}}`, "mtbr"},
+		{"unknown backend", `{"nf":"FlowStats","backend":"magic"}`, "unknown backend"},
+	}
+	for _, tc := range cases {
+		status, body := postRaw(t, ts, "/v1/predict", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, status, body)
+		}
+		if !strings.Contains(body, tc.wantMsg) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.wantMsg)
+		}
+	}
+}
+
+func TestHTTPPredictBatch(t *testing.T) {
+	ts, client := testServer(t)
+	resp, err := client.PredictBatch(BatchRequest{Requests: []PredictRequest{
+		{NF: "FlowStats"},
+		{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Responses) != 2 || len(resp.Errors) != 0 {
+		t.Fatalf("batch response: %+v", resp)
+	}
+	// A malformed element fails the whole batch with 400 and an index.
+	status, body := postRaw(t, ts, "/v1/predict/batch",
+		`{"requests":[{"nf":"FlowStats"},{"nf":"NoSuchNF"}]}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad batch element: status %d, want 400 (body %s)", status, body)
+	}
+	if !strings.Contains(body, "requests[1]") {
+		t.Fatalf("bad batch element: body %q does not name the element", body)
+	}
+}
+
+func TestHTTPCompareAdmitDiagnose(t *testing.T) {
+	ts, client := testServer(t)
+	cmp, err := client.Compare(CompareRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Yala.PredictedPPS <= 0 || cmp.SLOMO.PredictedPPS <= 0 {
+		t.Fatalf("implausible compare: %+v", cmp)
+	}
+	adm, err := client.Admit(AdmitRequest{
+		Residents: []ColoNF{{Name: "ACL", SLA: 0.9}},
+		Candidate: ColoNF{Name: "FlowStats", SLA: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Residents != 1 {
+		t.Fatalf("admit response: %+v", adm)
+	}
+	diag, err := client.Diagnose(DiagnoseRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Bottleneck == "" {
+		t.Fatalf("diagnose response: %+v", diag)
+	}
+	// Admission validation: an out-of-range SLA is a 400.
+	status, body := postRaw(t, ts, "/v1/admit",
+		`{"candidate":{"name":"FlowStats","sla":1.5}}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "SLA") {
+		t.Fatalf("bad admit SLA: status %d body %s", status, body)
+	}
+}
+
+func TestHTTPStatsModelsHealthz(t *testing.T) {
+	ts, client := testServer(t)
+	if _, err := client.Predict(PredictRequest{NF: "FlowStats"}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests["predict"] != 1 || len(stats.Models) == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("models status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPClusterPolicies(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/cluster/policies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("policies status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range cluster.Policies() {
+		if !strings.Contains(string(data), p) {
+			t.Fatalf("policies body %q missing %q", data, p)
+		}
+	}
+}
+
+func TestHTTPClusterRun(t *testing.T) {
+	_, client := testServer(t)
+	drift := 0.5
+	cmp, err := client.ClusterRun(ClusterRunRequest{
+		NICs:      2,
+		Arrivals:  6,
+		Seed:      3,
+		NFs:       []string{"FlowStats", "ACL"},
+		Policies:  []string{"firstfit", "yala"},
+		Profiles:  2,
+		DriftProb: &drift,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 2 {
+		t.Fatalf("cluster run returned %d results, want 2", len(cmp.Results))
+	}
+	for _, r := range cmp.Results {
+		if r.Arrivals != 6 {
+			t.Fatalf("policy %s saw %d arrivals, want 6", r.Policy, r.Arrivals)
+		}
+		if r.Admitted+r.Rejected+r.Rollbacks != 6 {
+			t.Fatalf("policy %s accounting off: %+v", r.Policy, r)
+		}
+	}
+}
+
+func TestHTTPClusterRunBadRequest(t *testing.T) {
+	ts, _ := testServer(t)
+	cases := []struct {
+		name, body, wantMsg string
+	}{
+		{"bad nf", `{"nfs":["NoSuchNF"]}`, "unknown NF"},
+		{"bad policy", `{"policies":["zeus"]}`, "unknown policy"},
+		{"oversized fleet", `{"nics":100000}`, "nics"},
+		{"oversized arrivals", `{"arrivals":1000000}`, "arrivals"},
+		{"bad drift", `{"drift_prob":1.5}`, "drift_prob"},
+		// The SLA range is only inverted after defaults fill sla_hi —
+		// still the client's doing, still a 400.
+		{"inverted sla after defaults", `{"sla_lo":0.5}`, "SLA range"},
+		{"negative iat", `{"mean_iat":-5}`, "mean_iat"},
+	}
+	for _, tc := range cases {
+		status, body := postRaw(t, ts, "/v1/cluster/run", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", tc.name, status, body)
+		}
+		if !strings.Contains(body, tc.wantMsg) {
+			t.Errorf("%s: body %q does not mention %q", tc.name, body, tc.wantMsg)
+		}
+	}
+}

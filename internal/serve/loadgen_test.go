@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestLoadgenReportsServerErrors is the regression test for the CI gate:
+// a run that recorded server errors must return a non-nil error (so
+// `yala loadgen` exits nonzero) while still carrying the counts.
+func TestLoadgenReportsServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	rep, err := Loadgen(LoadgenConfig{URL: ts.URL, Workers: 2, Requests: 10})
+	if err == nil {
+		t.Fatal("loadgen against an erroring server returned nil error")
+	}
+	if rep.Errors != 10 || rep.Requests != 10 {
+		t.Fatalf("errors/requests = %d/%d, want 10/10", rep.Errors, rep.Requests)
+	}
+}
+
+// TestLoadgenTransportErrors covers the connection-refused flavor: the
+// run must fail, not silently report zero throughput.
+func TestLoadgenTransportErrors(t *testing.T) {
+	// A closed server: every request fails at the transport.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	rep, err := Loadgen(LoadgenConfig{URL: url, Workers: 2, Requests: 4})
+	if err == nil {
+		t.Fatal("loadgen against a dead server returned nil error")
+	}
+	if rep.Errors != 4 {
+		t.Fatalf("errors = %d, want 4", rep.Errors)
+	}
+}

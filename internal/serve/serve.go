@@ -21,16 +21,91 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/nf"
 	"repro/internal/profiling"
 	"repro/internal/slomo"
 	"repro/internal/traffic"
 )
+
+// ErrBadRequest tags request errors the client caused — unknown NF
+// names, malformed traffic profiles, unknown backends or policies. The
+// HTTP layer maps it to 400 so clients can distinguish "fix your
+// request" from "the service could not answer" (422) and transient
+// conditions (503).
+var ErrBadRequest = errors.New("bad request")
+
+// badRequestf builds an ErrBadRequest-tagged error.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// validNF rejects NF names outside the catalog before any model or
+// measurement work happens.
+func validNF(name string) error {
+	if strings.TrimSpace(name) == "" {
+		return badRequestf("missing NF name")
+	}
+	if !nf.Known(name) {
+		return badRequestf("unknown NF %q (have %s)", name, strings.Join(nf.Names(), ", "))
+	}
+	return nil
+}
+
+// Profile attribute sanity bounds. The simulator would accept larger
+// values, but a request beyond these is a malformed profile, not a
+// workload — and unbounded values turn one request into an arbitrarily
+// expensive simulation.
+const (
+	maxProfileFlows   = 1_000_000
+	maxProfilePktSize = 9216 // jumbo frame
+	maxProfileMTBR    = 1e5
+)
+
+// validate rejects malformed traffic profiles. Zero values mean "use the
+// default attribute" on the wire, so only negative or absurd values are
+// errors.
+func (p ProfileSpec) validate() error {
+	if p.Flows < 0 || p.Flows > maxProfileFlows {
+		return badRequestf("profile flows %d out of range [0, %d]", p.Flows, maxProfileFlows)
+	}
+	if p.PktSize < 0 || p.PktSize > maxProfilePktSize {
+		return badRequestf("profile pktsize %d out of range [0, %d]", p.PktSize, maxProfilePktSize)
+	}
+	if p.MTBR != nil && (*p.MTBR < 0 || *p.MTBR > maxProfileMTBR) {
+		return badRequestf("profile mtbr %g out of range [0, %g]", *p.MTBR, float64(maxProfileMTBR))
+	}
+	return nil
+}
+
+// validateScenario checks the (NF, profile, competitors, backend) tuple
+// every prediction-shaped request carries.
+func validateScenario(nfName string, prof ProfileSpec, comps []CompetitorSpec, backend string) error {
+	if _, err := ParseBackend(backend); err != nil {
+		return badRequestf("%v", err)
+	}
+	if err := validNF(nfName); err != nil {
+		return err
+	}
+	if err := prof.validate(); err != nil {
+		return err
+	}
+	for i, c := range comps {
+		if err := validNF(c.Name); err != nil {
+			return fmt.Errorf("competitors[%d]: %w", i, err)
+		}
+		if err := c.Profile.validate(); err != nil {
+			return fmt.Errorf("competitors[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // Backend selects which predictor answers a request.
 type Backend string

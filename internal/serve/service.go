@@ -71,24 +71,31 @@ type Service struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// clusterSem serializes cluster comparison runs: they are
+	// multi-second batch jobs that bypass the worker pool, so without a
+	// cap abandoned or hostile requests could pin every CPU.
+	clusterSem chan struct{}
+
 	started time.Time
 
-	predicts  atomic.Uint64
-	compares  atomic.Uint64
-	admits    atomic.Uint64
-	diagnoses atomic.Uint64
-	errors    atomic.Uint64
+	predicts    atomic.Uint64
+	compares    atomic.Uint64
+	admits      atomic.Uint64
+	diagnoses   atomic.Uint64
+	clusterRuns atomic.Uint64
+	errors      atomic.Uint64
 }
 
 // NewService starts a service and its worker pool. Call Close to stop it.
 func NewService(cfg ServiceConfig) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:     cfg,
-		reg:     NewRegistry(cfg.Registry),
-		cache:   NewCache(cfg.CacheEntries),
-		jobs:    make(chan func(), cfg.QueueDepth),
-		started: time.Now(),
+		cfg:        cfg,
+		reg:        NewRegistry(cfg.Registry),
+		cache:      NewCache(cfg.CacheEntries),
+		jobs:       make(chan func(), cfg.QueueDepth),
+		clusterSem: make(chan struct{}, 1),
+		started:    time.Now(),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -266,11 +273,11 @@ func (s *Service) predictCached(backend Backend, name string, prof traffic.Profi
 // lookup is not compute.
 func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
 	s.predicts.Add(1)
-	backend, err := ParseBackend(req.Backend)
-	if err != nil {
+	if err := validateScenario(req.NF, req.Profile, req.Competitors, req.Backend); err != nil {
 		s.errors.Add(1)
 		return PredictResponse{}, err
 	}
+	backend, _ := ParseBackend(req.Backend)
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
 	// A hit answers inline — a lookup is not compute. A miss (including
@@ -341,6 +348,15 @@ type BatchResponse struct {
 // cache. Elements run concurrently so a batch of misses overlaps on the
 // worker pool instead of serializing; hits cost a lookup each.
 func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	// A malformed element fails the whole batch up front: element-level
+	// Errors are for scenarios the service could not answer, not for
+	// requests the client should not have sent.
+	for i, r := range req.Requests {
+		if err := validateScenario(r.NF, r.Profile, r.Competitors, r.Backend); err != nil {
+			s.errors.Add(1)
+			return BatchResponse{}, fmt.Errorf("requests[%d]: %w", i, err)
+		}
+	}
 	resp := BatchResponse{Responses: make([]PredictResponse, len(req.Requests))}
 	errs := make([]string, len(req.Requests))
 	var failed atomic.Bool
@@ -393,6 +409,10 @@ type CompareResponse struct {
 // of recomputing it under a separate key.
 func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
 	s.compares.Add(1)
+	if err := validateScenario(req.NF, req.Profile, req.Competitors, ""); err != nil {
+		s.errors.Add(1)
+		return CompareResponse{}, err
+	}
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
 	// Warm fast path: every piece already resident → assemble inline.
@@ -514,11 +534,11 @@ type AdmitResponse struct {
 // placement package's feasibility check (§7.5.1) with registry models.
 func (s *Service) Admit(ctx context.Context, req AdmitRequest) (AdmitResponse, error) {
 	s.admits.Add(1)
-	backend, err := ParseBackend(req.Backend)
-	if err != nil {
+	if err := req.validate(); err != nil {
 		s.errors.Add(1)
 		return AdmitResponse{}, err
 	}
+	backend, _ := ParseBackend(req.Backend)
 	// Canonical resident order makes the cache key (and the fresh
 	// testbed's measurement order) independent of caller ordering.
 	residents := append([]ColoNF(nil), req.Residents...)
@@ -607,6 +627,37 @@ func (s *Service) admit(backend Backend, key string, residents []ColoNF, candida
 	return resp, nil
 }
 
+// validate rejects malformed admission requests: every participant must
+// be a catalog NF with a well-formed profile and an SLA in [0, 1].
+func (r AdmitRequest) validate() error {
+	if _, err := ParseBackend(r.Backend); err != nil {
+		return badRequestf("%v", err)
+	}
+	if err := r.Candidate.validate(); err != nil {
+		return fmt.Errorf("candidate: %w", err)
+	}
+	for i, res := range r.Residents {
+		if err := res.validate(); err != nil {
+			return fmt.Errorf("residents[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// validate checks one admission participant.
+func (c ColoNF) validate() error {
+	if err := validNF(c.Name); err != nil {
+		return err
+	}
+	if err := c.Profile.validate(); err != nil {
+		return err
+	}
+	if c.SLA < 0 || c.SLA > 1 {
+		return badRequestf("SLA %g out of range [0, 1]", c.SLA)
+	}
+	return nil
+}
+
 // coloKey renders one admission participant canonically. The SLA prints
 // at full precision — a truncated rendering would alias near-equal SLAs
 // onto one cache key and serve the wrong admission decision.
@@ -638,6 +689,10 @@ type DiagnoseResponse struct {
 // the predict-keyed cache entry instead of storing its own.
 func (s *Service) Diagnose(ctx context.Context, req DiagnoseRequest) (DiagnoseResponse, error) {
 	s.diagnoses.Add(1)
+	if err := validateScenario(req.NF, req.Profile, req.Competitors, ""); err != nil {
+		s.errors.Add(1)
+		return DiagnoseResponse{}, err
+	}
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
 	if v, ok := s.cache.Get(predictKey(BackendYala, req.NF, prof, comps)); ok {
@@ -687,10 +742,11 @@ func (s *Service) Stats() ServiceStats {
 		UptimeSec: time.Since(s.started).Seconds(),
 		Workers:   s.cfg.Workers,
 		Requests: map[string]uint64{
-			"predict":  s.predicts.Load(),
-			"compare":  s.compares.Load(),
-			"admit":    s.admits.Load(),
-			"diagnose": s.diagnoses.Load(),
+			"predict":     s.predicts.Load(),
+			"compare":     s.compares.Load(),
+			"admit":       s.admits.Load(),
+			"diagnose":    s.diagnoses.Load(),
+			"cluster_run": s.clusterRuns.Load(),
 		},
 		Errors:          s.errors.Load(),
 		Cache:           s.cache.Stats(),

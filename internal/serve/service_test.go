@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -294,7 +296,8 @@ func TestHTTPRoundTrip(t *testing.T) {
 }
 
 // TestPredictBatch checks batch elements match single-request answers
-// and per-element failures don't fail the batch.
+// and that a malformed element fails the whole batch as a bad request
+// (the HTTP layer turns that into a 400) naming the offending index.
 func TestPredictBatch(t *testing.T) {
 	s := testService(t)
 	good := PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}}
@@ -304,20 +307,26 @@ func TestPredictBatch(t *testing.T) {
 	}
 	batch, err := s.PredictBatch(context.Background(), BatchRequest{Requests: []PredictRequest{
 		good,
-		{NF: "NoSuchNF"},
 		good,
 	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(batch.Responses[0], single) || !reflect.DeepEqual(batch.Responses[2], single) {
+	if !reflect.DeepEqual(batch.Responses[0], single) || !reflect.DeepEqual(batch.Responses[1], single) {
 		t.Fatalf("batch elements differ from single response: %+v", batch.Responses)
 	}
-	if batch.Errors == nil || batch.Errors[1] == "" {
-		t.Fatalf("expected per-element error for unknown NF, got %+v", batch.Errors)
+	if len(batch.Errors) != 0 {
+		t.Fatalf("good batch reported errors: %+v", batch.Errors)
 	}
-	if batch.Errors[0] != "" || batch.Errors[2] != "" {
-		t.Fatalf("good elements reported errors: %+v", batch.Errors)
+	_, err = s.PredictBatch(context.Background(), BatchRequest{Requests: []PredictRequest{
+		good,
+		{NF: "NoSuchNF"},
+	}})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("batch with unknown NF returned %v, want ErrBadRequest", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "requests[1]") {
+		t.Fatalf("batch error %v does not name the offending element", err)
 	}
 }
 
