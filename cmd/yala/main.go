@@ -12,7 +12,10 @@
 //	yala place    -arrivals 60 [-seed n]
 //	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full]
 //	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-seed n] [-json path]
-//	yala cluster  -nics 16 -arrivals 120 [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
+//	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
+//	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
+//	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
+//	yala trace replay -in scenario.trace [-policies ...] [-models DIR] [-json path]
 //	yala list
 package main
 
@@ -24,6 +27,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
@@ -36,6 +40,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/slomo"
 	"repro/internal/testbed"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -62,6 +67,8 @@ func main() {
 		err = cmdLoadgen(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "trace":
+		err = cmdTrace(args)
 	case "list":
 		fmt.Println(strings.Join(nf.Names(), "\n"))
 	default:
@@ -74,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|cluster|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|cluster|trace|list} [flags]")
 	os.Exit(2)
 }
 
@@ -397,60 +404,198 @@ func cmdLoadgen(args []string) error {
 	return nil
 }
 
-// cmdCluster runs a fleet-orchestration scenario locally and prints the
-// policy comparison (internal/cluster). Models come from a
-// serve.ModelRegistry, so they load from -models (or quick-train on
-// demand) exactly once across all compared policies.
-func cmdCluster(args []string) error {
-	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
-	nics := fs.Int("nics", 16, "fleet size (NIC count)")
+// scenarioFlags registers the fleet-scenario flags shared by `yala
+// cluster` and `yala trace record`, returning a resolver that builds the
+// scenario after fs.Parse.
+func scenarioFlags(fs *flag.FlagSet) func() (cluster.Scenario, error) {
+	nics := fs.Int("nics", 16, "fleet size (NIC count; ignored when -classes is set)")
+	classes := fs.String("classes", "", "heterogeneous fleet spec: comma-separated class:count[:cores] (classes: "+strings.Join(cluster.ClassNames(), ", ")+")")
+	workload := fs.String("workload", cluster.WorkloadChurn, "workload generator: "+strings.Join(cluster.Workloads(), ", "))
 	arrivals := fs.Int("arrivals", 120, "NF arrival count")
 	seed := fs.Uint64("seed", 1, "scenario and testbed seed")
 	nfs := fs.String("nfs", "", "comma-separated NF pool (default: a standard mix)")
-	policies := fs.String("policies", "", "comma-separated policies to compare (default: all)")
 	profiles := fs.Int("profiles", 4, "traffic-profile pool size")
 	drift := fs.Float64("drift", cluster.DefaultDriftProb, "per-tenant traffic-drift probability")
 	iat := fs.Float64("iat", 1, "mean inter-arrival time (s)")
 	meanlife := fs.Float64("meanlife", 40, "mean tenant lifetime (s)")
 	slaLo := fs.Float64("slalo", 0.05, "SLA lower bound (max tolerated throughput drop)")
 	slaHi := fs.Float64("slahi", 0.2, "SLA upper bound")
+	return func() (cluster.Scenario, error) {
+		sc := cluster.Scenario{
+			NICs:         *nics,
+			Workload:     *workload,
+			Arrivals:     *arrivals,
+			Seed:         *seed,
+			Profiles:     *profiles,
+			MeanIAT:      *iat,
+			MeanLifetime: *meanlife,
+			DriftProb:    *drift,
+			SLALo:        *slaLo,
+			SLAHi:        *slaHi,
+		}
+		if *classes != "" {
+			specs, err := parseClasses(*classes)
+			if err != nil {
+				return cluster.Scenario{}, err
+			}
+			sc.Classes = specs
+		}
+		if *nfs != "" {
+			for _, name := range strings.Split(*nfs, ",") {
+				sc.NFs = append(sc.NFs, strings.TrimSpace(name))
+			}
+		}
+		sc = sc.WithDefaults()
+		return sc, sc.Validate()
+	}
+}
+
+// parseClasses parses the -classes spec: class:count[:cores], comma
+// separated, e.g. "bluefield2:12,pensando:4" or "bluefield2:8:4".
+func parseClasses(spec string) ([]cluster.ClassSpec, error) {
+	var out []cluster.ClassSpec
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("classes: %q is not class:count[:cores]", part)
+		}
+		cs := cluster.ClassSpec{Class: fields[0]}
+		var err error
+		if cs.Count, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("classes: bad count in %q", part)
+		}
+		if len(fields) == 3 {
+			if cs.Cores, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("classes: bad cores in %q", part)
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// parsePolicies splits a -policies flag value.
+func parsePolicies(spec string) []string {
+	var out []string
+	if spec != "" {
+		for _, p := range strings.Split(spec, ",") {
+			out = append(out, strings.TrimSpace(p))
+		}
+	}
+	return out
+}
+
+// cmdCluster runs a fleet-orchestration scenario locally and prints the
+// policy comparison (internal/cluster). Models come from a
+// serve.ModelRegistry, so they load from -models (or quick-train on
+// demand) exactly once per (class, NF) across all compared policies.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	scenario := scenarioFlags(fs)
+	policies := fs.String("policies", "", "comma-separated policies to compare (default: all)")
 	models := fs.String("models", "", "model directory (persisted models; quick-trained on demand when absent or empty)")
 	jsonPath := fs.String("json", "", "write the machine-readable comparison to this path")
 	fs.Parse(args)
 
+	sc, err := scenario()
+	if err != nil {
+		return err
+	}
 	if *models != "" {
 		if err := os.MkdirAll(*models, 0o755); err != nil {
 			return err
 		}
 	}
-	sc := cluster.Scenario{
-		NICs:         *nics,
-		Arrivals:     *arrivals,
-		Seed:         *seed,
-		Profiles:     *profiles,
-		MeanIAT:      *iat,
-		MeanLifetime: *meanlife,
-		DriftProb:    *drift,
-		SLALo:        *slaLo,
-		SLAHi:        *slaHi,
+	reg := serve.NewRegistry(serve.RegistryConfig{Dir: *models, Seed: sc.Seed})
+	env := cluster.NewEnv(nicsim.BlueField2(), sc.Seed, reg)
+	fmt.Printf("cluster: %d NICs, %d %s arrivals, NF pool %v (models %s)\n",
+		sc.NICs, sc.Arrivals, sc.Workload, sc.NFs, modelSourceDesc(*models))
+	cmp, err := cluster.Run(context.Background(), env, sc, parsePolicies(*policies))
+	if err != nil {
+		return err
 	}
-	if *nfs != "" {
-		for _, name := range strings.Split(*nfs, ",") {
-			sc.NFs = append(sc.NFs, strings.TrimSpace(name))
+	fmt.Println(cmp.Table())
+	if *jsonPath != "" {
+		return writeJSONFile(*jsonPath, cmp)
+	}
+	return nil
+}
+
+// cmdTrace records and replays fleet workload traces (internal/trace):
+// `record` freezes a scenario's full tenant stream into a versioned
+// JSONL file, `replay` runs a recorded stream through the policy
+// comparison — reproducing a recorded run event for event.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace: want `yala trace record` or `yala trace replay`")
+	}
+	switch args[0] {
+	case "record":
+		return cmdTraceRecord(args[1:])
+	case "replay":
+		return cmdTraceReplay(args[1:])
+	}
+	return fmt.Errorf("trace: unknown subcommand %q (want record or replay)", args[0])
+}
+
+func cmdTraceRecord(args []string) error {
+	fs := flag.NewFlagSet("trace record", flag.ExitOnError)
+	scenario := scenarioFlags(fs)
+	out := fs.String("out", "", "output trace file (JSONL); required")
+	fs.Parse(args)
+	sc, err := scenario()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("trace record: -out is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Record(f, sc)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d %s arrivals over %s to %s\n",
+		len(tr.Stream), tr.Scenario.Workload, tr.Scenario.FleetDesc(), *out)
+	return nil
+}
+
+func cmdTraceReplay(args []string) error {
+	fs := flag.NewFlagSet("trace replay", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file (from `yala trace record`); required")
+	policies := fs.String("policies", "", "comma-separated policies to compare (default: all)")
+	models := fs.String("models", "", "model directory (persisted models; quick-trained on demand when absent or empty)")
+	jsonPath := fs.String("json", "", "write the machine-readable comparison to this path")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("trace replay: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *models != "" {
+		if err := os.MkdirAll(*models, 0o755); err != nil {
+			return err
 		}
 	}
-	var pols []string
-	if *policies != "" {
-		for _, p := range strings.Split(*policies, ",") {
-			pols = append(pols, strings.TrimSpace(p))
-		}
-	}
-	sc = sc.WithDefaults()
-	reg := serve.NewRegistry(serve.RegistryConfig{Dir: *models, Seed: *seed})
-	env := cluster.NewEnv(nicsim.BlueField2(), *seed, reg)
-	fmt.Printf("cluster: %d NICs, %d arrivals, NF pool %v (models %s)\n",
-		sc.NICs, sc.Arrivals, sc.NFs, modelSourceDesc(*models))
-	cmp, err := cluster.Run(context.Background(), env, sc, pols)
+	reg := serve.NewRegistry(serve.RegistryConfig{Dir: *models, Seed: tr.Scenario.Seed})
+	env := cluster.NewEnv(nicsim.BlueField2(), tr.Scenario.Seed, reg)
+	fmt.Printf("replay: %d arrivals over %s from %s (models %s)\n",
+		len(tr.Stream), tr.Scenario.FleetDesc(), *in, modelSourceDesc(*models))
+	cmp, err := cluster.RunStream(context.Background(), env, tr.Scenario, tr.Stream, parsePolicies(*policies))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// yalaBin is the binary under test, built once by TestMain — the e2e
+// tests drive the real CLI, not in-process calls, so exit codes, flag
+// parsing and process wiring are all covered.
+var yalaBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "yala-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	yalaBin = filepath.Join(dir, "yala")
+	build := exec.Command("go", "build", "-o", yalaBin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building yala: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes the binary and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(yalaBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// comparisonJSON is the shape assertion for -json outputs.
+type comparisonJSON struct {
+	Scenario struct {
+		NICs     int    `json:"nics"`
+		Arrivals int    `json:"arrivals"`
+		Workload string `json:"workload"`
+	} `json:"scenario"`
+	Results []struct {
+		Policy    string `json:"policy"`
+		Arrivals  int    `json:"arrivals"`
+		Admitted  int    `json:"admitted"`
+		Rejected  int    `json:"rejected"`
+		Rollbacks int    `json:"rollbacks"`
+		P50       int64  `json:"decision_p50_ns"`
+	} `json:"results"`
+}
+
+// stripLatencies zeroes the only nondeterministic fields so replay runs
+// compare equal.
+func (c *comparisonJSON) stripLatencies() {
+	for i := range c.Results {
+		c.Results[i].P50 = 0
+	}
+}
+
+func readComparison(t *testing.T, path string) comparisonJSON {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c comparisonJSON
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return c
+}
+
+// TestTraceRecordReplayE2E drives the record→replay loop through the
+// built binary: exit codes, JSON shape, and determinism (two replays of
+// one trace agree exactly on every scheduling outcome).
+func TestTraceRecordReplayE2E(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "scenario.trace")
+
+	stdout, stderr, code := run(t,
+		"trace", "record", "-out", tracePath,
+		"-arrivals", "12", "-classes", "bluefield2:2,pensando:1",
+		"-workload", "diurnal", "-nfs", "FlowStats,ACL", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("trace record exited %d: %s%s", code, stdout, stderr)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	replay := func(out string) comparisonJSON {
+		stdout, stderr, code := run(t,
+			"trace", "replay", "-in", tracePath,
+			"-policies", "random,firstfit", "-json", out)
+		if code != 0 {
+			t.Fatalf("trace replay exited %d: %s%s", code, stdout, stderr)
+		}
+		c := readComparison(t, out)
+		c.stripLatencies()
+		return c
+	}
+	r1 := replay(filepath.Join(dir, "r1.json"))
+	r2 := replay(filepath.Join(dir, "r2.json"))
+
+	if r1.Scenario.NICs != 3 || r1.Scenario.Arrivals != 12 || r1.Scenario.Workload != "diurnal" {
+		t.Fatalf("unexpected replayed scenario: %+v", r1.Scenario)
+	}
+	if len(r1.Results) != 2 {
+		t.Fatalf("replay produced %d results, want 2", len(r1.Results))
+	}
+	for i, r := range r1.Results {
+		if r.Arrivals != 12 || r.Admitted+r.Rejected+r.Rollbacks != 12 {
+			t.Fatalf("result %+v does not account for all arrivals", r)
+		}
+		if r != r2.Results[i] {
+			t.Fatalf("replays diverged:\n%+v\n%+v", r, r2.Results[i])
+		}
+	}
+
+	// Replaying a missing or corrupt trace must exit nonzero.
+	if _, _, code := run(t, "trace", "replay", "-in", filepath.Join(dir, "nope.trace")); code == 0 {
+		t.Fatal("replay of missing trace exited 0")
+	}
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := run(t, "trace", "replay", "-in", bad); code == 0 {
+		t.Fatal("replay of corrupt trace exited 0")
+	}
+}
+
+// TestClusterE2E runs a small mixed-fleet comparison through the binary
+// and asserts table output, JSON shape and flag validation.
+func TestClusterE2E(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cmp.json")
+	stdout, stderr, code := run(t,
+		"cluster", "-arrivals", "8", "-classes", "bluefield2:1,pensando:1",
+		"-nfs", "FlowStats", "-policies", "firstfit", "-seed", "4", "-json", out)
+	if code != 0 {
+		t.Fatalf("cluster exited %d: %s%s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("firstfit")) {
+		t.Fatalf("table output missing policy row:\n%s", stdout)
+	}
+	c := readComparison(t, out)
+	if c.Scenario.NICs != 2 || len(c.Results) != 1 || c.Results[0].Policy != "firstfit" {
+		t.Fatalf("unexpected comparison: %+v", c)
+	}
+
+	if _, _, code := run(t, "cluster", "-workload", "bogus"); code == 0 {
+		t.Fatal("unknown workload exited 0")
+	}
+	if _, _, code := run(t, "cluster", "-classes", "wat:3"); code == 0 {
+		t.Fatal("unknown class exited 0")
+	}
+	if _, _, code := run(t, "cluster", "-classes", "bluefield2:1O"); code == 0 {
+		t.Fatal("malformed class count exited 0")
+	}
+}
+
+// TestServeLoadgenE2E boots the real server, drives it with the real
+// load generator, and checks the operator surface: healthz, loadgen exit
+// codes (success and recorded-error runs), stats shape, and the cluster
+// endpoint's request validation.
+func TestServeLoadgenE2E(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	url := "http://" + addr
+
+	srv := exec.Command(yalaBin, "serve", "-addr", addr, "-models", filepath.Join(dir, "models"))
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	healthy := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				healthy = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatalf("server never became healthy:\n%s", srvOut.String())
+	}
+
+	stdout, stderr, code := run(t,
+		"loadgen", "-url", url, "-n", "60", "-c", "4",
+		"-nfs", "FlowStats", "-profiles", "2", "-maxcomp", "1", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("loadgen exited %d:\n%s%s", code, stdout, stderr)
+	}
+
+	// A loadgen run against an NF outside the catalog records errors on
+	// every request and must exit nonzero (the CI gate contract).
+	if _, _, code := run(t, "loadgen", "-url", url, "-n", "4", "-c", "1", "-nfs", "NoSuchNF"); code == 0 {
+		t.Fatal("loadgen with unknown NF exited 0")
+	}
+
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests map[string]uint64 `json:"requests"`
+		Errors   uint64            `json:"errors"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests["predict"] == 0 {
+		t.Fatalf("stats recorded no predictions: %+v", stats)
+	}
+	if stats.Errors == 0 {
+		t.Fatalf("stats recorded no errors despite bad-NF run: %+v", stats)
+	}
+
+	// The cluster endpoint validates class and workload specs as 400s.
+	for _, body := range []string{
+		`{"classes":[{"class":"wat","count":1}]}`,
+		`{"workload":"bogus"}`,
+	} {
+		resp, err := http.Post(url+"/v1/cluster/run", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("cluster/run %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

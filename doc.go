@@ -7,7 +7,15 @@
 // See README.md for the package map, CLI entry points, the online
 // prediction-serving subsystem (internal/serve) and the cluster-scale
 // fleet orchestrator (internal/cluster), which schedules churning NF
-// lifecycles across many simulated SmartNICs under pluggable,
-// prediction-guided placement policies. The benchmarks in bench_test.go
-// regenerate each of the paper's experiments.
+// lifecycles across fleets that mix hardware classes (BlueField-2 and
+// Pensando presets, per-class model sets through the hardware-keyed
+// model registry) under pluggable, prediction-guided placement policies
+// whose hot path scores all (NIC, class) slots through one batched
+// feasibility pass. Workload streams come from pluggable generators
+// (churn, diurnal, flashcrowd, heavytail) and can be frozen to
+// versioned JSONL traces and replayed bit-identically (internal/trace);
+// the committed golden trace plus expected per-policy reports, and the
+// BENCH_cluster.json scheduler baseline, gate determinism and hot-path
+// regressions in CI. The benchmarks in bench_test.go regenerate each of
+// the paper's experiments.
 package repro

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"sort"
 	"testing"
 
 	"repro/internal/placement"
@@ -56,3 +57,89 @@ func benchChoose(b *testing.B, policy string) {
 func BenchmarkChooseYala(b *testing.B)     { benchChoose(b, "yala") }
 func BenchmarkChooseSLOMO(b *testing.B)    { benchChoose(b, "slomo") }
 func BenchmarkChooseFirstFit(b *testing.B) { benchChoose(b, "firstfit") }
+
+// referenceScenario is the committed benchmark's 16-NIC/120-arrival
+// reference shape (the default fleet and stream sizes over the test NF
+// pool, so tiny-model training stays cheap).
+func referenceScenario() Scenario {
+	return Scenario{NICs: 16, Arrivals: 120, NFs: testNFs, Profiles: 4, Seed: 1, DriftProb: DefaultDriftProb}.WithDefaults()
+}
+
+// refEvent is one scheduling-relevant event in the reference replay: an
+// arrival offered to the scheduler, or a departure freeing its slot.
+type refEvent struct {
+	at     float64
+	spec   TenantSpec
+	depart int // tenant ID to remove; -1 for arrivals
+}
+
+// referenceEvents flattens a stream into time-ordered arrivals and
+// departures so the benchmark exercises the scheduler against the
+// realistic occupancy the stream produces, without paying for
+// ground-truth enforcement (which is not the scheduling hot path).
+func referenceEvents(stream []TenantSpec) []refEvent {
+	events := make([]refEvent, 0, 2*len(stream))
+	for _, s := range stream {
+		events = append(events, refEvent{at: s.At, spec: s, depart: -1})
+		events = append(events, refEvent{at: s.At + s.Lifetime, depart: s.ID})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	return events
+}
+
+// playReference drives one full pass of the reference decisions.
+func playReference(f *Fleet, sched Scheduler, events []refEvent) error {
+	for _, ev := range events {
+		if ev.depart >= 0 {
+			if i := f.locate(ev.depart); i >= 0 {
+				f.remove(i, ev.depart)
+			}
+			continue
+		}
+		idx, err := sched.Choose(f, ev.spec.Arrival)
+		if err != nil {
+			return err
+		}
+		if idx >= 0 {
+			f.place(idx, ev.spec.Tenant)
+		}
+	}
+	return nil
+}
+
+// benchReference measures all 120 reference scheduling decisions (plus
+// fleet bookkeeping) per iteration, on the batched or per-slot path.
+func benchReference(b *testing.B, perSlot bool) {
+	env := testEnv(b, testModels(b))
+	sc := referenceScenario()
+	if err := env.Prewarm(context.Background(), sc, []string{"yala"}); err != nil {
+		b.Fatal(err)
+	}
+	events := referenceEvents(sc.Stream())
+	sched := predictFit{env: env, strat: placement.YalaAware, name: "yala", perSlot: perSlot}
+	// One warm pass populates the simulator's measurement caches so the
+	// timed passes measure scheduling, not first-touch simulation.
+	f, err := env.ScenarioFleet(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := playReference(f, sched, events); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := env.ScenarioFleet(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := playReference(f, sched, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleReferenceBatched is the committed scheduler hot-path
+// benchmark (BENCH_cluster.json); PerSlot is the reference loop it is
+// gated against.
+func BenchmarkScheduleReferenceBatched(b *testing.B) { benchReference(b, false) }
+func BenchmarkScheduleReferencePerSlot(b *testing.B) { benchReference(b, true) }

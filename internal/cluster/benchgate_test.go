@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchBaselinePath is the committed scheduler-benchmark baseline,
+// relative to this package.
+const benchBaselinePath = "../../BENCH_cluster.json"
+
+// benchBaseline is the committed benchmark record CI gates against.
+type benchBaseline struct {
+	Kind           string  `json:"kind"`
+	Scenario       string  `json:"scenario"`
+	BatchedNsPerOp int64   `json:"batched_ns_per_op"`
+	PerSlotNsPerOp int64   `json:"per_slot_ns_per_op"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// TestSchedulerBenchGate is the CI bench-smoke gate. It is opt-in (wall
+// clock assertions do not belong in the default test run):
+//
+//	YALA_BENCH_SMOKE=1      go test ./internal/cluster -run TestSchedulerBenchGate   # gate
+//	YALA_BENCH_SMOKE=update go test ./internal/cluster -run TestSchedulerBenchGate   # re-baseline
+//
+// The gate measures the reference 16-NIC/120-arrival run on both
+// scheduler paths and fails when the batched path loses its ≥1.5×
+// speedup over the per-slot loop, or regresses by more than 2× against
+// the committed BENCH_cluster.json baseline.
+func TestSchedulerBenchGate(t *testing.T) {
+	mode := os.Getenv("YALA_BENCH_SMOKE")
+	if mode == "" {
+		t.Skip("set YALA_BENCH_SMOKE=1 to run the scheduler bench gate (update to re-baseline)")
+	}
+	batched := testing.Benchmark(BenchmarkScheduleReferenceBatched)
+	perSlot := testing.Benchmark(BenchmarkScheduleReferencePerSlot)
+	cur := benchBaseline{
+		Kind:           "cluster-scheduler-bench",
+		Scenario:       "16 NICs / 120 arrivals / yala policy (referenceScenario)",
+		BatchedNsPerOp: batched.NsPerOp(),
+		PerSlotNsPerOp: perSlot.NsPerOp(),
+		Speedup:        float64(perSlot.NsPerOp()) / float64(batched.NsPerOp()),
+	}
+	t.Logf("batched %v/op, per-slot %v/op, speedup %.2fx", batched.NsPerOp(), perSlot.NsPerOp(), cur.Speedup)
+
+	if mode == "update" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(benchBaselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", benchBaselinePath)
+		return
+	}
+
+	if cur.Speedup < 1.5 {
+		t.Errorf("batched scheduler speedup %.2fx below the 1.5x floor (batched %dns, per-slot %dns)",
+			cur.Speedup, cur.BatchedNsPerOp, cur.PerSlotNsPerOp)
+	}
+	raw, err := os.ReadFile(benchBaselinePath)
+	if err != nil {
+		t.Fatalf("reading committed baseline (regenerate with YALA_BENCH_SMOKE=update): %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.BatchedNsPerOp > 0 && cur.BatchedNsPerOp > 2*base.BatchedNsPerOp {
+		t.Errorf("batched path regressed >2x vs committed baseline: %dns/op vs %dns/op",
+			cur.BatchedNsPerOp, base.BatchedNsPerOp)
+	}
+}

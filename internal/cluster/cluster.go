@@ -8,21 +8,28 @@
 // — load skew, churn, rebalancing under drift — only emerges at cluster
 // scale. This package supplies that scenario space:
 //
-//   - Fleet tracks per-NIC resident sets and core budgets.
-//   - Scenario generates a deterministic lifecycle event stream (arrivals
-//     with exponential inter-arrival times, per-tenant lifetimes and
-//     drift) from a seed, replayed identically against every policy.
+//   - Fleet tracks per-NIC resident sets and core budgets, across mixed
+//     hardware classes (ClassSpec/NICClass): each class has its own
+//     ground-truth simulator, core budget, and per-class model set,
+//     loaded through the hardware-keyed ModelSource.
+//   - Scenario generates a deterministic lifecycle stream (TenantSpec:
+//     arrivals with lifetimes and drift) from a seed under one of several
+//     workload generators — exponential churn, diurnal wave, flash-crowd
+//     burst, heavy-tail tenant mix — replayed identically against every
+//     policy, and recordable/replayable through internal/trace.
 //   - Scheduler is the pluggable placement policy: random, first-fit,
-//     and prediction-guided best-fit driven by Yala or SLOMO models
-//     through placement.Feasible, with models supplied once by a
-//     ModelSource (serve.ModelRegistry in production).
-//   - The orchestrator (Env.Run) replays a scenario on sim.Engine,
+//     and prediction-guided best-fit driven by Yala or SLOMO models. The
+//     guided policies score all feasible (NIC, class) slots through one
+//     batched feasibility pass (placement.FeasibleBatch) with reused
+//     feature buffers.
+//   - The orchestrator (Env.RunPolicy) replays a stream on sim.Engine,
 //     enforces SLAs against simulator ground truth (a placement that
 //     immediately breaches an SLA is rolled back), migrates tenants whose
 //     drift pushes a NIC out of feasibility, and accounts violations,
 //     utilization and decision latency.
 //   - Run compares several policies on one shared environment and
-//     renders the comparison table `yala cluster` prints.
+//     renders the comparison table `yala cluster` prints; RunStream does
+//     the same over an externally supplied (recorded) stream.
 package cluster
 
 import (
@@ -36,31 +43,35 @@ import (
 	"repro/internal/testbed"
 )
 
-// ModelSource supplies per-NF prediction models to the schedulers. It is
-// the seam between the orchestrator and the serving layer: in production
-// serve.ModelRegistry implements it (models load once and are shared by
-// every policy in a comparison), tests may supply pre-trained maps.
+// ModelSource supplies per-NF prediction models to the schedulers, keyed
+// by hardware class — the seam between the orchestrator and the serving
+// layer. In production serve.ModelRegistry implements it (models load
+// once per (class, NF) and are shared by every policy in a comparison);
+// tests may supply pre-trained maps. The empty class is the
+// environment's base hardware.
 type ModelSource interface {
-	Yala(name string) (*core.Model, error)
-	SLOMO(name string) (*slomo.Model, error)
+	YalaOn(class string, nic nicsim.Config, name string) (*core.Model, error)
+	SLOMOOn(class string, nic nicsim.Config, name string) (*slomo.Model, error)
 }
 
-// MapModels is a static ModelSource over pre-trained model maps.
+// MapModels is a static ModelSource over pre-trained model maps. It is
+// class-agnostic: every hardware class is served the same per-NF model
+// (fine for tests, which assert orchestration rather than accuracy).
 type MapModels struct {
 	YalaModels  map[string]*core.Model
 	SLOMOModels map[string]*slomo.Model
 }
 
-// Yala returns the mapped Yala model.
-func (m MapModels) Yala(name string) (*core.Model, error) {
+// YalaOn returns the mapped Yala model, whatever the class.
+func (m MapModels) YalaOn(class string, nic nicsim.Config, name string) (*core.Model, error) {
 	if mm, ok := m.YalaModels[name]; ok {
 		return mm, nil
 	}
 	return nil, fmt.Errorf("cluster: no Yala model for %s", name)
 }
 
-// SLOMO returns the mapped SLOMO model.
-func (m MapModels) SLOMO(name string) (*slomo.Model, error) {
+// SLOMOOn returns the mapped SLOMO model, whatever the class.
+func (m MapModels) SLOMOOn(class string, nic nicsim.Config, name string) (*slomo.Model, error) {
 	if mm, ok := m.SLOMOModels[name]; ok {
 		return mm, nil
 	}
@@ -74,10 +85,19 @@ type Tenant struct {
 	placement.Arrival
 }
 
-// NIC is one fleet member's state: the tenants currently resident on it.
+// NIC is one fleet member's state: its hardware class, per-NIC core
+// budget, and the tenants currently resident on it.
 type NIC struct {
-	ID      int
+	ID int
+	// Class names the hardware class ("" = the environment's base
+	// preset); Cores is this NIC's core budget (the class preset's,
+	// unless the scenario scaled it).
+	Class   string
+	Cores   int
 	Tenants []Tenant
+
+	// key resolves this NIC's class environment (simulator + models).
+	key classKey
 }
 
 // arrivals projects the resident set into the placement package's form.
@@ -92,31 +112,52 @@ func (n *NIC) arrivals() []placement.Arrival {
 // Fleet is the mutable cluster state a scheduler decides over.
 type Fleet struct {
 	NICs []*NIC
-	// NFCores is the per-NF core allocation, NICCores the per-NIC total —
-	// mirrored from the placement simulator so scheduler capacity checks
-	// and feasibility checks agree.
-	NFCores  int
-	NICCores int
+	// NFCores is the per-NF core allocation — mirrored from the
+	// placement simulators so scheduler capacity checks and feasibility
+	// checks agree. Per-NIC totals live on each NIC (classes differ).
+	NFCores int
 }
 
-// NewFleet returns an empty fleet of n NICs sized to the environment's
-// core budget.
+// NewFleet returns an empty homogeneous fleet of n NICs on the
+// environment's base hardware class.
 func (e *Env) NewFleet(n int) *Fleet {
-	f := &Fleet{NFCores: e.Sim.NFCores, NICCores: e.Sim.NICCores}
+	f := &Fleet{NFCores: e.Sim.NFCores}
 	for i := 0; i < n; i++ {
-		f.NICs = append(f.NICs, &NIC{ID: i})
+		f.NICs = append(f.NICs, &NIC{ID: i, Cores: e.Sim.NICCores})
 	}
 	return f
 }
 
+// ScenarioFleet builds the scenario's (possibly heterogeneous) fleet,
+// resolving each class's simulator so per-NIC budgets agree with
+// feasibility checks.
+func (e *Env) ScenarioFleet(sc Scenario) (*Fleet, error) {
+	f := &Fleet{NFCores: e.Sim.NFCores}
+	for _, slot := range sc.classSlots() {
+		ce, err := e.classEnv(slot)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < slot.Count; i++ {
+			f.NICs = append(f.NICs, &NIC{
+				ID:    len(f.NICs),
+				Class: slot.Class,
+				Cores: ce.sim.NICCores,
+				key:   ce.key,
+			})
+		}
+	}
+	return f, nil
+}
+
 // Fits reports whether NIC i has the core budget for one more NF.
 func (f *Fleet) Fits(i int) bool {
-	return (len(f.NICs[i].Tenants)+1)*f.NFCores <= f.NICCores
+	return (len(f.NICs[i].Tenants)+1)*f.NFCores <= f.NICs[i].Cores
 }
 
 // FreeCores is NIC i's unallocated core count.
 func (f *Fleet) FreeCores(i int) int {
-	return f.NICCores - len(f.NICs[i].Tenants)*f.NFCores
+	return f.NICs[i].Cores - len(f.NICs[i].Tenants)*f.NFCores
 }
 
 // UsedCores is the fleet-wide allocated core count.
@@ -126,6 +167,15 @@ func (f *Fleet) UsedCores() int {
 		used += len(n.Tenants) * f.NFCores
 	}
 	return used
+}
+
+// TotalCores is the fleet-wide core budget across all classes.
+func (f *Fleet) TotalCores() int {
+	total := 0
+	for _, n := range f.NICs {
+		total += n.Cores
+	}
+	return total
 }
 
 // Tenants is the fleet-wide resident count.
@@ -168,104 +218,201 @@ func (f *Fleet) locate(id int) int {
 	return -1
 }
 
-// Env binds the shared pieces one comparison run needs: a placement
-// simulator (ground truth plus prediction-side feasibility, with its
-// solo/co-run measurement caches) and the model source. Sharing one Env
-// across policies evaluates every policy against identical cached
-// measurements and loads each model exactly once.
+// classKey identifies one class environment: the class name plus any
+// core-budget override (two overrides of the same class are distinct
+// capacity configurations).
+type classKey struct {
+	name  string
+	cores int
+}
+
+// classEnv is one hardware class's slice of the environment: its
+// preset, its ground-truth/feasibility simulator (with per-class
+// solo/co-run caches), and its per-class model set inside the simulator.
+type classEnv struct {
+	key classKey
+	cfg nicsim.Config
+	sim *placement.Simulator
+}
+
+// Env binds the shared pieces one comparison run needs: per-class
+// placement simulators (ground truth plus prediction-side feasibility,
+// with their solo/co-run measurement caches) and the hardware-keyed
+// model source. Sharing one Env across policies evaluates every policy
+// against identical cached measurements and loads each (class, NF) model
+// exactly once.
 type Env struct {
+	// Sim is the base-class simulator — the one a homogeneous default
+	// fleet runs on. Exposed so callers and tests can seed caches or
+	// adjust core budgets.
 	Sim    *placement.Simulator
 	Models ModelSource
+
+	base  nicsim.Config
+	seed  uint64
+	class map[classKey]*classEnv
 }
 
 // NewEnv builds an environment on a fresh testbed at the given NIC
 // preset and seed.
 func NewEnv(cfg nicsim.Config, seed uint64, models ModelSource) *Env {
-	tb := testbed.New(cfg, seed)
-	return &Env{
-		Sim:    placement.NewSimulator(tb, map[string]*core.Model{}, map[string]*slomo.Model{}),
+	e := &Env{
 		Models: models,
+		base:   cfg,
+		seed:   seed,
+		class:  map[classKey]*classEnv{},
 	}
+	base := &classEnv{
+		key: classKey{},
+		cfg: cfg,
+		sim: placement.NewSimulator(testbed.New(cfg, seed), map[string]*core.Model{}, map[string]*slomo.Model{}),
+	}
+	e.class[base.key] = base
+	e.Sim = base.sim
+	return e
+}
+
+// classEnv resolves (building on first use) the environment slice for
+// one class spec.
+func (e *Env) classEnv(spec ClassSpec) (*classEnv, error) {
+	key := classKey{name: spec.Class, cores: spec.Cores}
+	if ce, ok := e.class[key]; ok {
+		return ce, nil
+	}
+	cfg := e.base
+	if spec.Class != "" {
+		var err error
+		cfg, err = ClassConfig(spec.Class)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sim := placement.NewSimulator(testbed.New(cfg, e.seed), map[string]*core.Model{}, map[string]*slomo.Model{})
+	// Capacity scaling adjusts the scheduling budget only; ground truth
+	// and models stay on the stock preset.
+	if spec.Cores > 0 {
+		sim.NICCores = spec.Cores
+	}
+	// Per-NF allocation is fleet-wide; keep every class consistent with
+	// the base simulator (tests adjust e.Sim.NFCores before running).
+	sim.NFCores = e.Sim.NFCores
+	ce := &classEnv{key: key, cfg: cfg, sim: sim}
+	e.class[key] = ce
+	return ce, nil
+}
+
+// simFor returns the simulator governing one fleet NIC.
+func (e *Env) simFor(n *NIC) *placement.Simulator {
+	if ce, ok := e.class[n.key]; ok {
+		return ce.sim
+	}
+	return e.Sim
 }
 
 // ensureModels pulls the named NFs' models for the strategy from the
-// model source into the simulator, once per name.
-func (e *Env) ensureModels(strat placement.Strategy, names []string) error {
+// model source into a class's simulator, once per (class, name).
+func (e *Env) ensureModels(ce *classEnv, strat placement.Strategy, names []string) error {
 	for _, name := range names {
 		switch strat {
 		case placement.YalaAware:
-			if _, ok := e.Sim.Yala[name]; ok {
+			if _, ok := ce.sim.Yala[name]; ok {
 				continue
 			}
-			m, err := e.Models.Yala(name)
+			m, err := e.Models.YalaOn(ce.key.name, ce.cfg, name)
 			if err != nil {
 				return err
 			}
-			e.Sim.Yala[name] = m
+			ce.sim.Yala[name] = m
 		case placement.SLOMOAware:
-			if _, ok := e.Sim.SLOMO[name]; ok {
+			if _, ok := ce.sim.SLOMO[name]; ok {
 				continue
 			}
-			m, err := e.Models.SLOMO(name)
+			m, err := e.Models.SLOMOOn(ce.key.name, ce.cfg, name)
 			if err != nil {
 				return err
 			}
-			e.Sim.SLOMO[name] = m
+			ce.sim.SLOMO[name] = m
 		}
 	}
 	return nil
 }
 
-// Prewarm loads every model the named policies will consult and seeds
-// the simulator's solo-measurement cache for the scenario's (NF,
-// profile) pool. Decisions during the run then measure scheduling, not
-// lazy model training or first-touch measurements — and every policy
-// starts from identical cache state. The context cancels the warm-up
-// between models and measurements.
+// Prewarm loads every model the named policies will consult — per
+// hardware class — and seeds each class simulator's solo-measurement
+// cache for the scenario's (NF, profile) pool. Decisions during the run
+// then measure scheduling, not lazy model training or first-touch
+// measurements — and every policy starts from identical cache state. The
+// context cancels the warm-up between models and measurements.
 func (e *Env) Prewarm(ctx context.Context, sc Scenario, policies []string) error {
 	sc = sc.WithDefaults()
-	for _, p := range policies {
-		if err := ctx.Err(); err != nil {
+	for _, slot := range sc.classSlots() {
+		ce, err := e.classEnv(slot)
+		if err != nil {
 			return err
 		}
-		switch p {
-		case "yala":
-			if err := e.ensureModels(placement.YalaAware, sc.NFs); err != nil {
-				return err
-			}
-		case "slomo":
-			if err := e.ensureModels(placement.SLOMOAware, sc.NFs); err != nil {
-				return err
-			}
-		}
-	}
-	for _, name := range sc.NFs {
-		for _, prof := range sc.ProfilePool() {
+		for _, p := range policies {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			a := placement.Arrival{Name: name, Profile: prof}
-			m, err := e.Sim.TB.SoloNF(name, prof)
-			if err != nil {
-				return err
+			switch p {
+			case "yala":
+				if err := e.ensureModels(ce, placement.YalaAware, sc.NFs); err != nil {
+					return err
+				}
+			case "slomo":
+				if err := e.ensureModels(ce, placement.SLOMOAware, sc.NFs); err != nil {
+					return err
+				}
 			}
-			e.Sim.SeedSolo(a, m)
+		}
+		for _, name := range sc.NFs {
+			for _, prof := range sc.ProfilePool() {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				a := placement.Arrival{Name: name, Profile: prof}
+				m, err := ce.sim.TB.SoloNF(name, prof)
+				if err != nil {
+					return err
+				}
+				ce.sim.SeedSolo(a, m)
+			}
 		}
 	}
 	return nil
 }
 
-// feasible is the prediction-guided admission check: load the models
-// involved, then ask placement.Feasible whether adding a to the resident
-// set keeps every SLA intact per the strategy's predictor.
-func (e *Env) feasible(residents []placement.Arrival, a placement.Arrival, strat placement.Strategy) (bool, error) {
+// feasible is the per-slot prediction-guided admission check: load the
+// models involved, then ask placement.Feasible whether adding a to the
+// resident set keeps every SLA intact per the strategy's predictor on
+// the NIC's class simulator. The batched scheduler path supersedes it on
+// the hot path; it remains the reference implementation (and the
+// benchmark baseline).
+func (e *Env) feasible(ce *classEnv, residents []placement.Arrival, a placement.Arrival, strat placement.Strategy) (bool, error) {
 	names := make([]string, 0, len(residents)+1)
 	names = append(names, a.Name)
 	for _, r := range residents {
 		names = append(names, r.Name)
 	}
-	if err := e.ensureModels(strat, names); err != nil {
+	if err := e.ensureModels(ce, strat, names); err != nil {
 		return false, err
 	}
-	return e.Sim.Feasible(residents, a, strat)
+	return ce.sim.Feasible(residents, a, strat)
+}
+
+// feasibleBatch scores adding a to every candidate resident set on one
+// class through placement.FeasibleBatch, loading the models involved
+// once for the whole batch.
+func (e *Env) feasibleBatch(ce *classEnv, sets [][]placement.Arrival, a placement.Arrival, strat placement.Strategy) ([]bool, error) {
+	names := make([]string, 0, 8)
+	names = append(names, a.Name)
+	for _, set := range sets {
+		for _, r := range set {
+			names = append(names, r.Name)
+		}
+	}
+	if err := e.ensureModels(ce, strat, names); err != nil {
+		return nil, err
+	}
+	return ce.sim.FeasibleBatch(sets, a, strat)
 }

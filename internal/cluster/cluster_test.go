@@ -85,39 +85,78 @@ func testScenario() Scenario {
 	}.WithDefaults()
 }
 
-func TestArrivalStreamDeterministicAndOrdered(t *testing.T) {
-	sc := testScenario()
-	s1, s2 := sc.ArrivalStream(), sc.ArrivalStream()
-	if len(s1) != sc.Arrivals {
-		t.Fatalf("stream has %d events, want %d", len(s1), sc.Arrivals)
+func TestStreamDeterministicAndOrdered(t *testing.T) {
+	for _, kind := range Workloads() {
+		sc := testScenario()
+		sc.Workload = kind
+		s1, s2 := sc.Stream(), sc.Stream()
+		if len(s1) != sc.Arrivals {
+			t.Fatalf("%s: stream has %d events, want %d", kind, len(s1), sc.Arrivals)
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("%s: stream not deterministic at %d: %+v vs %+v", kind, i, s1[i], s2[i])
+			}
+			if s1[i].ID != i {
+				t.Fatalf("%s: event %d has tenant ID %d", kind, i, s1[i].ID)
+			}
+			if i > 0 && s1[i].At < s1[i-1].At {
+				t.Fatalf("%s: event %d at %g before event %d at %g", kind, i, s1[i].At, i-1, s1[i-1].At)
+			}
+			if sla := s1[i].SLA; sla < sc.SLALo || sla > sc.SLAHi {
+				t.Fatalf("%s: event %d SLA %g outside [%g, %g]", kind, i, sla, sc.SLALo, sc.SLAHi)
+			}
+			if s1[i].Lifetime <= 0 {
+				t.Fatalf("%s: event %d has non-positive lifetime %g", kind, i, s1[i].Lifetime)
+			}
+			if s1[i].DriftAt < 0 {
+				t.Fatalf("%s: event %d has negative drift time %g", kind, i, s1[i].DriftAt)
+			}
+		}
+		// A different seed must produce a different stream.
+		sc2 := sc
+		sc2.Seed = sc.Seed + 1
+		d1, d2 := sc.Stream(), sc2.Stream()
+		same := true
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical streams", kind)
+		}
 	}
-	for i := range s1 {
-		if s1[i] != s2[i] {
-			t.Fatalf("stream not deterministic at %d: %+v vs %+v", i, s1[i], s2[i])
+}
+
+func TestWorkloadKindsDiffer(t *testing.T) {
+	base := testScenario()
+	base.Arrivals = 40
+	streams := map[string][]TenantSpec{}
+	for _, kind := range Workloads() {
+		sc := base
+		sc.Workload = kind
+		streams[kind] = sc.Stream()
+	}
+	// Each non-churn generator must actually reshape the workload.
+	for _, kind := range []string{WorkloadDiurnal, WorkloadFlashCrowd, WorkloadHeavyTail} {
+		same := true
+		for i := range streams[kind] {
+			if streams[kind][i] != streams[WorkloadChurn][i] {
+				same = false
+				break
+			}
 		}
-		if s1[i].Tenant.ID != i {
-			t.Fatalf("event %d has tenant ID %d", i, s1[i].Tenant.ID)
-		}
-		if i > 0 && s1[i].Time < s1[i-1].Time {
-			t.Fatalf("event %d at %g before event %d at %g", i, s1[i].Time, i-1, s1[i-1].Time)
-		}
-		if sla := s1[i].Tenant.SLA; sla < sc.SLALo || sla > sc.SLAHi {
-			t.Fatalf("event %d SLA %g outside [%g, %g]", i, sla, sc.SLALo, sc.SLAHi)
+		if same {
+			t.Fatalf("workload %s generated the identical stream to churn", kind)
 		}
 	}
-	// A different seed must produce a different stream.
-	sc2 := sc
-	sc2.Seed = sc.Seed + 1
-	d1, d2 := sc.ArrivalStream(), sc2.ArrivalStream()
-	same := true
-	for i := range d1 {
-		if d1[i] != d2[i] {
-			same = false
-			break
-		}
-	}
-	if same {
-		t.Fatal("different seeds produced identical streams")
+	// Unknown kinds are rejected.
+	bad := base
+	bad.Workload = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown workload kind validated")
 	}
 }
 
@@ -203,15 +242,26 @@ func TestEventOrdering(t *testing.T) {
 	// event order.
 	env.Sim.NFCores = env.Sim.NICCores
 	sc := Scenario{NICs: 1, Arrivals: 3, Seed: 5, NFs: testNFs, DriftProb: -1}.WithDefaults()
-	o := newOrchestrator(context.Background(), env, sc, firstFit{})
+	o, err := newOrchestrator(context.Background(), env, sc, firstFit{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := placement.Arrival{Name: "FlowStats", Profile: traffic.Default, SLA: 0.1}
 	// Tenant 0 occupies the slot for life0 seconds; tenant 1 arrives
 	// mid-life and must be rejected; tenant 2 arrives after the
 	// departure and must be admitted.
-	life0 := sc.tenantRNG(0).Exp(sc.MeanLifetime)
-	o.engine.At(1, func() { o.arrive(Tenant{ID: 0, Arrival: a}) })
-	o.engine.At(1+life0/2, func() { o.arrive(Tenant{ID: 1, Arrival: a}) })
-	o.engine.At(1+life0+1, func() { o.arrive(Tenant{ID: 2, Arrival: a}) })
+	const life0 = 20.0
+	spec := func(id int, at, life float64) TenantSpec {
+		return TenantSpec{Tenant: Tenant{ID: id, Arrival: a}, At: at, Lifetime: life}
+	}
+	for _, s := range []TenantSpec{
+		spec(0, 1, life0),
+		spec(1, 1+life0/2, life0),
+		spec(2, 1+life0+1, life0),
+	} {
+		s := s
+		o.engine.At(s.At, func() { o.arrive(s) })
+	}
 	o.engine.Run()
 	if o.err != nil {
 		t.Fatal(o.err)
@@ -247,7 +297,10 @@ func TestDriftMigration(t *testing.T) {
 	// any throughput drop is a breach, so the post-drift check must
 	// breach and the scripted policy migrates the drifted tenant to the
 	// empty NIC 1.
-	o := newOrchestrator(context.Background(), env, sc, &scriptSched{targets: []int{1}})
+	o, err := newOrchestrator(context.Background(), env, sc, &scriptSched{targets: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	o.fleet.place(0, Tenant{ID: 0, Arrival: placement.Arrival{Name: "NIDS", Profile: traffic.Default, SLA: 0}})
 	o.fleet.place(0, Tenant{ID: 1, Arrival: placement.Arrival{Name: "FlowMonitor", Profile: traffic.Default, SLA: 0}})
 	o.drift(1, traffic.Profile{Flows: 64000, PktSize: 512, MTBR: 1000})
@@ -273,7 +326,10 @@ func TestDriftEvictionWhenNoTarget(t *testing.T) {
 	sc := Scenario{NICs: 1, Arrivals: 1, Seed: 1, NFs: testNFs}.WithDefaults()
 	// Single-NIC fleet: the policy can only re-offer the breached NIC,
 	// so the drifted tenant must be evicted.
-	o := newOrchestrator(context.Background(), env, sc, &scriptSched{targets: []int{0}})
+	o, err := newOrchestrator(context.Background(), env, sc, &scriptSched{targets: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	o.fleet.place(0, Tenant{ID: 0, Arrival: placement.Arrival{Name: "NIDS", Profile: traffic.Default, SLA: 0}})
 	o.fleet.place(0, Tenant{ID: 1, Arrival: placement.Arrival{Name: "FlowMonitor", Profile: traffic.Default, SLA: 0}})
 	o.drift(1, traffic.Profile{Flows: 64000, PktSize: 512, MTBR: 1000})
@@ -296,6 +352,162 @@ func stripLatencies(rs []PolicyResult) []PolicyResult {
 		out[i].DecisionP50, out[i].DecisionP99 = 0, 0
 	}
 	return out
+}
+
+// TestBatchedMatchesPerSlot pins the batched scheduler hot path to the
+// per-slot reference loop: over a mixed, partially loaded fleet, both
+// must make the identical decision for a spread of arrivals — the
+// invariant every future hot-path refactor must keep.
+func TestBatchedMatchesPerSlot(t *testing.T) {
+	env := testEnv(t, testModels(t))
+	sc := Scenario{
+		Classes:   []ClassSpec{{Class: "bluefield2", Count: 3}, {Class: "pensando", Count: 2}},
+		NFs:       testNFs,
+		Profiles:  3,
+		Seed:      11,
+		DriftProb: 0.5,
+	}.WithDefaults()
+	if err := env.Prewarm(context.Background(), sc, []string{"yala", "slomo"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := env.ScenarioFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sc.ProfilePool()
+	// Load the fleet unevenly so empty, partial and full NICs all occur.
+	id := 0
+	for i := range f.NICs {
+		for j := 0; j < i%3; j++ {
+			f.place(i, Tenant{ID: id, Arrival: placement.Arrival{
+				Name:    testNFs[id%len(testNFs)],
+				Profile: pool[id%len(pool)],
+				SLA:     0.3 + 0.1*float64(id%4),
+			}})
+			id++
+		}
+	}
+	for _, strat := range []placement.Strategy{placement.YalaAware, placement.SLOMOAware} {
+		name := "yala"
+		if strat == placement.SLOMOAware {
+			name = "slomo"
+		}
+		batched := predictFit{env: env, strat: strat, name: name}
+		perSlot := predictFit{env: env, strat: strat, name: name, perSlot: true}
+		for k := 0; k < 12; k++ {
+			a := placement.Arrival{
+				Name:    testNFs[k%len(testNFs)],
+				Profile: pool[k%len(pool)],
+				SLA:     0.05 + 0.08*float64(k%8),
+			}
+			got, err := batched.Choose(f, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := perSlot.Choose(f, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s arrival %d: batched chose %d, per-slot chose %d", name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousFleet checks class resolution end to end: per-class
+// core budgets (including the capacity override), scenario totals, and a
+// full comparison run over a mixed fleet.
+func TestHeterogeneousFleet(t *testing.T) {
+	env := testEnv(t, testModels(t))
+	sc := Scenario{
+		Classes: []ClassSpec{
+			{Class: "bluefield2", Count: 2},
+			{Class: "pensando", Count: 1},
+			{Class: "bluefield2", Count: 1, Cores: 4},
+		},
+		Arrivals:  10,
+		Seed:      3,
+		NFs:       testNFs,
+		Profiles:  2,
+		DriftProb: 0.5,
+	}.WithDefaults()
+	if sc.NICs != 4 {
+		t.Fatalf("WithDefaults derived %d NICs, want 4", sc.NICs)
+	}
+	f, err := env.ScenarioFleet(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCores := []int{8, 8, 16, 4}
+	for i, n := range f.NICs {
+		if n.Cores != wantCores[i] {
+			t.Fatalf("NIC %d has %d cores, want %d", i, n.Cores, wantCores[i])
+		}
+	}
+	if got := f.TotalCores(); got != 36 {
+		t.Fatalf("fleet total cores %d, want 36", got)
+	}
+	// The scaled-down class must reject a second tenant (4 cores, 2 per NF
+	// → one resident fills it at two).
+	if !f.Fits(3) {
+		t.Fatal("empty 4-core NIC should fit one NF")
+	}
+	f.place(3, Tenant{ID: 99, Arrival: placement.Arrival{Name: testNFs[0], Profile: traffic.Default, SLA: 0.5}})
+	f.place(3, Tenant{ID: 100, Arrival: placement.Arrival{Name: testNFs[0], Profile: traffic.Default, SLA: 0.5}})
+	if f.Fits(3) {
+		t.Fatal("4-core NIC fit a third NF")
+	}
+
+	run := func() []PolicyResult {
+		cmp, err := Run(context.Background(), testEnv(t, testModels(t)), sc, []string{"firstfit", "yala"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stripLatencies(cmp.Results)
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("mixed-fleet run not deterministic:\n%+v\n%+v", r1[i], r2[i])
+		}
+		if got := r1[i].Admitted + r1[i].Rejected + r1[i].Rollbacks; got != sc.Arrivals {
+			t.Fatalf("policy %s: admitted+rejected+rollbacks = %d, want %d", r1[i].Policy, got, sc.Arrivals)
+		}
+	}
+
+	// Unknown classes fail validation and fleet construction.
+	bad := sc
+	bad.Classes = []ClassSpec{{Class: "connectx", Count: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown class validated")
+	}
+	if _, err := env.ScenarioFleet(bad); err == nil {
+		t.Fatal("unknown class built a fleet")
+	}
+}
+
+// TestRunStreamReplayIdentical asserts the core replay guarantee: a
+// comparison over a scenario equals a comparison over its recorded
+// stream, event for event, on a fresh environment.
+func TestRunStreamReplayIdentical(t *testing.T) {
+	models := testModels(t)
+	sc := testScenario()
+	policies := []string{"random", "firstfit", "yala"}
+	direct, err := Run(context.Background(), testEnv(t, models), sc, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := RunStream(context.Background(), testEnv(t, models), sc, sc.Stream(), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, r := stripLatencies(direct.Results), stripLatencies(replayed.Results)
+	for i := range d {
+		if d[i] != r[i] {
+			t.Fatalf("replay diverged for %s:\n direct %+v\n replay %+v", d[i].Policy, d[i], r[i])
+		}
+	}
 }
 
 func TestRunComparisonDeterministicAndAccounted(t *testing.T) {

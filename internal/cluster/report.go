@@ -14,12 +14,26 @@ type Comparison struct {
 	Results  []PolicyResult `json:"results"`
 }
 
-// Run replays the scenario under each named policy on the shared
-// environment and collects the comparison. One environment means one
-// model load per NF (via the ModelSource) and one ground-truth
-// measurement per distinct co-location across all policies. The context
-// cancels the comparison between events.
+// Run generates the scenario's stream once and replays it under each
+// named policy on the shared environment, collecting the comparison. One
+// environment means one model load per (class, NF) (via the ModelSource)
+// and one ground-truth measurement per distinct co-location per class
+// across all policies. The context cancels the comparison between
+// events.
 func Run(ctx context.Context, env *Env, sc Scenario, policies []string) (Comparison, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	return RunStream(ctx, env, sc, sc.Stream(), policies)
+}
+
+// RunStream replays an explicit tenant stream — typically decoded from a
+// recorded trace — under each named policy. Every policy sees the
+// identical stream, so per-policy outcome differences are attributable
+// to scheduling alone, and replaying a recorded trace reproduces the
+// comparison exactly (decision latencies aside).
+func RunStream(ctx context.Context, env *Env, sc Scenario, stream []TenantSpec, policies []string) (Comparison, error) {
 	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return Comparison{}, err
@@ -36,7 +50,7 @@ func Run(ctx context.Context, env *Env, sc Scenario, policies []string) (Compari
 		if err != nil {
 			return Comparison{}, err
 		}
-		res, err := env.RunPolicy(ctx, sc, sched)
+		res, err := env.RunPolicyStream(ctx, sc, stream, sched)
 		if err != nil {
 			return Comparison{}, fmt.Errorf("cluster: policy %s: %w", p, err)
 		}
@@ -45,11 +59,26 @@ func Run(ctx context.Context, env *Env, sc Scenario, policies []string) (Compari
 	return cmp, nil
 }
 
+// FleetDesc renders the scenario's fleet declaration — "16 NICs" or
+// "16 NICs [bluefield2:12 pensando:4]" — for the comparison-table
+// header and CLI status lines.
+func (sc Scenario) FleetDesc() string {
+	if len(sc.Classes) == 0 {
+		return fmt.Sprintf("%d NICs", sc.NICs)
+	}
+	parts := make([]string, len(sc.Classes))
+	for i, cs := range sc.Classes {
+		parts[i] = cs.String()
+	}
+	return fmt.Sprintf("%d NICs [%s]", sc.NICs, strings.Join(parts, " "))
+}
+
 // Table renders the policy comparison for the CLI.
 func (c Comparison) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario: %d NICs, %d arrivals, %d NFs × %d profiles, drift %.0f%%, SLA %.0f–%.0f%%, seed %d\n",
-		c.Scenario.NICs, c.Scenario.Arrivals, len(c.Scenario.NFs), c.Scenario.Profiles,
+	fmt.Fprintf(&b, "scenario: %s, %d %s arrivals, %d NFs × %d profiles, drift %.0f%%, SLA %.0f–%.0f%%, seed %d\n",
+		c.Scenario.FleetDesc(), c.Scenario.Arrivals, c.Scenario.Workload,
+		len(c.Scenario.NFs), c.Scenario.Profiles,
 		100*c.Scenario.DriftProb, 100*c.Scenario.SLALo, 100*c.Scenario.SLAHi, c.Scenario.Seed)
 	fmt.Fprintf(&b, "%-10s %9s %9s %10s %9s %9s %11s %6s %10s %10s\n",
 		"policy", "admitted", "rejected", "rollbacks", "migrated", "evicted", "violations", "util", "p50", "p99")

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/nicsim"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/traffic"
@@ -15,12 +17,77 @@ import (
 // default) apply it themselves.
 const DefaultDriftProb = 0.35
 
+// Workload kinds: the scenario families the trace generators produce.
+// Every kind is a deterministic function of the scenario seed; they
+// differ in how arrival times, NF mixes and lifetimes are drawn.
+const (
+	// WorkloadChurn is the original scenario family: exponential
+	// inter-arrival times and lifetimes, uniform NF/profile mix.
+	WorkloadChurn = "churn"
+	// WorkloadDiurnal modulates the arrival rate sinusoidally over the
+	// stream — the day/night wave a long-running fleet sees.
+	WorkloadDiurnal = "diurnal"
+	// WorkloadFlashCrowd is baseline churn with a burst window in which
+	// arrivals come an order of magnitude faster.
+	WorkloadFlashCrowd = "flashcrowd"
+	// WorkloadHeavyTail draws NFs from a Zipf mix and lifetimes from a
+	// Pareto distribution: a few tenant types dominate and a few tenants
+	// live far longer than the mean.
+	WorkloadHeavyTail = "heavytail"
+)
+
+// Workloads lists the workload kinds in a stable order.
+func Workloads() []string {
+	return []string{WorkloadChurn, WorkloadDiurnal, WorkloadFlashCrowd, WorkloadHeavyTail}
+}
+
+// ClassSpec declares one homogeneous slice of a mixed fleet: Count NICs
+// of a named hardware class. Cores optionally overrides the class's
+// per-NIC core budget (a capacity scaler for what-if runs — ground-truth
+// simulation and models stay on the class's stock hardware preset).
+type ClassSpec struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+	Cores int    `json:"cores,omitempty"`
+}
+
+// String renders the spec in the CLI's class:count[:cores] form.
+func (cs ClassSpec) String() string {
+	if cs.Cores > 0 {
+		return fmt.Sprintf("%s:%d:%d", cs.Class, cs.Count, cs.Cores)
+	}
+	return fmt.Sprintf("%s:%d", cs.Class, cs.Count)
+}
+
+// ClassNames lists the built-in NIC hardware classes.
+func ClassNames() []string { return []string{"bluefield2", "pensando"} }
+
+// ClassConfig resolves a NIC-class name to its hardware preset. The
+// empty name is reserved for "the environment's base preset" and is
+// resolved by Env, not here.
+func ClassConfig(name string) (nicsim.Config, error) {
+	switch name {
+	case "bluefield2":
+		return nicsim.BlueField2(), nil
+	case "pensando":
+		return nicsim.Pensando(), nil
+	}
+	return nicsim.Config{}, fmt.Errorf("cluster: unknown NIC class %q (have %v)", name, ClassNames())
+}
+
 // Scenario specifies one churning fleet workload. Everything the run
 // does is a deterministic function of the scenario (given an Env), so a
 // seed fully reproduces a comparison.
 type Scenario struct {
-	// NICs is the fleet size.
+	// NICs is the fleet size. When Classes is set it is derived (the
+	// total count) and ignored on input.
 	NICs int `json:"nics"`
+	// Classes declares a heterogeneous fleet as ordered homogeneous
+	// slices; empty means NICs × the environment's base hardware class.
+	Classes []ClassSpec `json:"classes,omitempty"`
+	// Workload selects the generator family (churn, diurnal, flashcrowd,
+	// heavytail); empty means churn.
+	Workload string `json:"workload,omitempty"`
 	// Arrivals is the total NF-arrival count in the stream.
 	Arrivals int `json:"arrivals"`
 	// Seed drives every random draw: the arrival stream and each
@@ -49,8 +116,18 @@ type Scenario struct {
 // setup: a 16-NIC fleet at ~60% steady-state core load with a mixed
 // memory/accelerator NF pool and the paper's placement SLA range.
 func (sc Scenario) WithDefaults() Scenario {
+	if len(sc.Classes) > 0 {
+		total := 0
+		for _, cs := range sc.Classes {
+			total += cs.Count
+		}
+		sc.NICs = total
+	}
 	if sc.NICs <= 0 {
 		sc.NICs = 16
+	}
+	if sc.Workload == "" {
+		sc.Workload = WorkloadChurn
 	}
 	if sc.Arrivals <= 0 {
 		sc.Arrivals = 120
@@ -93,7 +170,33 @@ func (sc Scenario) Validate() error {
 	if sc.DriftProb > 1 {
 		return fmt.Errorf("cluster: drift probability %g above 1", sc.DriftProb)
 	}
+	switch sc.Workload {
+	case "", WorkloadChurn, WorkloadDiurnal, WorkloadFlashCrowd, WorkloadHeavyTail:
+	default:
+		return fmt.Errorf("cluster: unknown workload %q (have %v)", sc.Workload, Workloads())
+	}
+	for i, cs := range sc.Classes {
+		if _, err := ClassConfig(cs.Class); err != nil {
+			return fmt.Errorf("cluster: classes[%d]: %w", i, err)
+		}
+		if cs.Count <= 0 {
+			return fmt.Errorf("cluster: classes[%d]: count %d must be positive", i, cs.Count)
+		}
+		if cs.Cores < 0 {
+			return fmt.Errorf("cluster: classes[%d]: cores %d must not be negative", i, cs.Cores)
+		}
+	}
 	return nil
+}
+
+// classSlots expands the fleet declaration into ordered homogeneous
+// slices: the scenario's explicit classes, or NICs × the environment's
+// base class (the empty class name).
+func (sc Scenario) classSlots() []ClassSpec {
+	if len(sc.Classes) == 0 {
+		return []ClassSpec{{Class: "", Count: sc.NICs}}
+	}
+	return sc.Classes
 }
 
 // ProfilePool returns the scenario's traffic-profile pool: the paper's
@@ -109,36 +212,129 @@ func (sc Scenario) ProfilePool() []traffic.Profile {
 	return pool
 }
 
-// ArrivalEvent is one NF arrival in the stream.
-type ArrivalEvent struct {
-	Time   float64
-	Tenant Tenant
+// TenantSpec is one tenant's complete, policy-independent lifecycle: the
+// arrival (time, NF, profile, SLA) plus the pre-drawn lifetime and
+// optional drift. Streams are generated eagerly so the whole workload
+// exists before any scheduling decision — the property trace recording
+// and bit-identical replay rest on.
+type TenantSpec struct {
+	Tenant
+	// At is the arrival time (seconds).
+	At float64
+	// Lifetime is the tenant's residence time once admitted (seconds).
+	Lifetime float64
+	// DriftAt, when positive, is the time after admission at which the
+	// tenant's traffic profile drifts to DriftProfile; zero means the
+	// tenant never drifts.
+	DriftAt      float64
+	DriftProfile traffic.Profile
 }
 
-// ArrivalStream generates the scenario's arrival sequence: exponential
-// inter-arrival times, NFs and profiles drawn from the pools, SLAs from
-// the scenario range. The stream depends only on the scenario, never on
-// placement outcomes, so every policy replays the identical workload.
-func (sc Scenario) ArrivalStream() []ArrivalEvent {
+// Stream generates the scenario's full workload per its kind. The
+// stream depends only on the scenario, never on placement outcomes, so
+// every policy replays the identical workload. For the churn kind the
+// draws reproduce the original generator exactly.
+func (sc Scenario) Stream() []TenantSpec {
 	rng := sim.NewRNG(sc.Seed)
 	pool := sc.ProfilePool()
-	events := make([]ArrivalEvent, 0, sc.Arrivals)
+	specs := make([]TenantSpec, 0, sc.Arrivals)
 	now := 0.0
+	var zipf []float64
+	if sc.Workload == WorkloadHeavyTail {
+		zipf = zipfCDF(len(sc.NFs), 1.2)
+	}
 	for i := 0; i < sc.Arrivals; i++ {
-		now += rng.Exp(sc.MeanIAT)
-		events = append(events, ArrivalEvent{
-			Time: now,
+		now += sc.gap(rng, i)
+		var name string
+		if zipf != nil {
+			name = sc.NFs[cdfIndex(zipf, rng.Float64())]
+		} else {
+			name = sc.NFs[rng.Intn(len(sc.NFs))]
+		}
+		spec := TenantSpec{
+			At: now,
 			Tenant: Tenant{
 				ID: i,
 				Arrival: placement.Arrival{
-					Name:    sc.NFs[rng.Intn(len(sc.NFs))],
+					Name:    name,
 					Profile: pool[rng.Intn(len(pool))],
 					SLA:     sc.SLALo + (sc.SLAHi-sc.SLALo)*rng.Float64(),
 				},
 			},
-		})
+		}
+		// Lifetime and drift come from the tenant's private stream, so a
+		// tenant behaves identically under every policy that admits it,
+		// regardless of what else that policy placed.
+		trng := sc.tenantRNG(i)
+		spec.Lifetime = sc.lifetime(trng)
+		if trng.Float64() < sc.DriftProb {
+			spec.DriftAt = trng.Range(0.1, 0.9) * spec.Lifetime
+			spec.DriftProfile = pool[trng.Intn(len(pool))]
+		}
+		specs = append(specs, spec)
 	}
-	return events
+	return specs
+}
+
+// gap draws the i-th inter-arrival time per the workload kind.
+func (sc Scenario) gap(rng *sim.RNG, i int) float64 {
+	switch sc.Workload {
+	case WorkloadDiurnal:
+		// Two day/night cycles over the stream: the instantaneous rate
+		// swings ±80% around the base, so the fleet sees both a packed
+		// peak and a drained trough.
+		phase := 2 * math.Pi * 2 * float64(i) / float64(max(sc.Arrivals, 1))
+		return rng.Exp(sc.MeanIAT / (1 + 0.8*math.Sin(phase)))
+	case WorkloadFlashCrowd:
+		// A burst window over [45%, 60%) of the stream arriving 10×
+		// faster than baseline — the flash crowd the admission path must
+		// absorb or reject.
+		frac := float64(i) / float64(max(sc.Arrivals, 1))
+		if frac >= 0.45 && frac < 0.60 {
+			return rng.Exp(sc.MeanIAT / 10)
+		}
+		return rng.Exp(sc.MeanIAT)
+	default:
+		return rng.Exp(sc.MeanIAT)
+	}
+}
+
+// lifetime draws one tenant lifetime per the workload kind.
+func (sc Scenario) lifetime(trng *sim.RNG) float64 {
+	if sc.Workload == WorkloadHeavyTail {
+		// Pareto with α=1.5 and the scale chosen so the mean matches
+		// MeanLifetime: most tenants are short-lived, a few pin cores for
+		// many multiples of the mean.
+		const alpha = 1.5
+		xm := sc.MeanLifetime * (alpha - 1) / alpha
+		u := 1 - trng.Float64() // (0, 1]
+		return xm * math.Pow(u, -1/alpha)
+	}
+	return trng.Exp(sc.MeanLifetime)
+}
+
+// zipfCDF builds the cumulative Zipf(s) distribution over n ranks.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// cdfIndex returns the first index whose cumulative mass covers u.
+func cdfIndex(cdf []float64, u float64) int {
+	for i, c := range cdf {
+		if u < c {
+			return i
+		}
+	}
+	return len(cdf) - 1
 }
 
 // tenantRNG derives tenant id's private random stream. Lifetime and

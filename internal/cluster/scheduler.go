@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/placement"
 	"repro/internal/sim"
@@ -74,37 +75,105 @@ func (firstFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
 	return -1, nil
 }
 
-// predictFit is prediction-guided best-fit: among NICs where the
-// strategy's predictor deems the placement SLA-feasible
-// (placement.Feasible), pick the tightest fit — fewest free cores — to
-// consolidate load without breaching SLAs. No feasible NIC means the
-// arrival is rejected outright: admission control in the paper's §7.5.1
-// sense, applied fleet-wide.
+// predictFit is prediction-guided best-fit over a (possibly mixed)
+// fleet: among (NIC, class) slots where the strategy's predictor deems
+// the placement SLA-feasible on that class's hardware, pick the tightest
+// fit — fewest free cores — to consolidate load without breaching SLAs.
+// No feasible NIC means the arrival is rejected outright: admission
+// control in the paper's §7.5.1 sense, applied fleet-wide.
+//
+// The default path scores all occupied candidate slots through one
+// batched feasibility pass per class (placement.FeasibleBatch), which
+// amortizes model lookups, solo resolution and feature assembly across
+// the fleet. perSlot selects the original slot-at-a-time loop — kept as
+// the reference implementation and benchmark baseline; both paths make
+// identical decisions.
 type predictFit struct {
-	env   *Env
-	strat placement.Strategy
-	name  string
+	env     *Env
+	strat   placement.Strategy
+	name    string
+	perSlot bool
 }
 
 func (p predictFit) Name() string { return p.name }
 
 func (p predictFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
-	best, bestFree := -1, f.NICCores+1
+	if p.perSlot {
+		return p.choosePerSlot(f, a)
+	}
+	// An empty NIC is feasible by construction — alone, the NF runs at
+	// its solo throughput — so no prediction is consulted. Occupied NICs
+	// with capacity are bucketed by class and scored in one batched
+	// feasibility call each.
+	feasible := make([]bool, len(f.NICs))
+	type bucket struct {
+		ce   *classEnv
+		idx  []int
+		sets [][]placement.Arrival
+	}
+	var buckets []*bucket
+	byKey := map[classKey]*bucket{}
 	for i, n := range f.NICs {
 		if !f.Fits(i) {
 			continue
 		}
-		// An empty NIC is feasible by construction — alone, the NF runs
-		// at its solo throughput — so no prediction is consulted. This
-		// also mirrors placement.Place, which opens a fresh NIC without a
-		// feasibility check. Best-fit ordering still prefers occupied
-		// NICs (fewer free cores), so consolidation is tried first.
+		if len(n.Tenants) == 0 {
+			feasible[i] = true
+			continue
+		}
+		b, ok := byKey[n.key]
+		if !ok {
+			ce, ok := p.env.class[n.key]
+			if !ok {
+				return 0, fmt.Errorf("cluster: NIC %d has unresolved class %q", n.ID, n.Class)
+			}
+			b = &bucket{ce: ce}
+			byKey[n.key] = b
+			buckets = append(buckets, b)
+		}
+		b.idx = append(b.idx, i)
+		b.sets = append(b.sets, n.arrivals())
+	}
+	for _, b := range buckets {
+		oks, err := p.env.feasibleBatch(b.ce, b.sets, a, p.strat)
+		if err != nil {
+			return 0, err
+		}
+		for j, ok := range oks {
+			feasible[b.idx[j]] = ok
+		}
+	}
+	// Best fit: fewest free cores; ties resolve to the lowest NIC index,
+	// matching the per-slot loop exactly.
+	best, bestFree := -1, math.MaxInt
+	for i := range f.NICs {
+		if !feasible[i] {
+			continue
+		}
+		if free := f.FreeCores(i); free < bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best, nil
+}
+
+// choosePerSlot is the original slot-at-a-time loop.
+func (p predictFit) choosePerSlot(f *Fleet, a placement.Arrival) (int, error) {
+	best, bestFree := -1, math.MaxInt
+	for i, n := range f.NICs {
+		if !f.Fits(i) {
+			continue
+		}
 		if len(n.Tenants) > 0 {
-			ok, err := p.env.feasible(n.arrivals(), a, p.strat)
+			ce, ok := p.env.class[n.key]
+			if !ok {
+				return 0, fmt.Errorf("cluster: NIC %d has unresolved class %q", n.ID, n.Class)
+			}
+			ok2, err := p.env.feasible(ce, n.arrivals(), a, p.strat)
 			if err != nil {
 				return 0, err
 			}
-			if !ok {
+			if !ok2 {
 				continue
 			}
 		}

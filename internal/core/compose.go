@@ -80,7 +80,15 @@ func Compose(c Composition, soloT float64, drops []float64) float64 {
 	if soloT <= 0 {
 		return 0
 	}
-	clamped := make([]float64, len(drops))
+	// Clamp into a stack buffer when the drop set is small (always, for
+	// the per-resource models) — Compose sits on the placement hot path,
+	// where a per-call allocation is measurable.
+	var buf [8]float64
+	clamped := buf[:0]
+	if len(drops) > len(buf) {
+		clamped = make([]float64, 0, len(drops))
+	}
+	clamped = clamped[:len(drops)]
 	for i, d := range drops {
 		switch {
 		case d < 0:

@@ -67,8 +67,15 @@ func (m *Model) Predict(prof traffic.Profile, comps []Competitor) Prediction {
 	pred.PerResource[nicsim.ResMemory] = memT
 	drops := []float64{solo - memT}
 
-	// Accelerators: white-box queueing model per kind.
-	for kind, am := range m.Accels {
+	// Accelerators: white-box queueing model per kind, iterated in fixed
+	// kind order — RTC composition sums floats over the drops, so a
+	// map-order iteration would make predictions vary at the last ULP
+	// between runs and break bit-identical replay.
+	for _, kind := range nicsim.AccelKinds() {
+		am, ok := m.Accels[kind]
+		if !ok {
+			continue
+		}
 		var loads []AccelLoad
 		for _, c := range comps {
 			if l, ok := c.Accel[kind]; ok && l.Queues > 0 {
@@ -82,15 +89,58 @@ func (m *Model) Predict(prof traffic.Profile, comps []Competitor) Prediction {
 
 	pred.Throughput = Compose(ForPattern(m.Pattern), solo, drops)
 
-	// Bottleneck: the resource whose individual limit is lowest.
+	// Bottleneck: the resource whose individual limit is lowest, scanned
+	// in fixed resource order so ties resolve identically every run.
 	best := math.Inf(1)
-	for res, t := range pred.PerResource {
-		if t < best {
+	resOrder := []nicsim.Resource{nicsim.ResMemory}
+	for _, kind := range nicsim.AccelKinds() {
+		resOrder = append(resOrder, nicsim.AccelResource(kind))
+	}
+	for _, res := range resOrder {
+		if t, ok := pred.PerResource[res]; ok && t < best {
 			best = t
 			pred.Bottleneck = res
 		}
 	}
 	return pred
+}
+
+// PredictThroughput is the allocation-lean fast path for admission loops
+// (placement.FeasibleBatch): it composes the end-to-end throughput only,
+// skipping the per-resource map and bottleneck attribution Predict
+// builds. A positive solo is trusted as this model's solo prediction at
+// prof — batching callers memoize it across slots; pass a non-positive
+// value to recompute. Predict and PredictThroughput agree exactly on the
+// composed throughput.
+func (m *Model) PredictThroughput(prof traffic.Profile, comps []Competitor, solo float64) float64 {
+	if solo <= 0 {
+		solo = m.Solo.Predict(prof)
+	}
+	if solo <= 0 {
+		return 0
+	}
+	var agg nicsim.Counters
+	for i := range comps {
+		agg.Add(comps[i].Counters)
+	}
+	var dropBuf [4]float64
+	var loadBuf [16]AccelLoad
+	drops := append(dropBuf[:0], solo-m.Mem.Predict(agg, prof, solo))
+	for _, kind := range nicsim.AccelKinds() {
+		am, ok := m.Accels[kind]
+		if !ok {
+			continue
+		}
+		loads := loadBuf[:0]
+		for i := range comps {
+			if l, ok := comps[i].Accel[kind]; ok && l.Queues > 0 {
+				loads = append(loads, l)
+			}
+		}
+		stage := am.PacketRate(prof.Get(am.Attr), loads)
+		drops = append(drops, math.Max(0, solo-stage))
+	}
+	return Compose(ForPattern(m.Pattern), solo, drops)
 }
 
 // PredictWith composes with an explicit strategy (for the sum/min

@@ -26,6 +26,14 @@ const (
 	numAccelKinds
 )
 
+// AccelKinds returns every accelerator kind in fixed declaration order —
+// the canonical iteration order for code that must be deterministic
+// across runs (model composition, feature assembly) where ranging over
+// an AccelKind-keyed map would not be.
+func AccelKinds() []AccelKind {
+	return []AccelKind{AccelRegex, AccelCompress}
+}
+
 // String names the accelerator.
 func (k AccelKind) String() string {
 	switch k {

@@ -302,6 +302,173 @@ func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 	return true, nil
 }
 
+// batchKey identifies one (NF, profile) pair without string formatting —
+// the per-call memo key FeasibleBatch uses instead of the simulator's
+// string-keyed caches, whose fmt.Sprintf rendering dominates tight
+// scheduling loops.
+type batchKey struct {
+	name string
+	prof traffic.Profile
+}
+
+// batchState carries the buffers and memos one FeasibleBatch call reuses
+// across candidate sets: solo measurements and competitor feature
+// vectors per distinct (NF, profile), the Yala solo-model prediction per
+// target, and a competitor slice that grows once and is re-sliced per
+// evaluation.
+type batchState struct {
+	solos     map[batchKey]nicsim.Measurement
+	comps     map[batchKey]core.Competitor
+	soloPreds map[batchKey]float64
+	compBuf   []core.Competitor
+}
+
+// solo resolves a measured solo through the per-call memo.
+func (e *batchState) solo(s *Simulator, a Arrival) (nicsim.Measurement, error) {
+	key := batchKey{a.Name, a.Profile}
+	if m, ok := e.solos[key]; ok {
+		return m, nil
+	}
+	m, err := s.solo(a)
+	if err != nil {
+		return nicsim.Measurement{}, err
+	}
+	e.solos[key] = m
+	return m, nil
+}
+
+// competitor resolves an arrival's predictor-facing feature vector once
+// per distinct (NF, profile).
+func (e *batchState) competitor(s *Simulator, a Arrival) (core.Competitor, error) {
+	key := batchKey{a.Name, a.Profile}
+	if c, ok := e.comps[key]; ok {
+		return c, nil
+	}
+	m, err := e.solo(s, a)
+	if err != nil {
+		return core.Competitor{}, err
+	}
+	c := core.CompetitorFromMeasurement(m)
+	e.comps[key] = c
+	return c, nil
+}
+
+// soloPredict memoizes the Yala solo-model prediction per target — the
+// model is per-NF, so the (NF, profile) key pins it.
+func (e *batchState) soloPredict(model *core.Model, a Arrival) float64 {
+	key := batchKey{a.Name, a.Profile}
+	if v, ok := e.soloPreds[key]; ok {
+		return v
+	}
+	v := model.Solo.Predict(a.Profile)
+	e.soloPreds[key] = v
+	return v
+}
+
+// FeasibleBatch evaluates adding a to every candidate resident set in
+// one pass — the batched form of Feasible the class-aware fleet
+// scheduler scores all (NIC, class) slots through. Verdicts are
+// bit-identical to calling Feasible per set (same fits-plus-SLA pair,
+// same feature assembly order), but the per-arrival work is amortized:
+// solo measurements, competitor vectors and solo-model predictions
+// resolve once per distinct (NF, profile) per call, predictions go
+// through core.PredictThroughput (no per-resource map), and the
+// competitor buffer is reused across sets. Oracle feasibility needs
+// per-set ground-truth co-runs, so it falls back to the per-set path.
+func (s *Simulator) FeasibleBatch(sets [][]Arrival, a Arrival, strat Strategy) ([]bool, error) {
+	out := make([]bool, len(sets))
+	if strat == Oracle {
+		for i, set := range sets {
+			ok, err := s.Feasible(set, a, strat)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ok
+		}
+		return out, nil
+	}
+	e := &batchState{
+		solos:     map[batchKey]nicsim.Measurement{},
+		comps:     map[batchKey]core.Competitor{},
+		soloPreds: map[batchKey]float64{},
+	}
+	for i, set := range sets {
+		ok, err := s.feasibleBatched(e, set, a, strat)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ok
+	}
+	return out, nil
+}
+
+// feasibleBatched answers one set through the batch state. The SLA pass
+// iterates targets and competitors in the same index order as feasible,
+// so float accumulation (and therefore the verdict) matches it exactly.
+func (s *Simulator) feasibleBatched(e *batchState, set []Arrival, a Arrival, strat Strategy) (bool, error) {
+	if !s.Fits(len(set)) {
+		return false, nil
+	}
+	n := len(set) + 1
+	at := func(i int) Arrival {
+		if i < len(set) {
+			return set[i]
+		}
+		return a
+	}
+	for ti := 0; ti < n; ti++ {
+		target := at(ti)
+		soloMeas, err := e.solo(s, target)
+		if err != nil {
+			return false, err
+		}
+		var predicted float64
+		switch strat {
+		case YalaAware:
+			model, ok := s.Yala[target.Name]
+			if !ok {
+				return false, fmt.Errorf("placement: no Yala model for %s", target.Name)
+			}
+			comps := e.compBuf[:0]
+			for oi := 0; oi < n; oi++ {
+				if oi == ti {
+					continue
+				}
+				c, err := e.competitor(s, at(oi))
+				if err != nil {
+					return false, err
+				}
+				comps = append(comps, c)
+			}
+			e.compBuf = comps[:0]
+			predicted = model.PredictThroughput(target.Profile, comps, e.soloPredict(model, target))
+		case SLOMOAware:
+			model, ok := s.SLOMO[target.Name]
+			if !ok {
+				return false, fmt.Errorf("placement: no SLOMO model for %s", target.Name)
+			}
+			var agg nicsim.Counters
+			for oi := 0; oi < n; oi++ {
+				if oi == ti {
+					continue
+				}
+				m, err := e.solo(s, at(oi))
+				if err != nil {
+					return false, err
+				}
+				agg.Add(m.Counters)
+			}
+			predicted = model.PredictExtrapolated(agg, soloMeas.Throughput)
+		default:
+			return false, fmt.Errorf("placement: FeasibleBatch does not support strategy %v", strat)
+		}
+		if predicted < (1-target.SLA)*soloMeas.Throughput {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
 // Violations counts residents whose ground-truth throughput breaks
 // their SLA when co-run together. It is the enforcement probe the fleet
 // orchestrator (internal/cluster) applies after every placement and

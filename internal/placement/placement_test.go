@@ -105,6 +105,82 @@ func TestPlacementStrategies(t *testing.T) {
 		greedy.Violations, yala.Violations, slomoRes.Violations)
 }
 
+// TestFeasibleBatchMatchesFeasible pins the batched scheduler primitive
+// to the per-set reference: identical verdicts over a spread of resident
+// sets, candidates and strategies — including sets at and over core
+// capacity, and the Oracle fallback.
+func TestFeasibleBatchMatchesFeasible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training is slow")
+	}
+	s := buildSim(t)
+	pool := testArrivals(10, 7)
+	sets := [][]Arrival{
+		nil,
+		{pool[0]},
+		{pool[1], pool[2]},
+		{pool[3], pool[4], pool[5]},
+		pool[:4],
+		pool[:5], // over the 4-per-NIC core budget → infeasible on cores
+		{pool[6], pool[6]},
+	}
+	for _, strat := range []Strategy{YalaAware, SLOMOAware, Oracle} {
+		for k, cand := range pool[6:9] {
+			got, err := s.FeasibleBatch(sets, cand, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(sets) {
+				t.Fatalf("%v: got %d verdicts for %d sets", strat, len(got), len(sets))
+			}
+			for i, set := range sets {
+				want, err := s.Feasible(set, cand, strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Fatalf("%v candidate %d set %d: batch=%v, per-set=%v", strat, k, i, got[i], want)
+				}
+			}
+		}
+	}
+	// A missing model surfaces as an error, exactly like Feasible.
+	bare := NewSimulator(s.TB, nil, nil)
+	if _, err := bare.FeasibleBatch(sets[:3], pool[0], YalaAware); err == nil {
+		t.Fatal("expected error without Yala models")
+	}
+}
+
+// TestPredictThroughputMatchesPredict checks the allocation-lean fast
+// path agrees exactly with the full predictor on composed throughput.
+func TestPredictThroughputMatchesPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training is slow")
+	}
+	s := buildSim(t)
+	pool := testArrivals(8, 11)
+	for _, target := range pool[:3] {
+		model := s.Yala[target.Name]
+		var comps []core.Competitor
+		for _, other := range pool[3:6] {
+			m, err := s.solo(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comps = append(comps, core.CompetitorFromMeasurement(m))
+			full := model.Predict(target.Profile, comps)
+			fast := model.PredictThroughput(target.Profile, comps, 0)
+			if fast != full.Throughput {
+				t.Fatalf("%s with %d comps: fast %g != full %g", target.Name, len(comps), fast, full.Throughput)
+			}
+			hinted := model.PredictThroughput(target.Profile, comps, full.Solo)
+			if hinted != full.Throughput {
+				t.Fatalf("%s with %d comps: hinted %g != full %g", target.Name, len(comps), hinted, full.Throughput)
+			}
+		}
+	}
+}
+
 func TestPlacementCoreCapacity(t *testing.T) {
 	tb := testbed.New(nicsim.BlueField2(), 32)
 	s := NewSimulator(tb, nil, nil)

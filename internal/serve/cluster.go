@@ -12,9 +12,10 @@ import (
 // seconds of simulation for the largest accepted shapes — so the server
 // caps the scenario rather than letting one request monopolize it.
 const (
-	maxClusterNICs     = 256
-	maxClusterArrivals = 5000
-	maxClusterProfiles = 64
+	maxClusterNICs       = 256
+	maxClusterArrivals   = 5000
+	maxClusterProfiles   = 64
+	maxClusterClassCores = 1024
 )
 
 // ClusterRunRequest asks the server to run a fleet-orchestration
@@ -22,14 +23,20 @@ const (
 // Zero values take the cluster package's defaults; Policies empty means
 // all built-in policies.
 type ClusterRunRequest struct {
-	NICs         int      `json:"nics,omitempty"`
-	Arrivals     int      `json:"arrivals,omitempty"`
-	Seed         uint64   `json:"seed,omitempty"`
-	NFs          []string `json:"nfs,omitempty"`
-	Policies     []string `json:"policies,omitempty"`
-	Profiles     int      `json:"profiles,omitempty"`
-	MeanIAT      float64  `json:"mean_iat,omitempty"`
-	MeanLifetime float64  `json:"mean_lifetime,omitempty"`
+	NICs int `json:"nics,omitempty"`
+	// Classes declares a heterogeneous fleet (ordered class:count
+	// slices, optional per-NIC core override); empty means NICs × the
+	// server's base hardware class. Workload selects the trace-generator
+	// family (churn, diurnal, flashcrowd, heavytail); empty means churn.
+	Classes      []cluster.ClassSpec `json:"classes,omitempty"`
+	Workload     string              `json:"workload,omitempty"`
+	Arrivals     int                 `json:"arrivals,omitempty"`
+	Seed         uint64              `json:"seed,omitempty"`
+	NFs          []string            `json:"nfs,omitempty"`
+	Policies     []string            `json:"policies,omitempty"`
+	Profiles     int                 `json:"profiles,omitempty"`
+	MeanIAT      float64             `json:"mean_iat,omitempty"`
+	MeanLifetime float64             `json:"mean_lifetime,omitempty"`
 	// DriftProb is a pointer because 0 (no drift) must stay
 	// distinguishable from "use the default drift rate".
 	DriftProb *float64 `json:"drift_prob,omitempty"`
@@ -46,6 +53,25 @@ type ClusterPoliciesResponse struct {
 func (r ClusterRunRequest) scenario() (cluster.Scenario, error) {
 	if r.NICs < 0 || r.NICs > maxClusterNICs {
 		return cluster.Scenario{}, badRequestf("nics %d out of range [0, %d]", r.NICs, maxClusterNICs)
+	}
+	total := 0
+	for i, cs := range r.Classes {
+		if _, err := cluster.ClassConfig(cs.Class); err != nil {
+			return cluster.Scenario{}, badRequestf("classes[%d]: %v", i, err)
+		}
+		if cs.Count <= 0 {
+			return cluster.Scenario{}, badRequestf("classes[%d]: count %d must be positive", i, cs.Count)
+		}
+		if cs.Cores < 0 || cs.Cores > maxClusterClassCores {
+			return cluster.Scenario{}, badRequestf("classes[%d]: cores %d out of range [0, %d]", i, cs.Cores, maxClusterClassCores)
+		}
+		total += cs.Count
+	}
+	if total > maxClusterNICs {
+		return cluster.Scenario{}, badRequestf("classes declare %d NICs, above the limit %d", total, maxClusterNICs)
+	}
+	if r.Workload != "" && !slices.Contains(cluster.Workloads(), r.Workload) {
+		return cluster.Scenario{}, badRequestf("unknown workload %q (have %v)", r.Workload, cluster.Workloads())
 	}
 	if r.Arrivals < 0 || r.Arrivals > maxClusterArrivals {
 		return cluster.Scenario{}, badRequestf("arrivals %d out of range [0, %d]", r.Arrivals, maxClusterArrivals)
@@ -71,6 +97,8 @@ func (r ClusterRunRequest) scenario() (cluster.Scenario, error) {
 	}
 	sc := cluster.Scenario{
 		NICs:         r.NICs,
+		Classes:      r.Classes,
+		Workload:     r.Workload,
 		Arrivals:     r.Arrivals,
 		Seed:         r.Seed,
 		NFs:          r.NFs,

@@ -74,6 +74,19 @@ func (g *flightGroup[K, V]) forget(key K) {
 	g.mu.Unlock()
 }
 
+// forgetMatching drops every key the predicate selects — the multi-key
+// form of forget, for reloads that span derived keys (e.g. one NF's
+// models across every hardware class).
+func (g *flightGroup[K, V]) forgetMatching(match func(K) bool) {
+	g.mu.Lock()
+	for k := range g.entries {
+		if match(k) {
+			delete(g.entries, k)
+		}
+	}
+	g.mu.Unlock()
+}
+
 // resolved lists keys whose attempts completed successfully.
 func (g *flightGroup[K, V]) resolved() []K {
 	g.mu.Lock()

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzProfileSpecValidate drives arbitrary JSON through the wire-profile
+// pipeline: decoding, validation and resolution must never panic, and
+// any spec that validates must resolve to a profile that round-trips
+// through SpecOf exactly (the property the cache keys and trace schema
+// rely on).
+func FuzzProfileSpecValidate(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"flows":16000,"pktsize":1500,"mtbr":600}`,
+		`{"flows":-1}`,
+		`{"pktsize":9217}`,
+		`{"mtbr":0}`,
+		`{"mtbr":1e300}`,
+		`{"flows":1000000,"pktsize":9216,"mtbr":100000}`,
+		`{"mtbr":null}`,
+		`[1,2]`,
+		`"nope"`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec ProfileSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		if err := spec.validate(); err != nil {
+			return
+		}
+		prof := spec.Profile()
+		// Resolved profiles are fixed points: converting back to the wire
+		// form and resolving again must be the identity.
+		if got := SpecOf(prof).Profile(); got != prof {
+			t.Fatalf("SpecOf/Profile is not identity: %+v → %+v", prof, got)
+		}
+		// A valid spec resolves inside the validated bounds (or to the
+		// defaults for absent attributes).
+		if prof.Flows <= 0 || prof.PktSize <= 0 || prof.MTBR < 0 {
+			t.Fatalf("validated spec %+v resolved out of bounds: %+v", spec, prof)
+		}
+	})
+}
+
+// FuzzAdmitRequestValidate covers the composite request validator the
+// admission path runs before any simulation: arbitrary JSON must never
+// panic it.
+func FuzzAdmitRequestValidate(f *testing.F) {
+	for _, seed := range []string{
+		`{"candidate":{"name":"FlowStats","sla":0.1}}`,
+		`{"residents":[{"name":"ACL","sla":2}],"candidate":{"name":"NIDS","sla":0.1}}`,
+		`{"candidate":{"name":"","sla":-1},"backend":"slomo"}`,
+		`{"backend":"wat"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req AdmitRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		_ = req.validate()
+	})
+}

@@ -57,10 +57,20 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 	return c
 }
 
-// entryKey identifies one model slot.
+// entryKey identifies one model slot: a backend and NF, optionally
+// qualified by a hardware key (a NIC-class name) for fleets that mix
+// hardware targets. The empty hardware key is the registry's default
+// NIC preset and maps to the unqualified on-disk layout.
 type entryKey struct {
 	backend Backend
+	hw      string
 	name    string
+}
+
+// flightKey is the duplicate-suppression key within one backend's group.
+type flightKey struct {
+	hw   string
+	name string
 }
 
 // ModelRegistry loads persisted per-NF models lazily and concurrently
@@ -71,8 +81,13 @@ type entryKey struct {
 type ModelRegistry struct {
 	cfg RegistryConfig
 
-	yala  flightGroup[string, *core.Model]
-	slomo flightGroup[string, *slomo.Model]
+	yala  flightGroup[flightKey, *core.Model]
+	slomo flightGroup[flightKey, *slomo.Model]
+
+	// hwMu guards hwConfigs, the NIC preset recorded per hardware key so
+	// Models() and retries agree on what a key means.
+	hwMu      sync.Mutex
+	hwConfigs map[string]nicsim.Config
 
 	// persistFails counts model-persistence failures; lastPersistErr
 	// keeps the most recent one. A persist failure must not discard a
@@ -82,8 +97,9 @@ type ModelRegistry struct {
 	persistFails   uint64
 	lastPersistErr string
 
-	// trainHook, when set, observes every on-demand training (tests).
-	trainHook func(Backend, string)
+	// trainHook, when set, observes every on-demand training (tests):
+	// backend, hardware key ("" = default NIC), NF name.
+	trainHook func(Backend, string, string)
 }
 
 // NewRegistry returns a registry over a model directory.
@@ -91,79 +107,164 @@ func NewRegistry(cfg RegistryConfig) *ModelRegistry {
 	return &ModelRegistry{cfg: cfg.withDefaults()}
 }
 
-// modelPath is the on-disk location for one model: <dir>/<nf>.<backend>.json.
-// The NF name keeps its catalog casing so names discovered from disk
-// round-trip into requests and Reload calls unchanged.
+// stem is the key's on-disk name component: <nf> for the default
+// hardware, <nf>@<hw> for a named key — the one place the mangling rule
+// lives.
+func (k entryKey) stem() string {
+	if k.hw == "" {
+		return k.name
+	}
+	return k.name + "@" + k.hw
+}
+
+// modelPath is the on-disk location for one model:
+// <dir>/<stem>.<backend>.json. The NF name keeps its catalog casing so
+// names discovered from disk round-trip into requests and Reload calls
+// unchanged.
 func (r *ModelRegistry) modelPath(key entryKey) string {
-	return filepath.Join(r.cfg.Dir, fmt.Sprintf("%s.%s.json", key.name, key.backend))
+	return filepath.Join(r.cfg.Dir, fmt.Sprintf("%s.%s.json", key.stem(), key.backend))
 }
 
-// Yala returns the Yala model for an NF, loading it from the model
-// directory or training it on demand on first use.
+// validHW rejects hardware keys that cannot serve as a file-name
+// component or would alias the default layout.
+func validHW(hw string) error {
+	if hw == "" {
+		return nil
+	}
+	for _, c := range hw {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("serve: invalid hardware key %q (want lowercase [a-z0-9-_])", hw)
+		}
+	}
+	return nil
+}
+
+// hwConfig resolves the NIC preset for a hardware key, recording it on
+// first use: "" is the registry's default NIC; a named key must supply
+// its config on first use and later lookups may omit it (zero Config).
+func (r *ModelRegistry) hwConfig(hw string, nic nicsim.Config) (nicsim.Config, error) {
+	if hw == "" {
+		return r.cfg.NIC, nil
+	}
+	if err := validHW(hw); err != nil {
+		return nicsim.Config{}, err
+	}
+	r.hwMu.Lock()
+	defer r.hwMu.Unlock()
+	if r.hwConfigs == nil {
+		r.hwConfigs = map[string]nicsim.Config{}
+	}
+	known, seen := r.hwConfigs[hw]
+	if nic.Name != "" {
+		// A key means one hardware preset for the registry's lifetime:
+		// models cached and persisted under it were trained against that
+		// preset, so a conflicting re-registration must fail rather than
+		// silently serve old-hardware models for a new meaning of the key.
+		if seen && known.Name != nic.Name {
+			return nicsim.Config{}, fmt.Errorf("serve: hardware key %q already bound to NIC %q, cannot rebind to %q", hw, known.Name, nic.Name)
+		}
+		r.hwConfigs[hw] = nic
+		return nic, nil
+	}
+	if seen {
+		return known, nil
+	}
+	return nicsim.Config{}, fmt.Errorf("serve: hardware key %q has no NIC config registered", hw)
+}
+
+// Yala returns the Yala model for an NF on the registry's default NIC,
+// loading it from the model directory or training it on demand on first
+// use.
 func (r *ModelRegistry) Yala(name string) (*core.Model, error) {
-	return r.yala.do(name, 0, func() (*core.Model, error) {
-		return r.loadYala(entryKey{BackendYala, name})
+	return r.YalaOn("", nicsim.Config{}, name)
+}
+
+// YalaOn is the hardware-keyed lookup behind heterogeneous fleets: it
+// returns the Yala model for an NF trained against the given NIC preset,
+// keyed (and persisted) under hw. The empty hw selects the registry's
+// default NIC and the unqualified on-disk layout; duplicate-load
+// suppression applies per (hw, NF) key.
+func (r *ModelRegistry) YalaOn(hw string, nic nicsim.Config, name string) (*core.Model, error) {
+	cfg, err := r.hwConfig(hw, nic)
+	if err != nil {
+		return nil, err
+	}
+	return r.yala.do(flightKey{hw, name}, 0, func() (*core.Model, error) {
+		return r.loadYala(entryKey{BackendYala, hw, name}, cfg)
 	})
 }
 
-// SLOMO returns the SLOMO baseline model for an NF, loading or training
-// it like Yala.
+// SLOMO returns the SLOMO baseline model for an NF on the default NIC,
+// loading or training it like Yala.
 func (r *ModelRegistry) SLOMO(name string) (*slomo.Model, error) {
-	return r.slomo.do(name, 0, func() (*slomo.Model, error) {
-		return r.loadSLOMO(entryKey{BackendSLOMO, name})
+	return r.SLOMOOn("", nicsim.Config{}, name)
+}
+
+// SLOMOOn mirrors YalaOn for the baseline.
+func (r *ModelRegistry) SLOMOOn(hw string, nic nicsim.Config, name string) (*slomo.Model, error) {
+	cfg, err := r.hwConfig(hw, nic)
+	if err != nil {
+		return nil, err
+	}
+	return r.slomo.do(flightKey{hw, name}, 0, func() (*slomo.Model, error) {
+		return r.loadSLOMO(entryKey{BackendSLOMO, hw, name}, cfg)
 	})
 }
 
-// Reload drops the cached model so the next Get re-reads the model
-// directory. Callers also serving memoized responses computed with the
-// old model must flush those too — Service.Reload does both.
+// Reload drops the cached model — across every hardware key — so the
+// next Get re-reads the model directory. Callers also serving memoized
+// responses computed with the old model must flush those too —
+// Service.Reload does both.
 func (r *ModelRegistry) Reload(backend Backend, name string) {
+	match := func(k flightKey) bool { return k.name == name }
 	switch backend {
 	case BackendYala:
-		r.yala.forget(name)
+		r.yala.forgetMatching(match)
 	case BackendSLOMO:
-		r.slomo.forget(name)
+		r.slomo.forgetMatching(match)
 	}
 }
 
-// loadYala reads the persisted model, or trains and persists one. An
-// unreadable model file (e.g. truncated by a crash mid-write) also falls
-// through to retraining, which rewrites it — a corrupt file must not
-// permanently wedge an NF's serving path.
-func (r *ModelRegistry) loadYala(key entryKey) (*core.Model, error) {
+// loadYala reads the persisted model, or trains and persists one against
+// the key's NIC preset. An unreadable model file (e.g. truncated by a
+// crash mid-write) also falls through to retraining, which rewrites it —
+// a corrupt file must not permanently wedge an NF's serving path.
+func (r *ModelRegistry) loadYala(key entryKey, nic nicsim.Config) (*core.Model, error) {
 	if r.cfg.Dir != "" {
 		if m, err := core.LoadModelFile(r.modelPath(key)); err == nil {
 			return m, nil
 		}
 	}
 	if r.trainHook != nil {
-		r.trainHook(BackendYala, key.name)
+		r.trainHook(BackendYala, key.hw, key.name)
 	}
 	// A fresh testbed per training keeps the registry concurrent-safe
 	// (testbeds cache unsynchronized) and the result deterministic.
-	tb := testbed.New(r.cfg.NIC, r.cfg.Seed)
+	tb := testbed.New(nic, r.cfg.Seed)
 	m, err := core.NewTrainer(tb, r.cfg.Train).Train(key.name)
 	if err != nil {
-		return nil, fmt.Errorf("serve: training yala/%s: %w", key.name, err)
+		return nil, fmt.Errorf("serve: training yala/%s on %s: %w", key.name, nic.Name, err)
 	}
 	r.persist(key, m.SaveFile)
 	return m, nil
 }
 
 // loadSLOMO mirrors loadYala for the baseline.
-func (r *ModelRegistry) loadSLOMO(key entryKey) (*slomo.Model, error) {
+func (r *ModelRegistry) loadSLOMO(key entryKey, nic nicsim.Config) (*slomo.Model, error) {
 	if r.cfg.Dir != "" {
 		if m, err := slomo.LoadModelFile(r.modelPath(key)); err == nil {
 			return m, nil
 		}
 	}
 	if r.trainHook != nil {
-		r.trainHook(BackendSLOMO, key.name)
+		r.trainHook(BackendSLOMO, key.hw, key.name)
 	}
-	tb := testbed.New(r.cfg.NIC, r.cfg.Seed)
+	tb := testbed.New(nic, r.cfg.Seed)
 	m, err := slomo.Train(tb, key.name, r.cfg.SLOMOProfile, r.cfg.SLOMO)
 	if err != nil {
-		return nil, fmt.Errorf("serve: training slomo/%s: %w", key.name, err)
+		return nil, fmt.Errorf("serve: training slomo/%s on %s: %w", key.name, nic.Name, err)
 	}
 	r.persist(key, m.SaveFile)
 	return m, nil
@@ -188,7 +289,7 @@ func (r *ModelRegistry) persist(key entryKey, save func(string) error) {
 	if err != nil {
 		r.statMu.Lock()
 		r.persistFails++
-		r.lastPersistErr = fmt.Sprintf("%s/%s: %v", key.backend, key.name, err)
+		r.lastPersistErr = fmt.Sprintf("%s/%s: %v", key.backend, key.stem(), err)
 		r.statMu.Unlock()
 	}
 }
@@ -201,16 +302,19 @@ func (r *ModelRegistry) PersistFailures() (uint64, string) {
 	return r.persistFails, r.lastPersistErr
 }
 
-// ModelInfo describes one model the registry knows about.
+// ModelInfo describes one model the registry knows about. HW is empty
+// for models on the registry's default NIC preset.
 type ModelInfo struct {
 	NF      string  `json:"nf"`
+	HW      string  `json:"hw,omitempty"`
 	Backend Backend `json:"backend"`
 	Loaded  bool    `json:"loaded"`
 	OnDisk  bool    `json:"on_disk"`
 }
 
 // Models lists every model discovered in the model directory plus every
-// model loaded (or trained) in memory, sorted by NF then backend.
+// model loaded (or trained) in memory, sorted by NF, hardware key, then
+// backend.
 func (r *ModelRegistry) Models() []ModelInfo {
 	infos := map[entryKey]*ModelInfo{}
 	if r.cfg.Dir != "" {
@@ -220,25 +324,31 @@ func (r *ModelRegistry) Models() []ModelInfo {
 				name := de.Name()
 				for _, b := range []Backend{BackendYala, BackendSLOMO} {
 					suffix := fmt.Sprintf(".%s.json", b)
-					if nf, ok := strings.CutSuffix(name, suffix); ok && nf != "" {
-						infos[entryKey{b, nf}] = &ModelInfo{NF: nf, Backend: b, OnDisk: true}
+					stem, ok := strings.CutSuffix(name, suffix)
+					if !ok || stem == "" {
+						continue
 					}
+					nf, hw, _ := strings.Cut(stem, "@")
+					if nf == "" {
+						continue
+					}
+					infos[entryKey{b, hw, nf}] = &ModelInfo{NF: nf, HW: hw, Backend: b, OnDisk: true}
 				}
 			}
 		}
 	}
 	loaded := make([]entryKey, 0)
-	for _, name := range r.yala.resolved() {
-		loaded = append(loaded, entryKey{BackendYala, name})
+	for _, k := range r.yala.resolved() {
+		loaded = append(loaded, entryKey{BackendYala, k.hw, k.name})
 	}
-	for _, name := range r.slomo.resolved() {
-		loaded = append(loaded, entryKey{BackendSLOMO, name})
+	for _, k := range r.slomo.resolved() {
+		loaded = append(loaded, entryKey{BackendSLOMO, k.hw, k.name})
 	}
 	for _, key := range loaded {
 		if info, ok := infos[key]; ok {
 			info.Loaded = true
 		} else {
-			infos[key] = &ModelInfo{NF: key.name, Backend: key.backend, Loaded: true}
+			infos[key] = &ModelInfo{NF: key.name, HW: key.hw, Backend: key.backend, Loaded: true}
 		}
 	}
 	out := make([]ModelInfo, 0, len(infos))
@@ -248,6 +358,9 @@ func (r *ModelRegistry) Models() []ModelInfo {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].NF != out[j].NF {
 			return out[i].NF < out[j].NF
+		}
+		if out[i].HW != out[j].HW {
+			return out[i].HW < out[j].HW
 		}
 		return out[i].Backend < out[j].Backend
 	})

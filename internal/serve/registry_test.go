@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ml"
+	"repro/internal/nicsim"
 	"repro/internal/profiling"
 	"repro/internal/slomo"
 )
@@ -48,7 +49,7 @@ func testRegistryConfig(t *testing.T) RegistryConfig {
 func TestRegistryConcurrentLoad(t *testing.T) {
 	reg := NewRegistry(testRegistryConfig(t))
 	var trainings atomic.Int64
-	reg.trainHook = func(Backend, string) { trainings.Add(1) }
+	reg.trainHook = func(Backend, string, string) { trainings.Add(1) }
 
 	const goroutines = 16
 	models := make([]*core.Model, goroutines)
@@ -76,6 +77,137 @@ func TestRegistryConcurrentLoad(t *testing.T) {
 	}
 }
 
+// TestRegistryConcurrentKeyedLoad hammers the registry with goroutines
+// requesting a mix of identical and distinct (hardware, NF, backend)
+// keys concurrently — run under -race — and asserts duplicate-load
+// suppression holds per key: every distinct key trains exactly once and
+// all requesters of a key receive the same model instance.
+func TestRegistryConcurrentKeyedLoad(t *testing.T) {
+	reg := NewRegistry(testRegistryConfig(t))
+	type trainKey struct {
+		backend Backend
+		hw      string
+		name    string
+	}
+	var mu sync.Mutex
+	trainings := map[trainKey]int{}
+	reg.trainHook = func(b Backend, hw, name string) {
+		mu.Lock()
+		trainings[trainKey{b, hw, name}]++
+		mu.Unlock()
+	}
+
+	type req struct {
+		backend Backend
+		hw      string
+		name    string
+	}
+	var reqs []req
+	for _, hw := range []string{"", "bluefield2", "pensando"} {
+		reqs = append(reqs, req{BackendYala, hw, "FlowStats"}, req{BackendSLOMO, hw, "FlowStats"})
+	}
+
+	const waves = 4 // every key requested by 4 goroutines at once
+	results := make([][]any, len(reqs))
+	for i := range results {
+		results[i] = make([]any, waves)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < waves; w++ {
+		for i, r := range reqs {
+			wg.Add(1)
+			go func(w, i int, r req) {
+				defer wg.Done()
+				nic := nicForHW(r.hw)
+				var (
+					v   any
+					err error
+				)
+				if r.backend == BackendYala {
+					v, err = reg.YalaOn(r.hw, nic, r.name)
+				} else {
+					v, err = reg.SLOMOOn(r.hw, nic, r.name)
+				}
+				if err != nil {
+					t.Errorf("%s/%s@%q: %v", r.backend, r.name, r.hw, err)
+					return
+				}
+				results[i][w] = v
+			}(w, i, r)
+		}
+	}
+	wg.Wait()
+
+	for i, r := range reqs {
+		for w := 1; w < waves; w++ {
+			if results[i][w] != results[i][0] {
+				t.Errorf("%s/%s@%q: wave %d received a different model instance", r.backend, r.name, r.hw, w)
+			}
+		}
+	}
+	// Distinct hardware keys that persist to distinct paths each train
+	// once; nothing trains twice.
+	for key, n := range trainings {
+		if n != 1 {
+			t.Errorf("key %+v trained %d times, want 1", key, n)
+		}
+	}
+	if want := len(reqs); len(trainings) != want {
+		t.Errorf("%d distinct keys trained, want %d", len(trainings), want)
+	}
+
+	// Reload drops every hardware variant of the NF: the next round
+	// retrains each (hw, backend) key for that NF exactly once more.
+	reg.Reload(BackendYala, "FlowStats")
+	for _, hw := range []string{"", "bluefield2", "pensando"} {
+		if _, err := reg.YalaOn(hw, nicForHW(hw), "FlowStats"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Models persisted to disk on first training, so the reload round
+	// loads files rather than retraining — Loaded counts stay at 1.
+	for key, n := range trainings {
+		if n != 1 {
+			t.Errorf("after reload, key %+v trained %d times, want 1 (should reload from disk)", key, n)
+		}
+	}
+}
+
+// TestRegistryRejectsBadHW covers hardware-key hygiene: keys that cannot
+// name a file and named keys with no registered config.
+func TestRegistryRejectsBadHW(t *testing.T) {
+	reg := NewRegistry(testRegistryConfig(t))
+	if _, err := reg.YalaOn("Bad/Key", nicForHW("pensando"), "FlowStats"); err == nil {
+		t.Fatal("path-hostile hardware key accepted")
+	}
+	if _, err := reg.YalaOn("mystery", nicsim.Config{}, "FlowStats"); err == nil {
+		t.Fatal("unknown hardware key with no config accepted")
+	}
+	// A key binds to one preset for the registry's lifetime: models under
+	// it were trained on that hardware, so rebinding must fail loudly.
+	if _, err := reg.YalaOn("edge", nicsim.BlueField2(), "FlowStats"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.YalaOn("edge", nicsim.Pensando(), "ACL"); err == nil {
+		t.Fatal("conflicting rebind of hardware key accepted")
+	}
+	if _, err := reg.YalaOn("edge", nicsim.Config{}, "FlowStats"); err != nil {
+		t.Fatalf("config-less lookup of bound key failed: %v", err)
+	}
+}
+
+// nicForHW maps a test hardware key to its preset; the empty key lets
+// the registry use its default.
+func nicForHW(hw string) nicsim.Config {
+	switch hw {
+	case "pensando":
+		return nicsim.Pensando()
+	case "bluefield2":
+		return nicsim.BlueField2()
+	}
+	return nicsim.Config{}
+}
+
 // TestRegistryPersistsAndReloads checks the train-on-demand path writes a
 // model file a second registry can load without retraining, and that
 // Reload forces a re-read.
@@ -83,7 +215,7 @@ func TestRegistryPersistsAndReloads(t *testing.T) {
 	cfg := testRegistryConfig(t)
 	reg := NewRegistry(cfg)
 	var trainings atomic.Int64
-	reg.trainHook = func(Backend, string) { trainings.Add(1) }
+	reg.trainHook = func(Backend, string, string) { trainings.Add(1) }
 
 	if _, err := reg.Yala("ACL"); err != nil {
 		t.Fatal(err)
@@ -105,8 +237,8 @@ func TestRegistryPersistsAndReloads(t *testing.T) {
 
 	// A fresh registry over the same directory must load, not train.
 	reg2 := NewRegistry(cfg)
-	reg2.trainHook = func(b Backend, name string) {
-		t.Errorf("unexpected retraining of %s/%s", b, name)
+	reg2.trainHook = func(b Backend, hw, name string) {
+		t.Errorf("unexpected retraining of %s/%s@%q", b, name, hw)
 	}
 	m, err := reg2.Yala("ACL")
 	if err != nil {

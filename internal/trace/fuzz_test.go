@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the trace decoder: it must never
+// panic, and anything it accepts must re-encode canonically — the
+// encoded form decodes again to the identical trace and identical
+// bytes (the schema's round-trip guarantee, fuzzed).
+func FuzzDecode(f *testing.F) {
+	// Seed with a real trace, its truncations, and hostile variants.
+	var buf bytes.Buffer
+	if _, err := Record(&buf, testScenario()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	if committed, err := os.ReadFile(goldenTrace); err == nil {
+		f.Add(committed)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"version":1,"kind":"yala-cluster-trace","scenario":{}}` + "\n"))
+	f.Add([]byte(`{"version":1,"kind":"yala-cluster-trace","scenario":{}}` + "\n" +
+		`{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":0.1,"lifetime":1}` + "\n"))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := Write(&enc, tr); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding of accepted trace failed to decode: %v", err)
+		}
+		if len(tr2.Stream) != len(tr.Stream) {
+			t.Fatalf("round trip changed stream length: %d → %d", len(tr.Stream), len(tr2.Stream))
+		}
+		for i := range tr.Stream {
+			if tr.Stream[i] != tr2.Stream[i] {
+				t.Fatalf("round trip changed event %d: %+v → %+v", i, tr.Stream[i], tr2.Stream[i])
+			}
+		}
+		var enc2 bytes.Buffer
+		if err := Write(&enc2, tr2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/nicsim"
+	"repro/internal/profiling"
+	"repro/internal/slomo"
+	"repro/internal/testbed"
+	"repro/internal/traffic"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/trace -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden trace and report files")
+
+const (
+	goldenTrace   = "testdata/golden.trace.jsonl"
+	goldenReports = "testdata/golden_reports.json"
+)
+
+// goldenScenario is the committed reference scenario: a mixed
+// bluefield2/pensando fleet under churn with drift — small enough to
+// replay in seconds, rich enough to exercise class-aware scheduling,
+// rollbacks, migrations and evictions.
+func goldenScenario() cluster.Scenario {
+	return cluster.Scenario{
+		Classes:   []cluster.ClassSpec{{Class: "bluefield2", Count: 3}, {Class: "pensando", Count: 1}},
+		Arrivals:  24,
+		Seed:      7,
+		NFs:       goldenNFs,
+		Profiles:  2,
+		DriftProb: 0.5,
+	}.WithDefaults()
+}
+
+var goldenNFs = []string{"FlowStats", "ACL"}
+
+var (
+	modelsOnce sync.Once
+	tinyModels cluster.MapModels
+	modelsErr  error
+)
+
+// testModels trains minimal-cost Yala and SLOMO models once per test
+// binary. Accuracy is irrelevant — the golden tests pin determinism and
+// orchestration, not model quality — but training is fully deterministic
+// (seeded profiling plan, seeded GBR), which is what makes a committed
+// expected report meaningful.
+func testModels(t testing.TB) cluster.MapModels {
+	t.Helper()
+	modelsOnce.Do(func() {
+		tb := testbed.New(nicsim.BlueField2(), 1)
+		cfg := core.DefaultTrainConfig()
+		cfg.Seed = 1
+		cfg.Plan = profiling.Random(12, 1)
+		cfg.PatternProbes = 1
+		cfg.GBR = ml.GBRConfig{Trees: 25, LearningRate: 0.15, MaxDepth: 3, MinLeaf: 2, Subsample: 1, Seed: 1}
+		scfg := slomo.DefaultConfig()
+		scfg.Seed = 1
+		scfg.Samples = 12
+		scfg.GBR = cfg.GBR
+		tinyModels = cluster.MapModels{
+			YalaModels:  map[string]*core.Model{},
+			SLOMOModels: map[string]*slomo.Model{},
+		}
+		for _, name := range goldenNFs {
+			m, err := core.NewTrainer(tb, cfg).Train(name)
+			if err != nil {
+				modelsErr = err
+				return
+			}
+			tinyModels.YalaModels[name] = m
+			sm, err := slomo.Train(tb, name, traffic.Default, scfg)
+			if err != nil {
+				modelsErr = err
+				return
+			}
+			tinyModels.SLOMOModels[name] = sm
+		}
+	})
+	if modelsErr != nil {
+		t.Fatalf("training test models: %v", modelsErr)
+	}
+	return tinyModels
+}
+
+// goldenRun replays a trace under every built-in policy on a fresh
+// environment and renders the comparison with wall-clock latencies
+// zeroed — the deterministic projection the golden file stores.
+func goldenRun(t *testing.T, tr Trace) []byte {
+	t.Helper()
+	env := cluster.NewEnv(nicsim.BlueField2(), 1, testModels(t))
+	cmp, err := cluster.RunStream(context.Background(), env, tr.Scenario, tr.Stream, cluster.Policies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cmp.Results {
+		cmp.Results[i].DecisionP50 = 0
+		cmp.Results[i].DecisionP99 = 0
+	}
+	data, err := json.MarshalIndent(cmp.Results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
+
+// TestGoldenReplay is the determinism/regression gate for the whole
+// stack: the committed trace must decode, replay under every policy, and
+// reproduce the committed per-policy reports byte for byte — admits,
+// rollbacks, migrations, evictions and violations exactly. Any scheduler
+// or simulator change that shifts an outcome fails here and must either
+// be fixed or consciously re-baselined with -update.
+func TestGoldenReplay(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenTrace), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr, err := Record(&buf, goldenScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTrace, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenReports, goldenRun(t, tr), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", goldenTrace, goldenReports)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatalf("reading committed trace (regenerate with -update): %v", err)
+	}
+	tr, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("committed trace no longer decodes: %v", err)
+	}
+
+	// The committed trace must itself be canonical: re-encoding it must
+	// reproduce the file, and re-generating from the scenario must too —
+	// the generator, the schema and the file all agree.
+	var reenc bytes.Buffer
+	if err := Write(&reenc, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, reenc.Bytes()) {
+		t.Fatal("committed trace is not canonical (decode→encode differs)")
+	}
+	var regen bytes.Buffer
+	if _, err := Record(&regen, goldenScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, regen.Bytes()) {
+		t.Fatal("stream generator no longer reproduces the committed trace (re-baseline with -update if intended)")
+	}
+
+	want, err := os.ReadFile(goldenReports)
+	if err != nil {
+		t.Fatalf("reading committed reports (regenerate with -update): %v", err)
+	}
+	got := goldenRun(t, tr)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden replay diverged from committed reports (re-baseline with -update if intended)\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}

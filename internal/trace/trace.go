@@ -1,0 +1,267 @@
+// Package trace records and replays cluster workload streams as
+// versioned JSONL files — the determinism seam of the fleet stack.
+//
+// A trace captures everything a comparison run consumes from the random
+// stream: the scenario (fleet classes, pools, seed) and the complete
+// per-tenant lifecycle schedule (arrival time, NF, profile, SLA,
+// lifetime, optional drift). Replaying a trace through
+// cluster.RunStream therefore reproduces a recorded run event for
+// event, whatever scheduler refactors happened in between — the golden
+// tests in this package pin exactly that.
+//
+// # Format
+//
+// Line 1 is the header: {"version":1,"kind":"yala-cluster-trace",
+// "scenario":{...}}. Every following non-empty line is one tenant
+// event in arrival order. Encoding is canonical (encoding/json with
+// fixed field order, one object per line), so decode→encode is
+// byte-identical — the property the round-trip tests assert.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/placement"
+	"repro/internal/traffic"
+)
+
+// Version is the trace schema version this package writes. Decode
+// rejects any other version: a reader must never silently misinterpret
+// a future schema.
+const Version = 1
+
+// Kind tags the header so arbitrary JSONL files are not mistaken for
+// traces.
+const Kind = "yala-cluster-trace"
+
+// Header is the first line of a trace file.
+type Header struct {
+	Version  int              `json:"version"`
+	Kind     string           `json:"kind"`
+	Scenario cluster.Scenario `json:"scenario"`
+}
+
+// profileJSON is a traffic profile on the trace wire, with explicit
+// lowercase field names (traffic.Profile itself carries no tags and
+// must stay decoupled from the schema).
+type profileJSON struct {
+	Flows   int     `json:"flows"`
+	PktSize int     `json:"pktsize"`
+	MTBR    float64 `json:"mtbr"`
+}
+
+func toProfileJSON(p traffic.Profile) profileJSON {
+	return profileJSON{Flows: p.Flows, PktSize: p.PktSize, MTBR: p.MTBR}
+}
+
+func (p profileJSON) profile() traffic.Profile {
+	return traffic.Profile{Flows: p.Flows, PktSize: p.PktSize, MTBR: p.MTBR}
+}
+
+// driftJSON is the optional drift leg of an event.
+type driftJSON struct {
+	At      float64     `json:"at"`
+	Profile profileJSON `json:"profile"`
+}
+
+// Event is one tenant lifecycle line.
+type Event struct {
+	ID       int         `json:"id"`
+	At       float64     `json:"at"`
+	NF       string      `json:"nf"`
+	Profile  profileJSON `json:"profile"`
+	SLA      float64     `json:"sla"`
+	Lifetime float64     `json:"lifetime"`
+	Drift    *driftJSON  `json:"drift,omitempty"`
+}
+
+// toEvent projects a cluster tenant spec onto the wire.
+func toEvent(s cluster.TenantSpec) Event {
+	ev := Event{
+		ID:       s.ID,
+		At:       s.At,
+		NF:       s.Name,
+		Profile:  toProfileJSON(s.Profile),
+		SLA:      s.SLA,
+		Lifetime: s.Lifetime,
+	}
+	if s.DriftAt > 0 {
+		ev.Drift = &driftJSON{At: s.DriftAt, Profile: toProfileJSON(s.DriftProfile)}
+	}
+	return ev
+}
+
+// spec reconstructs the cluster-facing form.
+func (ev Event) spec() cluster.TenantSpec {
+	s := cluster.TenantSpec{
+		Tenant: cluster.Tenant{
+			ID: ev.ID,
+			Arrival: placement.Arrival{
+				Name:    ev.NF,
+				Profile: ev.Profile.profile(),
+				SLA:     ev.SLA,
+			},
+		},
+		At:       ev.At,
+		Lifetime: ev.Lifetime,
+	}
+	if ev.Drift != nil {
+		s.DriftAt = ev.Drift.At
+		s.DriftProfile = ev.Drift.Profile.profile()
+	}
+	return s
+}
+
+// Trace is a decoded trace: the scenario and the full tenant stream.
+type Trace struct {
+	Scenario cluster.Scenario
+	Stream   []cluster.TenantSpec
+}
+
+// Record generates the scenario's stream and writes the trace — the
+// `yala trace record` core.
+func Record(w io.Writer, sc cluster.Scenario) (Trace, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Trace{}, err
+	}
+	t := Trace{Scenario: sc, Stream: sc.Stream()}
+	return t, Write(w, t)
+}
+
+// Write encodes a trace canonically: header line, then one event line
+// per tenant in stream order.
+func Write(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Header{Version: Version, Kind: Kind, Scenario: t.Scenario}); err != nil {
+		return err
+	}
+	for _, s := range t.Stream {
+		if err := enc.Encode(toEvent(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads and validates a trace. Malformed input — wrong version
+// or kind, truncated lines, out-of-order or duplicated tenants,
+// non-finite or out-of-range fields — returns an error naming the
+// offending line; it never panics.
+func Decode(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Trace{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		return Trace{}, fmt.Errorf("trace: empty input")
+	}
+	var hdr Header
+	if err := strictUnmarshal(sc.Bytes(), &hdr); err != nil {
+		return Trace{}, fmt.Errorf("trace: line 1: malformed header: %w", err)
+	}
+	if hdr.Kind != Kind {
+		return Trace{}, fmt.Errorf("trace: line 1: kind %q, want %q", hdr.Kind, Kind)
+	}
+	if hdr.Version != Version {
+		return Trace{}, fmt.Errorf("trace: line 1: unsupported version %d (this reader handles %d)", hdr.Version, Version)
+	}
+	if err := hdr.Scenario.WithDefaults().Validate(); err != nil {
+		return Trace{}, fmt.Errorf("trace: line 1: %w", err)
+	}
+	t := Trace{Scenario: hdr.Scenario}
+	line := 1
+	lastAt := 0.0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := strictUnmarshal(raw, &ev); err != nil {
+			return Trace{}, fmt.Errorf("trace: line %d: malformed event: %w", line, err)
+		}
+		if err := ev.validate(); err != nil {
+			return Trace{}, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if ev.ID != len(t.Stream) {
+			return Trace{}, fmt.Errorf("trace: line %d: tenant ID %d out of order (want %d)", line, ev.ID, len(t.Stream))
+		}
+		if ev.At < lastAt {
+			return Trace{}, fmt.Errorf("trace: line %d: arrival at %g before previous %g", line, ev.At, lastAt)
+		}
+		lastAt = ev.At
+		t.Stream = append(t.Stream, ev.spec())
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, fmt.Errorf("trace: line %d: %w", line, err)
+	}
+	return t, nil
+}
+
+// validate applies the per-event schema rules.
+func (ev Event) validate() error {
+	if ev.NF == "" {
+		return fmt.Errorf("event %d: missing nf", ev.ID)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"at", ev.At}, {"sla", ev.SLA}, {"lifetime", ev.Lifetime},
+		{"profile.mtbr", ev.Profile.MTBR},
+	} {
+		if !finite(f.v) || f.v < 0 {
+			return fmt.Errorf("event %d: %s %g must be finite and non-negative", ev.ID, f.name, f.v)
+		}
+	}
+	if ev.SLA > 1 {
+		return fmt.Errorf("event %d: sla %g above 1", ev.ID, ev.SLA)
+	}
+	if ev.Lifetime <= 0 {
+		return fmt.Errorf("event %d: lifetime %g must be positive", ev.ID, ev.Lifetime)
+	}
+	if ev.Profile.Flows < 0 || ev.Profile.PktSize < 0 {
+		return fmt.Errorf("event %d: negative profile attribute", ev.ID)
+	}
+	if ev.Drift != nil {
+		if !finite(ev.Drift.At) || ev.Drift.At <= 0 {
+			return fmt.Errorf("event %d: drift.at %g must be finite and positive", ev.ID, ev.Drift.At)
+		}
+		if !finite(ev.Drift.Profile.MTBR) || ev.Drift.Profile.MTBR < 0 ||
+			ev.Drift.Profile.Flows < 0 || ev.Drift.Profile.PktSize < 0 {
+			return fmt.Errorf("event %d: malformed drift profile", ev.ID)
+		}
+	}
+	return nil
+}
+
+// finite reports whether v is neither NaN nor ±Inf (x != x catches NaN;
+// the subtraction catches infinities without importing math).
+func finite(v float64) bool {
+	return v == v && v-v == 0
+}
+
+// strictUnmarshal decodes one JSON value, rejecting unknown fields and
+// trailing garbage — schema drift must surface as an error, not be
+// silently dropped.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("trailing data after value")
+	}
+	return nil
+}

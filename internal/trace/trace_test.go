@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/nicsim"
+)
+
+func testScenario() cluster.Scenario {
+	return cluster.Scenario{
+		Classes:   []cluster.ClassSpec{{Class: "bluefield2", Count: 3}, {Class: "pensando", Count: 1}},
+		Arrivals:  24,
+		Seed:      7,
+		NFs:       []string{"FlowStats", "ACL"},
+		Profiles:  2,
+		DriftProb: 0.5,
+		Workload:  cluster.WorkloadFlashCrowd,
+	}.WithDefaults()
+}
+
+// TestRoundTripByteIdentical pins the canonical-encoding guarantee:
+// record → decode → re-encode reproduces the identical bytes, and the
+// decoded stream equals the generated one.
+func TestRoundTripByteIdentical(t *testing.T) {
+	sc := testScenario()
+	var buf bytes.Buffer
+	rec, err := Record(&buf, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Stream) != sc.Arrivals {
+		t.Fatalf("recorded %d events, want %d", len(rec.Stream), sc.Arrivals)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+
+	dec, err := Decode(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Stream) != len(rec.Stream) {
+		t.Fatalf("decoded %d events, want %d", len(dec.Stream), len(rec.Stream))
+	}
+	for i := range dec.Stream {
+		if dec.Stream[i] != rec.Stream[i] {
+			t.Fatalf("event %d did not round-trip:\n  recorded %+v\n  decoded  %+v", i, rec.Stream[i], dec.Stream[i])
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, dec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("decode→encode is not byte-identical")
+	}
+}
+
+// TestDecodeRejectsMalformed walks the schema's failure modes; every one
+// must produce an error (never a panic, never silent acceptance).
+func TestDecodeRejectsMalformed(t *testing.T) {
+	sc := testScenario()
+	var buf bytes.Buffer
+	if _, err := Record(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+
+	cases := map[string]string{
+		"empty":            "",
+		"not json":         "garbage\n",
+		"wrong kind":       `{"version":1,"kind":"nope","scenario":{}}` + "\n",
+		"future version":   strings.Replace(lines[0], `"version":1`, `"version":99`, 1) + "\n",
+		"unknown field":    lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":0.1,"lifetime":1,"bogus":true}` + "\n",
+		"trailing garbage": lines[0] + "\n" + lines[1] + ` {"x":1}` + "\n",
+		"missing nf":       lines[0] + "\n" + `{"id":0,"at":1,"nf":"","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":0.1,"lifetime":1}` + "\n",
+		"id out of order":  lines[0] + "\n" + strings.Replace(lines[1], `"id":0`, `"id":5`, 1) + "\n",
+		"negative sla":     lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":-0.1,"lifetime":1}` + "\n",
+		"sla above one":    lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":1.5,"lifetime":1}` + "\n",
+		"zero lifetime":    lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":0.1,"lifetime":0}` + "\n",
+		"nan mtbr":         lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":1e999},"sla":0.1,"lifetime":1}` + "\n",
+		"bad drift":        lines[0] + "\n" + `{"id":0,"at":1,"nf":"ACL","profile":{"flows":1,"pktsize":64,"mtbr":0},"sla":0.1,"lifetime":1,"drift":{"at":-1,"profile":{"flows":1,"pktsize":64,"mtbr":0}}}` + "\n",
+		"unknown class":    strings.Replace(lines[0], `"class":"pensando"`, `"class":"wat"`, 1) + "\n",
+	}
+	for name, input := range cases {
+		if _, err := Decode(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+}
+
+// TestDecodeOutOfOrderArrivals covers the time-monotonicity check.
+func TestDecodeOutOfOrderArrivals(t *testing.T) {
+	sc := testScenario()
+	var buf bytes.Buffer
+	rec, err := Record(&buf, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-stamp event 1 to arrive before event 0 and re-encode.
+	rec.Stream[1].At = rec.Stream[0].At / 2
+	rec.Stream[1].ID = 1
+	var bad bytes.Buffer
+	if err := Write(&bad, rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&bad); err == nil {
+		t.Fatal("Decode accepted out-of-order arrival times")
+	}
+}
+
+// TestReplayThroughCluster runs a decoded trace through the fleet
+// orchestrator and checks it reproduces a straight scenario run — the
+// trace layer must be a transparent detour.
+func TestReplayThroughCluster(t *testing.T) {
+	sc := cluster.Scenario{
+		NICs:      3,
+		Arrivals:  10,
+		Seed:      5,
+		NFs:       []string{"FlowStats", "ACL"},
+		Profiles:  2,
+		DriftProb: 0.5,
+	}.WithDefaults()
+	var buf bytes.Buffer
+	if _, err := Record(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newEnv := func() *cluster.Env {
+		return cluster.NewEnv(nicsim.BlueField2(), 1, cluster.MapModels{})
+	}
+	policies := []string{"random", "firstfit"}
+	direct, err := cluster.Run(t.Context(), newEnv(), sc, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := cluster.RunStream(t.Context(), newEnv(), dec.Scenario, dec.Stream, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Results {
+		d, r := direct.Results[i], replayed.Results[i]
+		d.DecisionP50, d.DecisionP99, r.DecisionP50, r.DecisionP99 = 0, 0, 0, 0
+		if d != r {
+			t.Fatalf("trace replay diverged for %s:\n direct %+v\n replay %+v", d.Policy, d, r)
+		}
+	}
+}
