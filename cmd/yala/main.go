@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/nf"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/traffic"
+	"repro/pkg/yalaclient"
 )
 
 func main() {
@@ -248,22 +250,20 @@ func cmdPlace(args []string) error {
 
 	tb := testbed.New(nicsim.BlueField2(), *seed)
 	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker", "NAT"}
-	yala := map[string]*core.Model{}
-	slomoM := map[string]*slomo.Model{}
+	ps := placement.NewSimulator(tb)
 	for _, n := range names {
 		fmt.Printf("training models for %s...\n", n)
 		m, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(n)
 		if err != nil {
 			return err
 		}
-		yala[n] = m
+		ps.SetModel("yala", n, backend.WrapYala(m))
 		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
 		if err != nil {
 			return err
 		}
-		slomoM[n] = sm
+		ps.SetModel("slomo", n, backend.WrapSLOMO(sm))
 	}
-	ps := placement.NewSimulator(tb, yala, slomoM)
 	rng := sim.NewRNG(*seed)
 	var seq []placement.Arrival
 	for i := 0; i < *arrivals; i++ {
@@ -323,8 +323,10 @@ func cmdServe(args []string) error {
 	defer svc.Close()
 
 	fmt.Printf("yala serve: listening on %s, models in %s\n", *addr, *models)
-	fmt.Printf("  POST /v1/predict /v1/predict/batch /v1/compare /v1/admit /v1/diagnose /v1/cluster/run /v1/reload\n")
-	fmt.Printf("  GET  /v1/models /v1/stats /v1/cluster/policies /healthz\n")
+	fmt.Printf("  GET  /v2/models /v2/stats /v2/cluster/policies /healthz\n")
+	fmt.Printf("  POST /v2/models:batchPredict /v2/models/{nf[@hw]}/{backend}:predict|:admit|:reload\n")
+	fmt.Printf("       /v2/models/{nf[@hw]}:compare|:diagnose /v2/cluster/runs\n")
+	fmt.Printf("  /v1 endpoints remain available (deprecated; Deprecation header set)\n")
 	return http.ListenAndServe(*addr, svc.Handler())
 }
 
@@ -366,8 +368,8 @@ func cmdLoadgen(args []string) error {
 	}
 	// Snapshot server cache counters around the run so the reported hit
 	// rate is this run's, not the server's lifetime.
-	client := serve.NewClient(*url)
-	before, beforeErr := client.Stats()
+	client := yalaclient.New(*url)
+	before, beforeErr := client.Stats(context.Background())
 	rep, runErr := serve.Loadgen(cfg)
 	// A partially failed run still carries the measurement of everything
 	// that succeeded — print and persist the report before surfacing the
@@ -393,7 +395,7 @@ func cmdLoadgen(args []string) error {
 	if rep.Errors > 0 {
 		return fmt.Errorf("loadgen: %d/%d requests failed", rep.Errors, rep.Requests)
 	}
-	if after, err := client.Stats(); err == nil && beforeErr == nil {
+	if after, err := client.Stats(context.Background()); err == nil && beforeErr == nil {
 		hits := after.Cache.Hits - before.Cache.Hits
 		total := hits + after.Cache.Misses - before.Cache.Misses
 		if total > 0 {
@@ -485,21 +487,28 @@ func parsePolicies(spec string) []string {
 	return out
 }
 
-// cmdCluster runs a fleet-orchestration scenario locally and prints the
-// policy comparison (internal/cluster). Models come from a
-// serve.ModelRegistry, so they load from -models (or quick-train on
-// demand) exactly once per (class, NF) across all compared policies.
+// cmdCluster runs a fleet-orchestration scenario and prints the policy
+// comparison (internal/cluster). By default the run executes locally,
+// with models from a serve.ModelRegistry — loaded from -models (or
+// quick-trained on demand) exactly once per (class, NF) across all
+// compared policies. With -url the scenario is submitted to a running
+// `yala serve` through the pkg/yalaclient SDK (/v2/cluster/runs)
+// instead — the remote path, sharing the server's registry and caches.
 func cmdCluster(args []string) error {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	scenario := scenarioFlags(fs)
 	policies := fs.String("policies", "", "comma-separated policies to compare (default: all)")
 	models := fs.String("models", "", "model directory (persisted models; quick-trained on demand when absent or empty)")
+	url := fs.String("url", "", "run remotely on this yala serve base URL instead of locally")
 	jsonPath := fs.String("json", "", "write the machine-readable comparison to this path")
 	fs.Parse(args)
 
 	sc, err := scenario()
 	if err != nil {
 		return err
+	}
+	if *url != "" {
+		return clusterRemote(*url, sc, parsePolicies(*policies), *jsonPath)
 	}
 	if *models != "" {
 		if err := os.MkdirAll(*models, 0o755); err != nil {
@@ -517,6 +526,49 @@ func cmdCluster(args []string) error {
 	fmt.Println(cmp.Table())
 	if *jsonPath != "" {
 		return writeJSONFile(*jsonPath, cmp)
+	}
+	return nil
+}
+
+// clusterRemote submits the scenario to a running server through the
+// SDK and renders the returned comparison exactly like a local run.
+func clusterRemote(url string, sc cluster.Scenario, policies []string, jsonPath string) error {
+	params := yalaclient.ClusterRunParams{
+		NICs:         sc.NICs,
+		Workload:     sc.Workload,
+		Arrivals:     sc.Arrivals,
+		Seed:         sc.Seed,
+		NFs:          sc.NFs,
+		Policies:     policies,
+		Profiles:     sc.Profiles,
+		MeanIAT:      sc.MeanIAT,
+		MeanLifetime: sc.MeanLifetime,
+		DriftProb:    &sc.DriftProb,
+		SLALo:        sc.SLALo,
+		SLAHi:        sc.SLAHi,
+	}
+	for _, cs := range sc.Classes {
+		params.Classes = append(params.Classes, yalaclient.ClassSpec{Class: cs.Class, Count: cs.Count, Cores: cs.Cores})
+	}
+	fmt.Printf("cluster: %d NICs, %d %s arrivals, NF pool %v (remote: %s)\n",
+		sc.NICs, sc.Arrivals, sc.Workload, sc.NFs, url)
+	result, err := yalaclient.New(url).ClusterRun(context.Background(), params)
+	if err != nil {
+		return err
+	}
+	// The SDK result is wire-shape compatible with the orchestrator's
+	// comparison; round-trip through JSON to reuse its table renderer.
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return err
+	}
+	var cmp cluster.Comparison
+	if err := json.Unmarshal(raw, &cmp); err != nil {
+		return err
+	}
+	fmt.Println(cmp.Table())
+	if jsonPath != "" {
+		return writeJSONFile(jsonPath, cmp)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -11,6 +12,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/pkg/yalaclient"
 )
 
 // yalaBin is the binary under test, built once by TestMain — the e2e
@@ -236,16 +239,10 @@ func TestServeLoadgenE2E(t *testing.T) {
 		t.Fatal("loadgen with unknown NF exited 0")
 	}
 
-	resp, err := http.Get(url + "/v1/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var stats struct {
-		Requests map[string]uint64 `json:"requests"`
-		Errors   uint64            `json:"errors"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&stats)
-	resp.Body.Close()
+	// Operator surface through the supported SDK: stats counted the
+	// loadgen traffic and the bad-NF errors.
+	client := yalaclient.New(url)
+	stats, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,18 +253,53 @@ func TestServeLoadgenE2E(t *testing.T) {
 		t.Fatalf("stats recorded no errors despite bad-NF run: %+v", stats)
 	}
 
-	// The cluster endpoint validates class and workload specs as 400s.
-	for _, body := range []string{
-		`{"classes":[{"class":"wat","count":1}]}`,
-		`{"workload":"bogus"}`,
-	} {
-		resp, err := http.Post(url+"/v1/cluster/run", "application/json", bytes.NewReader([]byte(body)))
-		if err != nil {
-			t.Fatal(err)
+	// The remote cluster path: `yala cluster -url` submits the scenario
+	// to this server over /v2/cluster/runs via the SDK.
+	remoteOut := filepath.Join(dir, "remote.json")
+	stdout, stderr, code = run(t,
+		"cluster", "-url", url, "-arrivals", "6", "-nics", "2",
+		"-nfs", "FlowStats", "-policies", "firstfit", "-seed", "4", "-json", remoteOut)
+	if code != 0 {
+		t.Fatalf("remote cluster exited %d: %s%s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("firstfit")) {
+		t.Fatalf("remote cluster table missing policy row:\n%s", stdout)
+	}
+	if c := readComparison(t, remoteOut); c.Scenario.Arrivals != 6 || len(c.Results) != 1 {
+		t.Fatalf("remote comparison: %+v", c)
+	}
+
+	// Every /v1 response must keep advertising its deprecation — the
+	// compatibility contract this PR's CI step gates on.
+	resp, err := http.Get(url + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dep := resp.Header.Get("Deprecation"); dep != "true" {
+		t.Fatalf("/v1/models Deprecation header %q, want \"true\"", dep)
+	}
+
+	// The cluster endpoint validates class and workload specs as 400s —
+	// on /v1 (flat envelope) and /v2 (structured envelope) alike.
+	for _, path := range []string{"/v1/cluster/run", "/v2/cluster/runs"} {
+		for _, body := range []string{
+			`{"classes":[{"class":"wat","count":1}]}`,
+			`{"workload":"bogus"}`,
+		} {
+			resp, err := http.Post(url+path, "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s %s: status %d, want 400", path, body, resp.StatusCode)
+			}
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("cluster/run %s: status %d, want 400", body, resp.StatusCode)
-		}
+	}
+
+	// The SDK surfaces the same validation as a typed APIError.
+	if _, err := client.ClusterRun(context.Background(), yalaclient.ClusterRunParams{Workload: "bogus"}); err == nil {
+		t.Fatal("SDK cluster run with bad workload returned nil error")
 	}
 }

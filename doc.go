@@ -4,6 +4,17 @@
 // the network functions it models, and a simulated SoC SmartNIC standing
 // in for the paper's BlueField-2 testbed.
 //
+// Prediction engines are pluggable: internal/backend defines the
+// Backend interface (Train/Predict/Save/Load over an opaque Model
+// handle) with self-registration, the built-in yala and slomo
+// implementations, and an optional batched fast path; the model
+// registry, HTTP layer, placement simulator and fleet scheduler consume
+// predictions only through it. The serving subsystem exposes a
+// versioned, resource-oriented /v2 HTTP API (hardware-qualified model
+// resources, structured error envelopes, paginated listings) with the
+// flat /v1 endpoints kept as deprecated byte-compatible adapters, and
+// pkg/yalaclient is the supported stdlib-only Go SDK for it.
+//
 // See README.md for the package map, CLI entry points, the online
 // prediction-serving subsystem (internal/serve) and the cluster-scale
 // fleet orchestrator (internal/cluster), which schedules churning NF

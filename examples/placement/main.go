@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/nicsim"
 	"repro/internal/placement"
@@ -20,20 +21,21 @@ func main() {
 	tb := testbed.New(nicsim.BlueField2(), 7)
 	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker"}
 
-	yala := map[string]*core.Model{}
-	slomoM := map[string]*slomo.Model{}
+	// The simulator consumes models only through the backend interface;
+	// offline-trained models are wrapped into opaque handles.
+	ps := placement.NewSimulator(tb)
 	for _, n := range names {
 		fmt.Printf("training models for %s...\n", n)
 		m, err := core.NewTrainer(tb, core.DefaultTrainConfig()).Train(n)
 		if err != nil {
 			log.Fatal(err)
 		}
-		yala[n] = m
+		ps.SetModel("yala", n, backend.WrapYala(m))
 		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
-		slomoM[n] = sm
+		ps.SetModel("slomo", n, backend.WrapSLOMO(sm))
 	}
 
 	// 50 arrivals with SLAs between 5% and 20% allowed drop.
@@ -47,7 +49,6 @@ func main() {
 		})
 	}
 
-	ps := placement.NewSimulator(tb, yala, slomoM)
 	fmt.Printf("\n%-16s %6s %12s\n", "strategy", "NICs", "violations")
 	for _, st := range []placement.Strategy{
 		placement.Monopolization, placement.Greedy,

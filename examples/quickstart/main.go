@@ -1,17 +1,25 @@
-// Quickstart: train a Yala model for FlowMonitor, predict its throughput
-// when co-located with NIDS and FlowStats, and compare against the
-// simulated ground truth — the equivalent of the paper artifact's
-// train.py / predict.py walk-through.
+// Quickstart: predict FlowMonitor's throughput when co-located with
+// NIDS and FlowStats — first offline (train a model, call it directly),
+// then online (serve predictions over the versioned /v2 HTTP API and
+// query it through the public pkg/yalaclient SDK), and compare both
+// against the simulated ground truth. The equivalent of the paper
+// artifact's train.py / predict.py walk-through, extended to the
+// serving deployment an operator would actually run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/nicsim"
+	"repro/internal/serve"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
+	"repro/pkg/yalaclient"
 )
 
 func main() {
@@ -68,6 +76,40 @@ func main() {
 	errPct := 100 * abs(pred.Throughput-truth) / truth
 	fmt.Printf("measured co-located throughput:  %.3f Mpps\n", truth/1e6)
 	fmt.Printf("prediction error:                %.1f%%\n", errPct)
+
+	// Serving phase: the same question answered over the wire, the way a
+	// production consumer would ask it — `yala serve` behind the /v2 API,
+	// queried through the typed SDK. The quick on-demand training config
+	// keeps the demo fast; deployments point -models at offline-trained
+	// artifacts.
+	fmt.Println("\nstarting the prediction service (/v2) and querying it via pkg/yalaclient...")
+	svc := serve.NewService(serve.ServiceConfig{Registry: serve.RegistryConfig{Seed: 42}})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := yalaclient.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+	served, err := client.Predict(ctx, yalaclient.ModelID{NF: "FlowMonitor"}, "",
+		yalaclient.PredictParams{Competitors: []yalaclient.Competitor{
+			{Name: "NIDS"}, {Name: "FlowStats"},
+		}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served prediction (%s backend):  %.3f Mpps, bottleneck %s\n",
+		served.Backend, served.PredictedPPS/1e6, served.Bottleneck)
+
+	models, err := client.AllModels(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("models now resident on the server: %d\n", len(models))
 }
 
 func abs(x float64) float64 {

@@ -36,46 +36,34 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/nicsim"
 	"repro/internal/placement"
-	"repro/internal/slomo"
 	"repro/internal/testbed"
 )
 
 // ModelSource supplies per-NF prediction models to the schedulers, keyed
-// by hardware class — the seam between the orchestrator and the serving
-// layer. In production serve.ModelRegistry implements it (models load
-// once per (class, NF) and are shared by every policy in a comparison);
-// tests may supply pre-trained maps. The empty class is the
-// environment's base hardware.
+// by backend and hardware class — the seam between the orchestrator and
+// the serving layer. In production serve.ModelRegistry implements it
+// (models load once per (backend, class, NF) and are shared by every
+// policy in a comparison); tests may supply pre-built maps. The empty
+// class is the environment's base hardware.
 type ModelSource interface {
-	YalaOn(class string, nic nicsim.Config, name string) (*core.Model, error)
-	SLOMOOn(class string, nic nicsim.Config, name string) (*slomo.Model, error)
+	ModelOn(backendName, class string, nic nicsim.Config, name string) (backend.Model, error)
 }
 
-// MapModels is a static ModelSource over pre-trained model maps. It is
-// class-agnostic: every hardware class is served the same per-NF model
-// (fine for tests, which assert orchestration rather than accuracy).
-type MapModels struct {
-	YalaModels  map[string]*core.Model
-	SLOMOModels map[string]*slomo.Model
-}
+// MapModels is a static ModelSource over pre-built model handles, keyed
+// backend name → NF name. It is class-agnostic: every hardware class is
+// served the same per-NF model (fine for tests, which assert
+// orchestration rather than accuracy).
+type MapModels map[string]map[string]backend.Model
 
-// YalaOn returns the mapped Yala model, whatever the class.
-func (m MapModels) YalaOn(class string, nic nicsim.Config, name string) (*core.Model, error) {
-	if mm, ok := m.YalaModels[name]; ok {
+// ModelOn returns the mapped model, whatever the class.
+func (m MapModels) ModelOn(backendName, class string, nic nicsim.Config, name string) (backend.Model, error) {
+	if mm, ok := m[backendName][name]; ok {
 		return mm, nil
 	}
-	return nil, fmt.Errorf("cluster: no Yala model for %s", name)
-}
-
-// SLOMOOn returns the mapped SLOMO model, whatever the class.
-func (m MapModels) SLOMOOn(class string, nic nicsim.Config, name string) (*slomo.Model, error) {
-	if mm, ok := m.SLOMOModels[name]; ok {
-		return mm, nil
-	}
-	return nil, fmt.Errorf("cluster: no SLOMO model for %s", name)
+	return nil, fmt.Errorf("cluster: no %s model for %s", backendName, name)
 }
 
 // Tenant is one admitted NF instance: the arrival it came from plus the
@@ -265,7 +253,7 @@ func NewEnv(cfg nicsim.Config, seed uint64, models ModelSource) *Env {
 	base := &classEnv{
 		key: classKey{},
 		cfg: cfg,
-		sim: placement.NewSimulator(testbed.New(cfg, seed), map[string]*core.Model{}, map[string]*slomo.Model{}),
+		sim: placement.NewSimulator(testbed.New(cfg, seed)),
 	}
 	e.class[base.key] = base
 	e.Sim = base.sim
@@ -287,7 +275,7 @@ func (e *Env) classEnv(spec ClassSpec) (*classEnv, error) {
 			return nil, err
 		}
 	}
-	sim := placement.NewSimulator(testbed.New(cfg, e.seed), map[string]*core.Model{}, map[string]*slomo.Model{})
+	sim := placement.NewSimulator(testbed.New(cfg, e.seed))
 	// Capacity scaling adjusts the scheduling budget only; ground truth
 	// and models stay on the stock preset.
 	if spec.Cores > 0 {
@@ -309,30 +297,23 @@ func (e *Env) simFor(n *NIC) *placement.Simulator {
 	return e.Sim
 }
 
-// ensureModels pulls the named NFs' models for the strategy from the
-// model source into a class's simulator, once per (class, name).
+// ensureModels pulls the named NFs' models for the strategy's backend
+// from the model source into a class's simulator, once per (backend,
+// class, name). Model-free strategies are a no-op.
 func (e *Env) ensureModels(ce *classEnv, strat placement.Strategy, names []string) error {
+	bname := strat.Backend()
+	if bname == "" {
+		return nil
+	}
 	for _, name := range names {
-		switch strat {
-		case placement.YalaAware:
-			if _, ok := ce.sim.Yala[name]; ok {
-				continue
-			}
-			m, err := e.Models.YalaOn(ce.key.name, ce.cfg, name)
-			if err != nil {
-				return err
-			}
-			ce.sim.Yala[name] = m
-		case placement.SLOMOAware:
-			if _, ok := ce.sim.SLOMO[name]; ok {
-				continue
-			}
-			m, err := e.Models.SLOMOOn(ce.key.name, ce.cfg, name)
-			if err != nil {
-				return err
-			}
-			ce.sim.SLOMO[name] = m
+		if ce.sim.HasModel(bname, name) {
+			continue
 		}
+		m, err := e.Models.ModelOn(bname, ce.key.name, ce.cfg, name)
+		if err != nil {
+			return err
+		}
+		ce.sim.SetModel(bname, name, m)
 	}
 	return nil
 }
@@ -354,13 +335,8 @@ func (e *Env) Prewarm(ctx context.Context, sc Scenario, policies []string) error
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			switch p {
-			case "yala":
-				if err := e.ensureModels(ce, placement.YalaAware, sc.NFs); err != nil {
-					return err
-				}
-			case "slomo":
-				if err := e.ensureModels(ce, placement.SLOMOAware, sc.NFs); err != nil {
+			if strat, ok := policyStrategy(p); ok {
+				if err := e.ensureModels(ce, strat, sc.NFs); err != nil {
 					return err
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/nicsim"
@@ -41,23 +42,20 @@ func testModels(t testing.TB) MapModels {
 		scfg.Seed = 1
 		scfg.Samples = 12
 		scfg.GBR = cfg.GBR
-		tinyModels = MapModels{
-			YalaModels:  map[string]*core.Model{},
-			SLOMOModels: map[string]*slomo.Model{},
-		}
+		tinyModels = MapModels{"yala": {}, "slomo": {}}
 		for _, name := range testNFs {
 			m, err := core.NewTrainer(tb, cfg).Train(name)
 			if err != nil {
 				modelsErr = err
 				return
 			}
-			tinyModels.YalaModels[name] = m
+			tinyModels["yala"][name] = backend.WrapYala(m)
 			sm, err := slomo.Train(tb, name, traffic.Default, scfg)
 			if err != nil {
 				modelsErr = err
 				return
 			}
-			tinyModels.SLOMOModels[name] = sm
+			tinyModels["slomo"][name] = backend.WrapSLOMO(sm)
 		}
 	})
 	if modelsErr != nil {

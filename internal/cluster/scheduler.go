@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/backend"
 	"repro/internal/placement"
 	"repro/internal/sim"
 )
@@ -17,23 +18,36 @@ type Scheduler interface {
 	Choose(f *Fleet, a placement.Arrival) (int, error)
 }
 
-// Policies lists the built-in scheduling policies in comparison order.
+// Policies lists the available scheduling policies in comparison order:
+// the contention-blind baselines first, then one prediction-guided
+// best-fit policy per registered prediction backend (alphabetical, so
+// the classic random/firstfit/slomo/yala order is stable).
 func Policies() []string {
-	return []string{"random", "firstfit", "slomo", "yala"}
+	return append([]string{"random", "firstfit"}, backend.Names()...)
 }
 
-// NewScheduler constructs a built-in policy over the environment. The
-// seed only matters to randomized policies.
+// policyStrategy maps a prediction-guided policy name to its placement
+// strategy; ok is false for the model-free policies.
+func policyStrategy(policy string) (placement.Strategy, bool) {
+	if _, ok := backend.Get(policy); !ok {
+		return placement.Strategy{}, false
+	}
+	return placement.PredictionAware(policy), true
+}
+
+// NewScheduler constructs a policy over the environment. The seed only
+// matters to randomized policies. Any registered prediction backend
+// names a prediction-guided best-fit policy — a new backend becomes
+// schedulable with no edits here.
 func NewScheduler(policy string, env *Env, seed uint64) (Scheduler, error) {
 	switch policy {
 	case "random":
 		return &randomFit{rng: sim.NewRNG(seed ^ 0x72616e646f6d)}, nil
 	case "firstfit":
 		return firstFit{}, nil
-	case "yala":
-		return predictFit{env: env, strat: placement.YalaAware, name: "yala"}, nil
-	case "slomo":
-		return predictFit{env: env, strat: placement.SLOMOAware, name: "slomo"}, nil
+	}
+	if strat, ok := policyStrategy(policy); ok {
+		return predictFit{env: env, strat: strat, name: policy}, nil
 	}
 	return nil, fmt.Errorf("cluster: unknown policy %q (have %v)", policy, Policies())
 }

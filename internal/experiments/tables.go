@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/diagnose"
 	"repro/internal/nf"
@@ -10,7 +11,6 @@ import (
 	"repro/internal/nicsim"
 	"repro/internal/placement"
 	"repro/internal/sim"
-	"repro/internal/slomo"
 	"repro/internal/traffic"
 )
 
@@ -240,18 +240,19 @@ func (l *Lab) table5On(id string, names []string) (*Report, error) {
 func Table6(l *Lab) (*Report, error) {
 	r := &Report{ID: "table6", Title: "NF placement: resource wastage and SLA violations"}
 	names := nf.Table1Names()
-	yala := map[string]*core.Model{}
-	slomoM := map[string]*slomo.Model{}
+	ps := placement.NewSimulator(l.TB)
 	for _, n := range names {
-		var err error
-		if yala[n], err = l.Yala(n); err != nil {
+		ym, err := l.Yala(n)
+		if err != nil {
 			return nil, err
 		}
-		if slomoM[n], err = l.SLOMO(n); err != nil {
+		ps.SetModel("yala", n, backend.WrapYala(ym))
+		sm, err := l.SLOMO(n)
+		if err != nil {
 			return nil, err
 		}
+		ps.SetModel("slomo", n, backend.WrapSLOMO(sm))
 	}
-	ps := placement.NewSimulator(l.TB, yala, slomoM)
 
 	rng := sim.NewRNG(l.Seed ^ 0x7ab6)
 	sequences := l.n(12, 3)

@@ -3,10 +3,14 @@
 // SmartNICs so as to minimize NICs used while meeting throughput SLAs.
 //
 // Strategies: Monopolization (one NF per NIC), Greedy (most free cores),
-// and contention-aware placement driven by SLOMO or Yala predictions. An
-// Oracle strategy that checks feasibility with actual co-runs stands in
-// for the paper's exhaustive-search optimum (offline bin packing is
-// NP-complete; the paper also compares against a search-based reference).
+// and contention-aware placement driven by any registered prediction
+// backend (PredictionAware; YalaAware and SLOMOAware are the built-in
+// instances). An Oracle strategy that checks feasibility with actual
+// co-runs stands in for the paper's exhaustive-search optimum (offline
+// bin packing is NP-complete; the paper also compares against a
+// search-based reference). Prediction models reach this package only
+// through the internal/backend interface — the simulator holds opaque
+// handles keyed (backend, NF) and never inspects them.
 package placement
 
 import (
@@ -14,9 +18,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/backend"
 	"repro/internal/nicsim"
-	"repro/internal/slomo"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
 )
@@ -30,33 +33,60 @@ type Arrival struct {
 	SLA     float64
 }
 
-// Strategy selects a placement policy.
-type Strategy int
+// stratKind discriminates the placement policy families.
+type stratKind int
+
+const (
+	kindMonopolization stratKind = iota
+	kindGreedy
+	kindPredict
+	kindOracle
+)
+
+// Strategy selects a placement policy. The zero value is Monopolization.
+// Strategies are comparable values: the built-in ones below, plus one
+// PredictionAware instance per prediction backend.
+type Strategy struct {
+	kind stratKind
+	// backend names the prediction backend a kindPredict strategy
+	// consults; empty for the model-free strategies.
+	backend string
+}
 
 // Placement strategies, in the order of the paper's Table 6.
-const (
-	Monopolization Strategy = iota
-	Greedy
-	SLOMOAware
-	YalaAware
-	Oracle
+var (
+	Monopolization = Strategy{kind: kindMonopolization}
+	Greedy         = Strategy{kind: kindGreedy}
+	SLOMOAware     = PredictionAware("slomo")
+	YalaAware      = PredictionAware("yala")
+	Oracle         = Strategy{kind: kindOracle}
 )
+
+// PredictionAware is contention-aware placement guided by the named
+// prediction backend: place an arrival on a NIC only when the backend's
+// models predict every resident (including the newcomer) stays within
+// its SLA.
+func PredictionAware(backendName string) Strategy {
+	return Strategy{kind: kindPredict, backend: backendName}
+}
+
+// Backend names the prediction backend a PredictionAware strategy
+// consults; empty for the model-free strategies.
+func (s Strategy) Backend() string { return s.backend }
 
 // String names the strategy.
 func (s Strategy) String() string {
-	switch s {
-	case Monopolization:
+	switch s.kind {
+	case kindMonopolization:
 		return "monopolization"
-	case Greedy:
+	case kindGreedy:
 		return "greedy"
-	case SLOMOAware:
-		return "slomo"
-	case YalaAware:
-		return "yala"
-	case Oracle:
+	case kindPredict:
+		return s.backend
+	case kindOracle:
 		return "oracle"
 	}
-	return fmt.Sprintf("strategy(%d)", int(s))
+	return fmt.Sprintf("strategy(%d)", int(s.kind))
 }
 
 // Result summarizes one placed sequence.
@@ -69,46 +99,77 @@ type Result struct {
 // Simulator places NF arrival sequences under a strategy and evaluates
 // the outcome against simulator ground truth.
 type Simulator struct {
-	TB    *testbed.Testbed
-	Yala  map[string]*core.Model
-	SLOMO map[string]*slomo.Model
+	TB *testbed.Testbed
 
 	// NFCores is the per-NF core allocation; NICCores the per-NIC total.
 	NFCores  int
 	NICCores int
 
-	soloCache  map[string]nicsim.Measurement
+	// models holds the prediction handles the prediction-aware
+	// strategies consult, keyed backend name → NF name. Opaque: only the
+	// owning backend ever looks inside.
+	models map[string]map[string]backend.Model
+
+	soloCache  map[string]*nicsim.Measurement
 	coRunCache map[string][]nicsim.Measurement
 }
 
-// NewSimulator returns a placement simulator. The model maps may be nil
-// for strategies that do not need them.
-func NewSimulator(tb *testbed.Testbed, yala map[string]*core.Model, sl map[string]*slomo.Model) *Simulator {
+// NewSimulator returns a placement simulator. Prediction-aware
+// strategies additionally need models supplied through SetModel.
+func NewSimulator(tb *testbed.Testbed) *Simulator {
 	return &Simulator{
-		TB: tb, Yala: yala, SLOMO: sl,
+		TB:         tb,
 		NFCores:    2,
 		NICCores:   tb.Config().Cores,
-		soloCache:  map[string]nicsim.Measurement{},
+		models:     map[string]map[string]backend.Model{},
+		soloCache:  map[string]*nicsim.Measurement{},
 		coRunCache: map[string][]nicsim.Measurement{},
 	}
+}
+
+// SetModel installs the backend's model for one NF.
+func (s *Simulator) SetModel(backendName, nf string, m backend.Model) {
+	byNF, ok := s.models[backendName]
+	if !ok {
+		byNF = map[string]backend.Model{}
+		s.models[backendName] = byNF
+	}
+	byNF[nf] = m
+}
+
+// HasModel reports whether the backend's model for an NF is installed.
+func (s *Simulator) HasModel(backendName, nf string) bool {
+	_, ok := s.models[backendName][nf]
+	return ok
+}
+
+// Model returns the installed handle, or an error naming the gap.
+func (s *Simulator) Model(backendName, nf string) (backend.Model, error) {
+	m, ok := s.models[backendName][nf]
+	if !ok {
+		return nil, fmt.Errorf("placement: no %s model for %s", backendName, nf)
+	}
+	return m, nil
 }
 
 func arrivalKey(a Arrival) string {
 	return fmt.Sprintf("%s@%s", a.Name, a.Profile)
 }
 
-// solo returns the cached solo measurement for an arrival.
-func (s *Simulator) solo(a Arrival) (nicsim.Measurement, error) {
+// solo returns the cached solo measurement for an arrival. The pointer
+// is stable for the simulator's lifetime, so prediction scenarios can
+// share it without copying.
+func (s *Simulator) solo(a Arrival) (*nicsim.Measurement, error) {
 	key := arrivalKey(a)
 	if m, ok := s.soloCache[key]; ok {
 		return m, nil
 	}
 	m, err := s.TB.SoloNF(a.Name, a.Profile)
 	if err != nil {
-		return nicsim.Measurement{}, err
+		return nil, err
 	}
-	s.soloCache[key] = m
-	return m, nil
+	s.soloCache[key] = &m
+	return &m, nil
 }
 
 // coRun measures a NIC's residents together, cached by the (sorted)
@@ -179,10 +240,10 @@ func (s *Simulator) Place(seq []Arrival, strat Strategy) (Result, error) {
 // NIC.
 func (s *Simulator) chooseNIC(nics []*nic, a Arrival, strat Strategy) (int, error) {
 	fits := func(n *nic) bool { return n.cores+s.NFCores <= s.NICCores }
-	switch strat {
-	case Monopolization:
+	switch strat.kind {
+	case kindMonopolization:
 		return -1, nil
-	case Greedy:
+	case kindGreedy:
 		// Most available resources first (the E3/Meili heuristic).
 		best, bestFree := -1, -1
 		for i, n := range nics {
@@ -194,7 +255,7 @@ func (s *Simulator) chooseNIC(nics []*nic, a Arrival, strat Strategy) (int, erro
 			}
 		}
 		return best, nil
-	case SLOMOAware, YalaAware, Oracle:
+	case kindPredict, kindOracle:
 		for i, n := range nics {
 			if !fits(n) {
 				continue
@@ -223,7 +284,7 @@ func (s *Simulator) Fits(residents int) bool {
 // so online feasibility checks skip re-simulating solos the server has
 // already measured.
 func (s *Simulator) SeedSolo(a Arrival, m nicsim.Measurement) {
-	s.soloCache[arrivalKey(a)] = m
+	s.soloCache[arrivalKey(a)] = &m
 }
 
 // Feasible reports whether adding a to a NIC already hosting residents
@@ -240,10 +301,10 @@ func (s *Simulator) Feasible(residents []Arrival, a Arrival, strat Strategy) (bo
 }
 
 // feasible predicts whether adding a to the NIC keeps every resident
-// (including a) within its SLA, according to the strategy's model.
+// (including a) within its SLA, according to the strategy's predictor.
 func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 	all := append(append([]Arrival(nil), n.residents...), a)
-	if strat == Oracle {
+	if strat.kind == kindOracle {
 		ms, ordered, err := s.coRun(all)
 		if err != nil {
 			return false, err
@@ -259,9 +320,12 @@ func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 		}
 		return true, nil
 	}
+	b, ok := backend.Get(strat.backend)
+	if !ok {
+		return false, fmt.Errorf("placement: unknown prediction backend %q", strat.backend)
+	}
 	for ti, target := range all {
-		var comps []core.Competitor
-		var agg nicsim.Counters
+		var comps []backend.Competitor
 		// Skip by index, not value: two identical arrivals (same NF,
 		// profile and SLA) are distinct residents and contend with each
 		// other.
@@ -273,29 +337,25 @@ func (s *Simulator) feasible(n *nic, a Arrival, strat Strategy) (bool, error) {
 			if err != nil {
 				return false, err
 			}
-			comps = append(comps, core.CompetitorFromMeasurement(m))
-			agg.Add(m.Counters)
+			comps = append(comps, backend.Competitor{NF: other.Name, Profile: other.Profile, Solo: m})
 		}
 		solo, err := s.solo(target)
 		if err != nil {
 			return false, err
 		}
-		var predicted float64
-		switch strat {
-		case YalaAware:
-			model, ok := s.Yala[target.Name]
-			if !ok {
-				return false, fmt.Errorf("placement: no Yala model for %s", target.Name)
-			}
-			predicted = model.Predict(target.Profile, comps).Throughput
-		case SLOMOAware:
-			model, ok := s.SLOMO[target.Name]
-			if !ok {
-				return false, fmt.Errorf("placement: no SLOMO model for %s", target.Name)
-			}
-			predicted = model.PredictExtrapolated(agg, solo.Throughput)
+		model, err := s.Model(strat.backend, target.Name)
+		if err != nil {
+			return false, err
 		}
-		if predicted < (1-target.SLA)*solo.Throughput {
+		pred, err := b.Predict(model, backend.Scenario{
+			Profile:     target.Profile,
+			Competitors: comps,
+			Solo:        func() (float64, error) { return solo.Throughput, nil },
+		})
+		if err != nil {
+			return false, err
+		}
+		if pred.PredictedPPS < (1-target.SLA)*solo.Throughput {
 			return false, nil
 		}
 	}
@@ -311,73 +371,43 @@ type batchKey struct {
 	prof traffic.Profile
 }
 
-// batchState carries the buffers and memos one FeasibleBatch call reuses
-// across candidate sets: solo measurements and competitor feature
-// vectors per distinct (NF, profile), the Yala solo-model prediction per
-// target, and a competitor slice that grows once and is re-sliced per
-// evaluation.
+// batchState carries the buffers one FeasibleBatch call reuses across
+// candidate sets: a struct-keyed solo-measurement memo, the backend's
+// own memoizing Batch (feature vectors, solo-model predictions), and a
+// competitor slice that grows once and is re-sliced per evaluation.
 type batchState struct {
-	solos     map[batchKey]nicsim.Measurement
-	comps     map[batchKey]core.Competitor
-	soloPreds map[batchKey]float64
-	compBuf   []core.Competitor
+	batch   backend.Batch
+	solos   map[batchKey]*nicsim.Measurement
+	compBuf []backend.Competitor
 }
 
 // solo resolves a measured solo through the per-call memo.
-func (e *batchState) solo(s *Simulator, a Arrival) (nicsim.Measurement, error) {
+func (e *batchState) solo(s *Simulator, a Arrival) (*nicsim.Measurement, error) {
 	key := batchKey{a.Name, a.Profile}
 	if m, ok := e.solos[key]; ok {
 		return m, nil
 	}
 	m, err := s.solo(a)
 	if err != nil {
-		return nicsim.Measurement{}, err
+		return nil, err
 	}
 	e.solos[key] = m
 	return m, nil
-}
-
-// competitor resolves an arrival's predictor-facing feature vector once
-// per distinct (NF, profile).
-func (e *batchState) competitor(s *Simulator, a Arrival) (core.Competitor, error) {
-	key := batchKey{a.Name, a.Profile}
-	if c, ok := e.comps[key]; ok {
-		return c, nil
-	}
-	m, err := e.solo(s, a)
-	if err != nil {
-		return core.Competitor{}, err
-	}
-	c := core.CompetitorFromMeasurement(m)
-	e.comps[key] = c
-	return c, nil
-}
-
-// soloPredict memoizes the Yala solo-model prediction per target — the
-// model is per-NF, so the (NF, profile) key pins it.
-func (e *batchState) soloPredict(model *core.Model, a Arrival) float64 {
-	key := batchKey{a.Name, a.Profile}
-	if v, ok := e.soloPreds[key]; ok {
-		return v
-	}
-	v := model.Solo.Predict(a.Profile)
-	e.soloPreds[key] = v
-	return v
 }
 
 // FeasibleBatch evaluates adding a to every candidate resident set in
 // one pass — the batched form of Feasible the class-aware fleet
 // scheduler scores all (NIC, class) slots through. Verdicts are
 // bit-identical to calling Feasible per set (same fits-plus-SLA pair,
-// same feature assembly order), but the per-arrival work is amortized:
-// solo measurements, competitor vectors and solo-model predictions
-// resolve once per distinct (NF, profile) per call, predictions go
-// through core.PredictThroughput (no per-resource map), and the
-// competitor buffer is reused across sets. Oracle feasibility needs
-// per-set ground-truth co-runs, so it falls back to the per-set path.
+// same feature-assembly order), but the per-arrival work is amortized:
+// solo measurements resolve once per distinct (NF, profile) in the
+// simulator's cache, and the backend's Batch memoizes its derived
+// features (competitor vectors, solo-model predictions) across the
+// whole call. Oracle feasibility needs per-set ground-truth co-runs, so
+// it falls back to the per-set path.
 func (s *Simulator) FeasibleBatch(sets [][]Arrival, a Arrival, strat Strategy) ([]bool, error) {
 	out := make([]bool, len(sets))
-	if strat == Oracle {
+	if strat.kind == kindOracle {
 		for i, set := range sets {
 			ok, err := s.Feasible(set, a, strat)
 			if err != nil {
@@ -387,10 +417,16 @@ func (s *Simulator) FeasibleBatch(sets [][]Arrival, a Arrival, strat Strategy) (
 		}
 		return out, nil
 	}
+	if strat.kind != kindPredict {
+		return nil, fmt.Errorf("placement: FeasibleBatch does not support strategy %v", strat)
+	}
+	b, ok := backend.Get(strat.backend)
+	if !ok {
+		return nil, fmt.Errorf("placement: unknown prediction backend %q", strat.backend)
+	}
 	e := &batchState{
-		solos:     map[batchKey]nicsim.Measurement{},
-		comps:     map[batchKey]core.Competitor{},
-		soloPreds: map[batchKey]float64{},
+		batch: backend.NewBatch(b),
+		solos: map[batchKey]*nicsim.Measurement{},
 	}
 	for i, set := range sets {
 		ok, err := s.feasibleBatched(e, set, a, strat)
@@ -422,45 +458,26 @@ func (s *Simulator) feasibleBatched(e *batchState, set []Arrival, a Arrival, str
 		if err != nil {
 			return false, err
 		}
-		var predicted float64
-		switch strat {
-		case YalaAware:
-			model, ok := s.Yala[target.Name]
-			if !ok {
-				return false, fmt.Errorf("placement: no Yala model for %s", target.Name)
+		model, err := s.Model(strat.backend, target.Name)
+		if err != nil {
+			return false, err
+		}
+		comps := e.compBuf[:0]
+		for oi := 0; oi < n; oi++ {
+			if oi == ti {
+				continue
 			}
-			comps := e.compBuf[:0]
-			for oi := 0; oi < n; oi++ {
-				if oi == ti {
-					continue
-				}
-				c, err := e.competitor(s, at(oi))
-				if err != nil {
-					return false, err
-				}
-				comps = append(comps, c)
+			other := at(oi)
+			m, err := e.solo(s, other)
+			if err != nil {
+				return false, err
 			}
-			e.compBuf = comps[:0]
-			predicted = model.PredictThroughput(target.Profile, comps, e.soloPredict(model, target))
-		case SLOMOAware:
-			model, ok := s.SLOMO[target.Name]
-			if !ok {
-				return false, fmt.Errorf("placement: no SLOMO model for %s", target.Name)
-			}
-			var agg nicsim.Counters
-			for oi := 0; oi < n; oi++ {
-				if oi == ti {
-					continue
-				}
-				m, err := e.solo(s, at(oi))
-				if err != nil {
-					return false, err
-				}
-				agg.Add(m.Counters)
-			}
-			predicted = model.PredictExtrapolated(agg, soloMeas.Throughput)
-		default:
-			return false, fmt.Errorf("placement: FeasibleBatch does not support strategy %v", strat)
+			comps = append(comps, backend.Competitor{NF: other.Name, Profile: other.Profile, Solo: m})
+		}
+		e.compBuf = comps[:0]
+		predicted, err := e.batch.Predict(model, backend.Key{NF: target.Name, Profile: target.Profile}, comps, soloMeas.Throughput)
+		if err != nil {
+			return false, err
 		}
 		if predicted < (1-target.SLA)*soloMeas.Throughput {
 			return false, nil

@@ -3,6 +3,7 @@ package placement
 import (
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/nicsim"
 	"repro/internal/sim"
@@ -27,12 +28,15 @@ func testArrivals(n int, seed uint64) []Arrival {
 	return seq
 }
 
-func buildSim(t *testing.T) *Simulator {
+// buildSim trains models for the test NF pool and installs them through
+// the backend interface; the raw Yala models are returned too, for
+// tests that pin the simulator against the predictor invoked directly.
+func buildSim(t *testing.T) (*Simulator, map[string]*core.Model) {
 	t.Helper()
 	tb := testbed.New(nicsim.BlueField2(), 31)
 	names := []string{"FlowStats", "ACL", "FlowClassifier", "FlowTracker"}
+	s := NewSimulator(tb)
 	yala := map[string]*core.Model{}
-	sl := map[string]*slomo.Model{}
 	trainCfg := core.DefaultTrainConfig()
 	for _, n := range names {
 		m, err := core.NewTrainer(tb, trainCfg).Train(n)
@@ -40,20 +44,21 @@ func buildSim(t *testing.T) *Simulator {
 			t.Fatal(err)
 		}
 		yala[n] = m
+		s.SetModel("yala", n, backend.WrapYala(m))
 		sm, err := slomo.Train(tb, n, traffic.Default, slomo.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		sl[n] = sm
+		s.SetModel("slomo", n, backend.WrapSLOMO(sm))
 	}
-	return NewSimulator(tb, yala, sl)
+	return s, yala
 }
 
 func TestPlacementStrategies(t *testing.T) {
 	if testing.Short() {
 		t.Skip("placement integration test is slow")
 	}
-	s := buildSim(t)
+	s, _ := buildSim(t)
 	seq := testArrivals(40, 1)
 
 	mono, err := s.Place(seq, Monopolization)
@@ -113,7 +118,7 @@ func TestFeasibleBatchMatchesFeasible(t *testing.T) {
 	if testing.Short() {
 		t.Skip("model training is slow")
 	}
-	s := buildSim(t)
+	s, _ := buildSim(t)
 	pool := testArrivals(10, 7)
 	sets := [][]Arrival{
 		nil,
@@ -145,9 +150,13 @@ func TestFeasibleBatchMatchesFeasible(t *testing.T) {
 		}
 	}
 	// A missing model surfaces as an error, exactly like Feasible.
-	bare := NewSimulator(s.TB, nil, nil)
+	bare := NewSimulator(s.TB)
 	if _, err := bare.FeasibleBatch(sets[:3], pool[0], YalaAware); err == nil {
 		t.Fatal("expected error without Yala models")
+	}
+	// An unregistered prediction backend is an error, not a panic.
+	if _, err := bare.FeasibleBatch(sets[:3], pool[0], PredictionAware("nope")); err == nil {
+		t.Fatal("expected error for unregistered backend")
 	}
 }
 
@@ -157,17 +166,17 @@ func TestPredictThroughputMatchesPredict(t *testing.T) {
 	if testing.Short() {
 		t.Skip("model training is slow")
 	}
-	s := buildSim(t)
+	s, yala := buildSim(t)
 	pool := testArrivals(8, 11)
 	for _, target := range pool[:3] {
-		model := s.Yala[target.Name]
+		model := yala[target.Name]
 		var comps []core.Competitor
 		for _, other := range pool[3:6] {
 			m, err := s.solo(other)
 			if err != nil {
 				t.Fatal(err)
 			}
-			comps = append(comps, core.CompetitorFromMeasurement(m))
+			comps = append(comps, core.CompetitorFromMeasurement(*m))
 			full := model.Predict(target.Profile, comps)
 			fast := model.PredictThroughput(target.Profile, comps, 0)
 			if fast != full.Throughput {
@@ -183,7 +192,7 @@ func TestPredictThroughputMatchesPredict(t *testing.T) {
 
 func TestPlacementCoreCapacity(t *testing.T) {
 	tb := testbed.New(nicsim.BlueField2(), 32)
-	s := NewSimulator(tb, nil, nil)
+	s := NewSimulator(tb)
 	seq := testArrivals(9, 2)
 	res, err := s.Place(seq, Greedy)
 	if err != nil {
@@ -197,7 +206,7 @@ func TestPlacementCoreCapacity(t *testing.T) {
 
 func TestPlacementUnknownStrategyModel(t *testing.T) {
 	tb := testbed.New(nicsim.BlueField2(), 33)
-	s := NewSimulator(tb, nil, nil)
+	s := NewSimulator(tb)
 	seq := testArrivals(6, 3)
 	if _, err := s.Place(seq, YalaAware); err == nil {
 		t.Fatal("expected error without Yala models")
@@ -210,7 +219,7 @@ func TestStrategyString(t *testing.T) {
 		SLOMOAware: "slomo", YalaAware: "yala", Oracle: "oracle",
 	} {
 		if s.String() != want {
-			t.Errorf("%d.String() = %q", s, s.String())
+			t.Errorf("%v.String() = %q", s, s.String())
 		}
 	}
 }

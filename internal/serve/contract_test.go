@@ -1,0 +1,308 @@
+package serve
+
+// Contract tests for the v1→v2 API transition: the /v1 adapters and the
+// /v2 resource API must return identical logical results for the same
+// scenario, every /v1 response must carry the Deprecation header, and
+// the /v2 error envelope and paginated model listing are pinned by
+// golden JSON fixtures (regenerate with `go test ./internal/serve -run
+// TestV2Golden -update`).
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden /v2 fixtures")
+
+// canonJSON re-marshals a JSON document with sorted keys and stable
+// indentation so two logically equal bodies compare equal as strings.
+func canonJSON(t *testing.T, data []byte) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("canonJSON: %v (body %s)", err, data)
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// roundTrip posts body to path and returns the response.
+func roundTrip(t *testing.T, ts *httptest.Server, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestV1V2Contract is the table-driven equivalence suite: each case
+// names a /v1 call and its /v2 counterpart; both must return the same
+// status and the same canonical JSON body.
+func TestV1V2Contract(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name           string
+		v1Path, v1Body string
+		v2Path, v2Body string
+	}{
+		{
+			name:   "predict default backend",
+			v1Path: "/v1/predict", v1Body: `{"nf":"FlowStats","competitors":[{"name":"ACL"}]}`,
+			v2Path: "/v2/models/FlowStats/yala:predict", v2Body: `{"competitors":[{"name":"ACL"}]}`,
+		},
+		{
+			name:   "predict slomo with profile",
+			v1Path: "/v1/predict", v1Body: `{"nf":"ACL","backend":"slomo","profile":{"flows":64000},"competitors":[{"name":"FlowStats"}]}`,
+			v2Path: "/v2/models/ACL/slomo:predict", v2Body: `{"profile":{"flows":64000},"competitors":[{"name":"FlowStats"}]}`,
+		},
+		{
+			name:   "batch",
+			v1Path: "/v1/predict/batch", v1Body: `{"requests":[{"nf":"FlowStats"},{"nf":"ACL","competitors":[{"name":"FlowStats"}]}]}`,
+			v2Path: "/v2/models:batchPredict", v2Body: `{"requests":[{"model":"FlowStats"},{"model":"ACL","competitors":[{"name":"FlowStats"}]}]}`,
+		},
+		{
+			name:   "compare",
+			v1Path: "/v1/compare", v1Body: `{"nf":"FlowStats","competitors":[{"name":"ACL"}]}`,
+			v2Path: "/v2/models/FlowStats:compare", v2Body: `{"competitors":[{"name":"ACL"}]}`,
+		},
+		{
+			name:   "diagnose",
+			v1Path: "/v1/diagnose", v1Body: `{"nf":"FlowStats","competitors":[{"name":"ACL"}]}`,
+			v2Path: "/v2/models/FlowStats:diagnose", v2Body: `{"competitors":[{"name":"ACL"}]}`,
+		},
+		{
+			name:   "admit",
+			v1Path: "/v1/admit", v1Body: `{"residents":[{"name":"ACL","sla":0.9}],"candidate":{"name":"FlowStats","sla":0.9}}`,
+			v2Path: "/v2/models/FlowStats/yala:admit", v2Body: `{"residents":[{"name":"ACL","sla":0.9}],"sla":0.9}`,
+		},
+		{
+			name:   "admit rejected on cores",
+			v1Path: "/v1/admit", v1Body: `{"residents":[{"name":"ACL","sla":1},{"name":"ACL","sla":1},{"name":"ACL","sla":1},{"name":"ACL","sla":1}],"candidate":{"name":"ACL","sla":1}}`,
+			v2Path: "/v2/models/ACL/yala:admit", v2Body: `{"residents":[{"name":"ACL","sla":1},{"name":"ACL","sla":1},{"name":"ACL","sla":1},{"name":"ACL","sla":1}],"sla":1}`,
+		},
+		{
+			name:   "bad request statuses agree",
+			v1Path: "/v1/predict", v1Body: `{"nf":"NoSuchNF"}`,
+			v2Path: "/v2/models/NoSuchNF/yala:predict", v2Body: `{}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r1, b1 := roundTrip(t, ts, "POST", tc.v1Path, tc.v1Body)
+			r2, b2 := roundTrip(t, ts, "POST", tc.v2Path, tc.v2Body)
+			if r1.StatusCode != r2.StatusCode {
+				t.Fatalf("status diverged: v1 %d, v2 %d\nv1 %s\nv2 %s", r1.StatusCode, r2.StatusCode, b1, b2)
+			}
+			if r1.StatusCode != http.StatusOK {
+				// Error bodies use different envelopes by design; the
+				// contract is the status code and that both name the cause.
+				return
+			}
+			if got, want := canonJSON(t, b2), canonJSON(t, b1); got != want {
+				t.Fatalf("body diverged:\nv1 %s\nv2 %s", want, got)
+			}
+		})
+	}
+}
+
+// TestV1DeprecationHeaders asserts every /v1 route advertises its
+// deprecation and /v2 successor — the CI smoke gates on this.
+func TestV1DeprecationHeaders(t *testing.T) {
+	ts := testServer(t)
+	routes := []struct{ method, path, body string }{
+		{"POST", "/v1/predict", `{"nf":"FlowStats"}`},
+		{"POST", "/v1/predict/batch", `{"requests":[{"nf":"FlowStats"}]}`},
+		{"POST", "/v1/compare", `{"nf":"FlowStats"}`},
+		{"POST", "/v1/admit", `{"candidate":{"name":"FlowStats","sla":0.5}}`},
+		{"POST", "/v1/diagnose", `{"nf":"FlowStats"}`},
+		{"POST", "/v1/reload", `{"nf":"FlowStats"}`},
+		{"GET", "/v1/models", ""},
+		{"GET", "/v1/stats", ""},
+		{"GET", "/v1/cluster/policies", ""},
+	}
+	for _, rt := range routes {
+		resp, _ := roundTrip(t, ts, rt.method, rt.path, rt.body)
+		if dep := resp.Header.Get("Deprecation"); dep != "true" {
+			t.Errorf("%s %s: Deprecation header %q, want \"true\"", rt.method, rt.path, dep)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "successor-version") {
+			t.Errorf("%s %s: Link header %q lacks successor-version", rt.method, rt.path, link)
+		}
+		if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+			t.Errorf("%s %s: missing X-Request-Id", rt.method, rt.path)
+		}
+	}
+	// /v2 responses must NOT be marked deprecated.
+	resp, _ := roundTrip(t, ts, "GET", "/v2/models", "")
+	if dep := resp.Header.Get("Deprecation"); dep != "" {
+		t.Errorf("/v2/models: unexpected Deprecation header %q", dep)
+	}
+}
+
+// requestIDPat normalizes the per-request IDs inside golden fixtures.
+var requestIDPat = regexp.MustCompile(`req-[0-9]{6}`)
+
+// checkGolden compares got against the named fixture, normalizing
+// request IDs; -update rewrites the fixture.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	got = requestIDPat.ReplaceAllString(got, "req-NNNNNN") + "\n"
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("fixture %s drifted:\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// TestV2GoldenErrorEnvelope pins the exact error-envelope shape clients
+// program against.
+func TestV2GoldenErrorEnvelope(t *testing.T) {
+	ts := testServer(t)
+	resp, body := roundTrip(t, ts, "POST", "/v2/models/NoSuchNF/yala:predict", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	checkGolden(t, "v2_error_envelope.json", canonJSON(t, body))
+}
+
+// TestV2GoldenModelsPage pins the paginated model listing: a dedicated
+// service over its own model directory, three cheap stub models, page
+// size two — first page plus continuation token, then the final page.
+func TestV2GoldenModelsPage(t *testing.T) {
+	svc := NewService(ServiceConfig{
+		Registry: RegistryConfig{Dir: t.TempDir(), Seed: 1, Train: testTrainConfig(1), SLOMO: testSLOMOConfig(1)},
+		Workers:  2,
+	})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	// Materialize three models through the stub backend (no training
+	// cost, fully deterministic listing state).
+	for _, nf := range []string{"ACL", "FlowStats", "NAT"} {
+		resp, body := roundTrip(t, ts, "POST", "/v2/models/"+nf+"/fake:predict", `{}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seeding %s: %d %s", nf, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := roundTrip(t, ts, "GET", "/v2/models?page_size=2", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("page 1: status %d", resp.StatusCode)
+	}
+	checkGolden(t, "v2_models_page.json", canonJSON(t, body))
+
+	var page modelsPageV2
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.NextPageToken == "" || page.TotalSize != 3 || len(page.Models) != 2 {
+		t.Fatalf("page 1 shape: %+v", page)
+	}
+	resp, body = roundTrip(t, ts, "GET", "/v2/models?page_size=2&page_token="+page.NextPageToken, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("page 2: status %d", resp.StatusCode)
+	}
+	var page2 modelsPageV2
+	if err := json.Unmarshal(body, &page2); err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Models) != 1 || page2.NextPageToken != "" {
+		t.Fatalf("page 2 shape: %+v", page2)
+	}
+	if page2.Models[0].ID != "NAT/fake" {
+		t.Fatalf("page 2 content: %+v", page2.Models)
+	}
+
+	// A mangled token is an invalid_argument, not a 500.
+	resp, body = roundTrip(t, ts, "GET", "/v2/models?page_token=%21%21", "")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "page_token") {
+		t.Fatalf("bad token: status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// TestV2HardwareQualifiedPredict exercises the hw-qualified model path:
+// the same NF served on two hardware classes yields class-specific
+// predictions, and an unknown class is rejected up front.
+func TestV2HardwareQualifiedPredict(t *testing.T) {
+	ts := testServer(t)
+	base := postAs[PredictResponse](t, ts, "/v2/models/FlowStats/fake:predict", predictParamsV2{})
+	qualified := postAs[PredictResponse](t, ts, "/v2/models/FlowStats@pensando/fake:predict", predictParamsV2{})
+	if base.HW != "" || qualified.HW != "pensando" {
+		t.Fatalf("hw labels: base %q, qualified %q", base.HW, qualified.HW)
+	}
+	status, body := postRaw(t, ts, "/v2/models/FlowStats@martian/yala:predict", `{}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "hardware class") {
+		t.Fatalf("unknown class: status %d body %s", status, body)
+	}
+	status, body = postRaw(t, ts, "/v2/models/a@b@c/yala:predict", `{}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "more than one @") {
+		t.Fatalf("double-@ id: status %d body %s", status, body)
+	}
+	status, body = postRaw(t, ts, "/v2/models/FlowStats@/yala:predict", `{}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "empty hardware qualifier") {
+		t.Fatalf("trailing-@ id: status %d body %s", status, body)
+	}
+}
+
+// TestV2YalaHardwareQualified runs a real (yala) prediction on a
+// non-default class end to end: the model trains against the class
+// preset and persists under the hardware-keyed layout.
+func TestV2YalaHardwareQualified(t *testing.T) {
+	dir := t.TempDir()
+	svc := NewService(ServiceConfig{
+		Registry: RegistryConfig{Dir: dir, Seed: 1, Train: testTrainConfig(1), SLOMO: testSLOMOConfig(1)},
+		Workers:  2,
+	})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postAs[PredictResponse](t, ts, "/v2/models/FlowStats@pensando/yala:predict", predictParamsV2{})
+	if resp.HW != "pensando" || resp.PredictedPPS <= 0 {
+		t.Fatalf("hw-qualified yala prediction: %+v", resp)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "FlowStats@pensando.yala.json")); err != nil {
+		t.Fatalf("hardware-keyed model file missing: %v", err)
+	}
+	// The listing reports the qualified resource.
+	resp2, body := roundTrip(t, ts, "GET", "/v2/models", "")
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"FlowStats@pensando/yala"`) {
+		t.Fatalf("listing lacks hw-qualified ID: %s", body)
+	}
+}

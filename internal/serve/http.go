@@ -1,85 +1,149 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 )
 
-// Handler exposes the service over HTTP/JSON:
+// Handler exposes the service over HTTP/JSON. The resource-oriented,
+// versioned /v2 API (httpv2.go) is the supported surface; the flat /v1
+// endpoints remain as thin adapters over the same service methods —
+// byte-for-byte compatible bodies, plus a Deprecation header pointing
+// clients at their /v2 successor:
 //
 //	POST /v1/predict        PredictRequest  → PredictResponse
 //	POST /v1/predict/batch  BatchRequest    → BatchResponse
-//	POST /v1/compare   CompareRequest  → CompareResponse
-//	POST /v1/admit     AdmitRequest    → AdmitResponse
-//	POST /v1/diagnose  DiagnoseRequest → DiagnoseResponse
+//	POST /v1/compare        CompareRequest  → CompareResponse
+//	POST /v1/admit          AdmitRequest    → AdmitResponse
+//	POST /v1/diagnose       DiagnoseRequest → DiagnoseResponse
 //	POST /v1/cluster/run    ClusterRunRequest → cluster.Comparison
 //	GET  /v1/cluster/policies          → ClusterPoliciesResponse
 //	GET  /v1/models                    → []ModelInfo
 //	GET  /v1/stats                     → ServiceStats
 //	POST /v1/reload    reloadRequest   → {"ok": true}
 //	GET  /healthz                      → ok
+//
+// Every error path — including unknown routes and wrong methods —
+// returns a JSON error envelope: /v1 keeps its flat {"error": "..."}
+// shape, /v2 the structured code/message/request-id envelope.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/cluster/run", func(w http.ResponseWriter, r *http.Request) {
+	s.registerV1(mux)
+	s.registerV2(mux)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	// Unknown paths get a structured 404 instead of net/http's plain
+	// text; requestID tags every response for cross-log correlation.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErrorV2(w, r, http.StatusNotFound, codeNotFound,
+			fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path), nil)
+	})
+	return withRequestID(mux)
+}
+
+// v1Route registers one /v1 endpoint: the method-bound handler, a
+// deprecation header on every response, and a methodless fallback that
+// turns net/http's text 405 into the /v1 JSON envelope.
+func v1Route(mux *http.ServeMux, method, path string, h http.HandlerFunc) {
+	mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+		setDeprecation(w, path)
+		h(w, r)
+	})
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		setDeprecation(w, path)
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{fmt.Sprintf("method %s not allowed on %s (use %s)", r.Method, path, method)})
+	})
+}
+
+// v1Successor maps a /v1 path to the /v2 surface the Deprecation link
+// advertises.
+var v1Successor = map[string]string{
+	"/v1/predict":          "/v2/models/{nf}/{backend}:predict",
+	"/v1/predict/batch":    "/v2/models:batchPredict",
+	"/v1/compare":          "/v2/models/{nf}:compare",
+	"/v1/admit":            "/v2/models/{nf}/{backend}:admit",
+	"/v1/diagnose":         "/v2/models/{nf}:diagnose",
+	"/v1/reload":           "/v2/models/{nf}/{backend}:reload",
+	"/v1/models":           "/v2/models",
+	"/v1/stats":            "/v2/stats",
+	"/v1/cluster/run":      "/v2/cluster/runs",
+	"/v1/cluster/policies": "/v2/cluster/policies",
+}
+
+// setDeprecation stamps the RFC 9745 deprecation header plus a
+// successor-version link on a /v1 response. The CI smoke step gates on
+// this header staying present.
+func setDeprecation(w http.ResponseWriter, path string) {
+	w.Header().Set("Deprecation", "true")
+	if succ, ok := v1Successor[path]; ok {
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", succ))
+	}
+}
+
+func (s *Service) registerV1(mux *http.ServeMux) {
+	v1Route(mux, "POST", "/v1/cluster/run", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req ClusterRunRequest) (cluster.Comparison, error) {
 			return s.ClusterRun(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("GET /v1/cluster/policies", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "GET", "/v1/cluster/policies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, ClusterPoliciesResponse{Policies: cluster.Policies()})
 	})
-	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req PredictRequest) (PredictResponse, error) {
 			return s.Predict(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req BatchRequest) (BatchResponse, error) {
 			return s.PredictBatch(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("POST /v1/compare", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/compare", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req CompareRequest) (CompareResponse, error) {
 			return s.Compare(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("POST /v1/admit", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/admit", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req AdmitRequest) (AdmitResponse, error) {
 			return s.Admit(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("POST /v1/diagnose", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/diagnose", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req DiagnoseRequest) (DiagnoseResponse, error) {
 			return s.Diagnose(r.Context(), req)
 		})
 	})
-	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "GET", "/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.reg.Models())
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "GET", "/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+	v1Route(mux, "POST", "/v1/reload", func(w http.ResponseWriter, r *http.Request) {
 		handleJSON(w, r, func(req reloadRequest) (map[string]bool, error) {
-			backend, err := ParseBackend(req.Backend)
+			// An unknown backend or NF is the client's mistake: reject it
+			// with a 400 rather than silently reloading nothing.
+			backendName, err := ParseBackend(req.Backend)
 			if err != nil {
+				return nil, badRequestf("%v", err)
+			}
+			if err := validNF(req.NF); err != nil {
 				return nil, err
 			}
-			s.Reload(backend, req.NF)
+			s.Reload(backendName, req.NF)
 			return map[string]bool{"ok": true}, nil
 		})
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
-	return mux
 }
 
 // reloadRequest names the model to evict from the registry.
@@ -88,13 +152,29 @@ type reloadRequest struct {
 	Backend string `json:"backend,omitempty"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the flat /v1 JSON error envelope. /v2 uses the structured
+// envelope in httpv2.go.
 type errorBody struct {
 	Error string `json:"error"`
 }
 
+// errorStatus maps a service error to its HTTP status. Client-caused
+// errors (unknown NF, malformed profile, unknown backend/policy) are
+// 400; transient server conditions are 503 so retry policies keyed on
+// 4xx-vs-5xx retry them; everything else is a scenario the client asked
+// for that the service cannot answer (422).
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // handleJSON decodes one request type, runs the service call and encodes
-// the response.
+// the response — the /v1 adapter.
 func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
 	var req Req
 	dec := json.NewDecoder(r.Body)
@@ -105,19 +185,7 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 	}
 	resp, err := fn(req)
 	if err != nil {
-		// Client-caused errors (unknown NF, malformed profile, unknown
-		// backend/policy) are 400; transient server conditions are 503 so
-		// retry policies keyed on 4xx-vs-5xx retry them; everything else
-		// is a scenario the client asked for that the service cannot
-		// answer.
-		status := http.StatusUnprocessableEntity
-		switch {
-		case errors.Is(err, ErrBadRequest):
-			status = http.StatusBadRequest
-		case errors.Is(err, ErrClosed), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, errorBody{err.Error()})
+		writeJSON(w, errorStatus(err), errorBody{err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -129,94 +197,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// Client is a typed client for the HTTP API; the load generator and the
-// CLI use it.
-type Client struct {
-	Base string
-	HTTP *http.Client
-}
+// requestCounter feeds the per-request IDs; the header lets clients and
+// the /v2 error envelope name a failing request in bug reports.
+var requestCounter atomic.Uint64
 
-// NewClient returns a client for a server base URL (e.g.
-// "http://localhost:8844"). The transport keeps enough idle connections
-// per host for load-generation fan-out — net/http's default of 2 makes
-// every worker beyond the second re-handshake on each request.
-func NewClient(base string) *Client {
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConns = 256
-	tr.MaxIdleConnsPerHost = 256
-	return &Client{Base: base, HTTP: &http.Client{Transport: tr}}
-}
+type ridKey struct{}
 
-// post round-trips one JSON call.
-func post[Req, Resp any](c *Client, path string, req Req) (Resp, error) {
-	var resp Resp
-	body, err := json.Marshal(req)
-	if err != nil {
-		return resp, err
-	}
-	hr, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return resp, err
-	}
-	defer hr.Body.Close()
-	data, err := io.ReadAll(hr.Body)
-	if err != nil {
-		return resp, err
-	}
-	if hr.StatusCode != http.StatusOK {
-		var eb errorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return resp, fmt.Errorf("serve: %s: %s", path, eb.Error)
+// withRequestID assigns every request an ID, exposes it as the
+// X-Request-Id response header and in the request context (the /v2
+// error envelope echoes it).
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("req-%06d", requestCounter.Add(1))
+		if hdr := strings.TrimSpace(r.Header.Get("X-Request-Id")); hdr != "" && len(hdr) <= 64 {
+			rid = hdr
 		}
-		return resp, fmt.Errorf("serve: %s: HTTP %d", path, hr.StatusCode)
+		w.Header().Set("X-Request-Id", rid)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
+	})
+}
+
+// requestID reads the request's ID back out of the context.
+func requestID(r *http.Request) string {
+	if rid, ok := r.Context().Value(ridKey{}).(string); ok {
+		return rid
 	}
-	if err := json.Unmarshal(data, &resp); err != nil {
-		return resp, fmt.Errorf("serve: %s: decoding response: %w", path, err)
-	}
-	return resp, nil
-}
-
-// Predict calls POST /v1/predict.
-func (c *Client) Predict(req PredictRequest) (PredictResponse, error) {
-	return post[PredictRequest, PredictResponse](c, "/v1/predict", req)
-}
-
-// PredictBatch calls POST /v1/predict/batch.
-func (c *Client) PredictBatch(req BatchRequest) (BatchResponse, error) {
-	return post[BatchRequest, BatchResponse](c, "/v1/predict/batch", req)
-}
-
-// Compare calls POST /v1/compare.
-func (c *Client) Compare(req CompareRequest) (CompareResponse, error) {
-	return post[CompareRequest, CompareResponse](c, "/v1/compare", req)
-}
-
-// Admit calls POST /v1/admit.
-func (c *Client) Admit(req AdmitRequest) (AdmitResponse, error) {
-	return post[AdmitRequest, AdmitResponse](c, "/v1/admit", req)
-}
-
-// Diagnose calls POST /v1/diagnose.
-func (c *Client) Diagnose(req DiagnoseRequest) (DiagnoseResponse, error) {
-	return post[DiagnoseRequest, DiagnoseResponse](c, "/v1/diagnose", req)
-}
-
-// ClusterRun calls POST /v1/cluster/run.
-func (c *Client) ClusterRun(req ClusterRunRequest) (cluster.Comparison, error) {
-	return post[ClusterRunRequest, cluster.Comparison](c, "/v1/cluster/run", req)
-}
-
-// Stats calls GET /v1/stats.
-func (c *Client) Stats() (ServiceStats, error) {
-	var stats ServiceStats
-	hr, err := c.HTTP.Get(c.Base + "/v1/stats")
-	if err != nil {
-		return stats, err
-	}
-	defer hr.Body.Close()
-	if hr.StatusCode != http.StatusOK {
-		return stats, fmt.Errorf("serve: /v1/stats: HTTP %d", hr.StatusCode)
-	}
-	err = json.NewDecoder(hr.Body).Decode(&stats)
-	return stats, err
+	return ""
 }

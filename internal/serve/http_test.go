@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -30,7 +31,7 @@ func TestMain(m *testing.M) {
 
 // testServer runs a service behind httptest with the cheap test
 // training config and the shared model directory.
-func testServer(t *testing.T) (*httptest.Server, *Client) {
+func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	httpModelDirOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "serve-http-models-")
@@ -49,7 +50,7 @@ func testServer(t *testing.T) (*httptest.Server, *Client) {
 	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
-	return ts, NewClient(ts.URL)
+	return ts
 }
 
 // postRaw round-trips a raw JSON body and returns (status, body).
@@ -67,15 +68,54 @@ func postRaw(t *testing.T, ts *httptest.Server, path, body string) (int, string)
 	return resp.StatusCode, string(data)
 }
 
-func TestHTTPPredict(t *testing.T) {
-	_, client := testServer(t)
-	resp, err := client.Predict(PredictRequest{
-		NF:          "FlowStats",
-		Competitors: []CompetitorSpec{{Name: "ACL"}},
-	})
+// postAs posts a typed request and decodes the 200 response into Resp —
+// the raw-HTTP stand-in for the removed internal client (the public SDK
+// in pkg/yalaclient speaks /v2; these tests pin /v1).
+func postAs[Resp any](t *testing.T, ts *httptest.Server, path string, req any) Resp {
+	t.Helper()
+	body, err := json.Marshal(req)
 	if err != nil {
 		t.Fatal(err)
 	}
+	status, data := postRaw(t, ts, path, string(body))
+	if status != http.StatusOK {
+		t.Fatalf("POST %s: status %d, body %s", path, status, data)
+	}
+	var resp Resp
+	if err := json.Unmarshal([]byte(data), &resp); err != nil {
+		t.Fatalf("decoding %s response %q: %v", path, data, err)
+	}
+	return resp
+}
+
+// getAs fetches a path and decodes the 200 response.
+func getAs[Resp any](t *testing.T, ts *httptest.Server, path string) Resp {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", path, resp.StatusCode, data)
+	}
+	var out Resp
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding %s response %q: %v", path, data, err)
+	}
+	return out
+}
+
+func TestHTTPPredict(t *testing.T) {
+	ts := testServer(t)
+	resp := postAs[PredictResponse](t, ts, "/v1/predict", PredictRequest{
+		NF:          "FlowStats",
+		Competitors: []CompetitorSpec{{Name: "ACL"}},
+	})
 	if resp.NF != "FlowStats" || resp.SoloPPS <= 0 || resp.PredictedPPS <= 0 {
 		t.Fatalf("implausible prediction: %+v", resp)
 	}
@@ -85,7 +125,7 @@ func TestHTTPPredict(t *testing.T) {
 // malformed profiles: both must surface as HTTP 400 with a message that
 // names the problem, not as an opaque 5xx.
 func TestHTTPPredictBadRequest(t *testing.T) {
-	ts, _ := testServer(t)
+	ts := testServer(t)
 	cases := []struct {
 		name, body, wantMsg string
 	}{
@@ -109,14 +149,11 @@ func TestHTTPPredictBadRequest(t *testing.T) {
 }
 
 func TestHTTPPredictBatch(t *testing.T) {
-	ts, client := testServer(t)
-	resp, err := client.PredictBatch(BatchRequest{Requests: []PredictRequest{
+	ts := testServer(t)
+	resp := postAs[BatchResponse](t, ts, "/v1/predict/batch", BatchRequest{Requests: []PredictRequest{
 		{NF: "FlowStats"},
 		{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}},
 	}})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(resp.Responses) != 2 || len(resp.Errors) != 0 {
 		t.Fatalf("batch response: %+v", resp)
 	}
@@ -132,28 +169,19 @@ func TestHTTPPredictBatch(t *testing.T) {
 }
 
 func TestHTTPCompareAdmitDiagnose(t *testing.T) {
-	ts, client := testServer(t)
-	cmp, err := client.Compare(CompareRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts := testServer(t)
+	cmp := postAs[CompareResponse](t, ts, "/v1/compare", CompareRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
 	if cmp.Yala.PredictedPPS <= 0 || cmp.SLOMO.PredictedPPS <= 0 {
 		t.Fatalf("implausible compare: %+v", cmp)
 	}
-	adm, err := client.Admit(AdmitRequest{
+	adm := postAs[AdmitResponse](t, ts, "/v1/admit", AdmitRequest{
 		Residents: []ColoNF{{Name: "ACL", SLA: 0.9}},
 		Candidate: ColoNF{Name: "FlowStats", SLA: 0.9},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if adm.Residents != 1 {
 		t.Fatalf("admit response: %+v", adm)
 	}
-	diag, err := client.Diagnose(DiagnoseRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
-	if err != nil {
-		t.Fatal(err)
-	}
+	diag := postAs[DiagnoseResponse](t, ts, "/v1/diagnose", DiagnoseRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}})
 	if diag.Bottleneck == "" {
 		t.Fatalf("diagnose response: %+v", diag)
 	}
@@ -166,14 +194,9 @@ func TestHTTPCompareAdmitDiagnose(t *testing.T) {
 }
 
 func TestHTTPStatsModelsHealthz(t *testing.T) {
-	ts, client := testServer(t)
-	if _, err := client.Predict(PredictRequest{NF: "FlowStats"}); err != nil {
-		t.Fatal(err)
-	}
-	stats, err := client.Stats()
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts := testServer(t)
+	postAs[PredictResponse](t, ts, "/v1/predict", PredictRequest{NF: "FlowStats"})
+	stats := getAs[ServiceStats](t, ts, "/v1/stats")
 	if stats.Requests["predict"] != 1 || len(stats.Models) == 0 {
 		t.Fatalf("stats: %+v", stats)
 	}
@@ -185,18 +208,72 @@ func TestHTTPStatsModelsHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	resp, err = http.Get(ts.URL + "/v1/models")
+	models := getAs[[]ModelInfo](t, ts, "/v1/models")
+	if len(models) == 0 {
+		t.Fatal("model listing empty after a predict")
+	}
+}
+
+// TestHTTPReloadValidation pins the reload endpoint's error contract:
+// unknown backends and unknown NFs are 400s, not silent no-ops.
+func TestHTTPReloadValidation(t *testing.T) {
+	ts := testServer(t)
+	status, body := postRaw(t, ts, "/v1/reload", `{"nf":"FlowStats","backend":"wat"}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "unknown backend") {
+		t.Fatalf("unknown backend reload: status %d body %s", status, body)
+	}
+	status, body = postRaw(t, ts, "/v1/reload", `{"nf":"NoSuchNF"}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "unknown NF") {
+		t.Fatalf("unknown NF reload: status %d body %s", status, body)
+	}
+	status, _ = postRaw(t, ts, "/v1/reload", `{"nf":"FlowStats"}`)
+	if status != http.StatusOK {
+		t.Fatalf("valid reload: status %d", status)
+	}
+}
+
+// TestHTTPErrorEnvelopeEverywhere asserts no /v1 error path falls
+// through to net/http's plain-text responses: wrong methods and unknown
+// routes both return JSON envelopes.
+func TestHTTPErrorEnvelopeEverywhere(t *testing.T) {
+	ts := testServer(t)
+	// Wrong method on a /v1 route → 405 with the flat envelope.
+	resp, err := http.Get(ts.URL + "/v1/predict")
 	if err != nil {
 		t.Fatal(err)
 	}
+	data, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("models status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict: status %d, want 405", resp.StatusCode)
+	}
+	var flat struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(data, &flat); err != nil || flat.Error == "" {
+		t.Fatalf("GET /v1/predict: body %q is not the /v1 error envelope", data)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("GET /v1/predict: Allow %q, want POST", allow)
+	}
+	// Unknown route → structured 404.
+	resp, err = http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/nope: status %d, want 404", resp.StatusCode)
+	}
+	var v2 errorBodyV2
+	if err := json.Unmarshal(data, &v2); err != nil || v2.Error.Code != codeNotFound {
+		t.Fatalf("GET /v1/nope: body %q is not the structured envelope", data)
 	}
 }
 
 func TestHTTPClusterPolicies(t *testing.T) {
-	ts, _ := testServer(t)
+	ts := testServer(t)
 	resp, err := http.Get(ts.URL + "/v1/cluster/policies")
 	if err != nil {
 		t.Fatal(err)
@@ -217,9 +294,9 @@ func TestHTTPClusterPolicies(t *testing.T) {
 }
 
 func TestHTTPClusterRun(t *testing.T) {
-	_, client := testServer(t)
+	ts := testServer(t)
 	drift := 0.5
-	cmp, err := client.ClusterRun(ClusterRunRequest{
+	cmp := postAs[cluster.Comparison](t, ts, "/v1/cluster/run", ClusterRunRequest{
 		NICs:      2,
 		Arrivals:  6,
 		Seed:      3,
@@ -228,9 +305,6 @@ func TestHTTPClusterRun(t *testing.T) {
 		Profiles:  2,
 		DriftProb: &drift,
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(cmp.Results) != 2 {
 		t.Fatalf("cluster run returned %d results, want 2", len(cmp.Results))
 	}
@@ -245,7 +319,7 @@ func TestHTTPClusterRun(t *testing.T) {
 }
 
 func TestHTTPClusterRunBadRequest(t *testing.T) {
-	ts, _ := testServer(t)
+	ts := testServer(t)
 	cases := []struct {
 		name, body, wantMsg string
 	}{

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/traffic"
+	"repro/pkg/yalaclient"
 )
 
 // LoadgenConfig shapes a load-generation run.
@@ -35,8 +37,8 @@ type LoadgenConfig struct {
 	CompareFrac  float64
 	DiagnoseFrac float64
 	AdmitFrac    float64
-	// Batch groups that many scenarios per Predict round trip via
-	// /v1/predict/batch (1 = single-scenario requests). Batching only
+	// Batch groups that many scenarios per Predict round trip via the
+	// batch endpoint (1 = single-scenario requests). Batching only
 	// applies to the Predict share of the mix.
 	Batch int
 }
@@ -95,11 +97,17 @@ func (r LoadgenReport) String() string {
 	return b.String()
 }
 
-// Loadgen replays randomized arrival scenarios against a live server and
-// measures client-observed latency. Scenarios are drawn from a bounded
-// pool of (NF, competitor set, traffic profile) combinations, so a run
-// first warms the server's cache and then mostly measures the hit path —
-// the paper's serving regime, where the same co-location is consulted on
+// clientSpec converts a resolved traffic profile to the SDK wire form.
+func clientSpec(p traffic.Profile) yalaclient.ProfileSpec {
+	return yalaclient.ProfileSpec{Flows: p.Flows, PktSize: p.PktSize, MTBR: yalaclient.F64(p.MTBR)}
+}
+
+// Loadgen replays randomized arrival scenarios against a live server —
+// through the public pkg/yalaclient SDK and the /v2 API — and measures
+// client-observed latency. Scenarios are drawn from a bounded pool of
+// (NF, competitor set, traffic profile) combinations, so a run first
+// warms the server's cache and then mostly measures the hit path — the
+// paper's serving regime, where the same co-location is consulted on
 // every arrival event.
 func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	cfg = cfg.withDefaults()
@@ -110,9 +118,9 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	// Pre-generate the profile pool: the default profile plus random
 	// draws, shared by every worker.
 	rng := sim.NewRNG(cfg.Seed)
-	profiles := []ProfileSpec{SpecOf(traffic.Default)}
+	profiles := []yalaclient.ProfileSpec{clientSpec(traffic.Default)}
 	for len(profiles) < cfg.Profiles {
-		profiles = append(profiles, SpecOf(traffic.Random(rng)))
+		profiles = append(profiles, clientSpec(traffic.Random(rng)))
 	}
 
 	var (
@@ -125,7 +133,7 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	)
 	// Workers share one client (one connection pool), as a real
 	// high-fan-in front end would.
-	client := NewClient(cfg.URL)
+	client := yalaclient.New(cfg.URL)
 	start := time.Now()
 	for wk := 0; wk < cfg.Workers; wk++ {
 		wg.Add(1)
@@ -181,13 +189,13 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 }
 
 // randomScenario draws one (target, profile, competitors) combination.
-func randomScenario(cfg LoadgenConfig, rng *sim.RNG, profiles []ProfileSpec) (string, ProfileSpec, []CompetitorSpec) {
+func randomScenario(cfg LoadgenConfig, rng *sim.RNG, profiles []yalaclient.ProfileSpec) (string, yalaclient.ProfileSpec, []yalaclient.Competitor) {
 	nf := cfg.NFs[rng.Intn(len(cfg.NFs))]
 	prof := profiles[rng.Intn(len(profiles))]
 	nComp := rng.Intn(cfg.MaxCompetitors + 1)
-	comps := make([]CompetitorSpec, 0, nComp)
+	comps := make([]yalaclient.Competitor, 0, nComp)
 	for i := 0; i < nComp; i++ {
-		comps = append(comps, CompetitorSpec{
+		comps = append(comps, yalaclient.Competitor{
 			Name:    cfg.NFs[rng.Intn(len(cfg.NFs))],
 			Profile: profiles[rng.Intn(len(profiles))],
 		})
@@ -197,33 +205,36 @@ func randomScenario(cfg LoadgenConfig, rng *sim.RNG, profiles []ProfileSpec) (st
 
 // fireOne issues one randomized round trip and reports how many
 // predictions it carried.
-func fireOne(client *Client, cfg LoadgenConfig, rng *sim.RNG, profiles []ProfileSpec) (int, error) {
+func fireOne(client *yalaclient.Client, cfg LoadgenConfig, rng *sim.RNG, profiles []yalaclient.ProfileSpec) (int, error) {
+	ctx := context.Background()
 	nf, prof, comps := randomScenario(cfg, rng, profiles)
+	model := yalaclient.ModelID{NF: nf}
 	switch roll := rng.Float64(); {
 	case roll < cfg.AdmitFrac:
-		residents := make([]ColoNF, 0, len(comps))
+		residents := make([]yalaclient.Resident, 0, len(comps))
 		for _, c := range comps {
-			residents = append(residents, ColoNF{Name: c.Name, Profile: c.Profile, SLA: 0.1})
+			residents = append(residents, yalaclient.Resident{Name: c.Name, Profile: c.Profile, SLA: 0.1})
 		}
-		_, err := client.Admit(AdmitRequest{
+		_, err := client.Admit(ctx, model, "", yalaclient.AdmitParams{
 			Residents: residents,
-			Candidate: ColoNF{Name: nf, Profile: prof, SLA: 0.1},
+			Profile:   prof,
+			SLA:       0.1,
 		})
 		return 1, err
 	case roll < cfg.AdmitFrac+cfg.CompareFrac:
-		_, err := client.Compare(CompareRequest{NF: nf, Profile: prof, Competitors: comps})
+		_, err := client.Compare(ctx, model, yalaclient.CompareParams{Profile: prof, Competitors: comps})
 		return 2, err // Yala + SLOMO
 	case roll < cfg.AdmitFrac+cfg.CompareFrac+cfg.DiagnoseFrac:
-		_, err := client.Diagnose(DiagnoseRequest{NF: nf, Profile: prof, Competitors: comps})
+		_, err := client.Diagnose(ctx, model, yalaclient.PredictParams{Profile: prof, Competitors: comps})
 		return 1, err
 	case cfg.Batch > 1:
-		batch := BatchRequest{Requests: make([]PredictRequest, cfg.Batch)}
-		batch.Requests[0] = PredictRequest{NF: nf, Profile: prof, Competitors: comps}
+		items := make([]yalaclient.BatchItem, cfg.Batch)
+		items[0] = yalaclient.BatchItem{Model: model, Profile: prof, Competitors: comps}
 		for i := 1; i < cfg.Batch; i++ {
 			bnf, bprof, bcomps := randomScenario(cfg, rng, profiles)
-			batch.Requests[i] = PredictRequest{NF: bnf, Profile: bprof, Competitors: bcomps}
+			items[i] = yalaclient.BatchItem{Model: yalaclient.ModelID{NF: bnf}, Profile: bprof, Competitors: bcomps}
 		}
-		resp, err := client.PredictBatch(batch)
+		resp, err := client.PredictBatch(ctx, items)
 		if err != nil {
 			return cfg.Batch, err
 		}
@@ -234,7 +245,7 @@ func fireOne(client *Client, cfg LoadgenConfig, rng *sim.RNG, profiles []Profile
 		}
 		return cfg.Batch, nil
 	default:
-		_, err := client.Predict(PredictRequest{NF: nf, Profile: prof, Competitors: comps})
+		_, err := client.Predict(ctx, model, "", yalaclient.PredictParams{Profile: prof, Competitors: comps})
 		return 1, err
 	}
 }

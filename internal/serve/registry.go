@@ -8,10 +8,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/nicsim"
 	"repro/internal/slomo"
-	"repro/internal/testbed"
 	"repro/internal/traffic"
 )
 
@@ -27,15 +27,19 @@ type RegistryConfig struct {
 	// Seed drives on-demand training.
 	Seed uint64
 	// Train configures on-demand Yala training. The zero value selects
-	// QuickTrainConfig — full offline training belongs in `yala train`,
-	// not on a serving path.
+	// backend.QuickYalaConfig — full offline training belongs in `yala
+	// train`, not on a serving path.
 	Train core.TrainConfig
 	// SLOMO configures on-demand SLOMO training; zero value selects
-	// QuickSLOMOConfig.
+	// backend.QuickSLOMOConfig.
 	SLOMO slomo.Config
 	// SLOMOProfile is the fixed profile SLOMO trains at; zero value
 	// selects the paper default.
 	SLOMOProfile traffic.Profile
+	// Options carries training configuration for backends beyond the
+	// built-in two, keyed by backend name. The registry passes the value
+	// through opaquely (backend.TrainEnv.Options).
+	Options map[string]any
 }
 
 func (c RegistryConfig) withDefaults() RegistryConfig {
@@ -46,10 +50,10 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 		c.Seed = 1
 	}
 	if c.Train.GBR.Trees == 0 {
-		c.Train = QuickTrainConfig(c.Seed)
+		c.Train = backend.QuickYalaConfig(c.Seed)
 	}
 	if c.SLOMO.Samples == 0 {
-		c.SLOMO = QuickSLOMOConfig(c.Seed)
+		c.SLOMO = backend.QuickSLOMOConfig(c.Seed)
 	}
 	if c.SLOMOProfile == (traffic.Profile{}) {
 		c.SLOMOProfile = traffic.Default
@@ -57,32 +61,42 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 	return c
 }
 
+// trainOptions resolves the backend-specific training configuration the
+// registry hands to backend.Train. The built-in backends read the typed
+// RegistryConfig fields; everything else flows through Options — so a
+// new backend needs no registry edits at all.
+func (c RegistryConfig) trainOptions(backendName string) any {
+	switch backendName {
+	case "yala":
+		return c.Train
+	case "slomo":
+		return backend.SLOMOOptions{Config: c.SLOMO, Profile: c.SLOMOProfile}
+	}
+	return c.Options[backendName]
+}
+
 // entryKey identifies one model slot: a backend and NF, optionally
 // qualified by a hardware key (a NIC-class name) for fleets that mix
 // hardware targets. The empty hardware key is the registry's default
 // NIC preset and maps to the unqualified on-disk layout.
 type entryKey struct {
-	backend Backend
+	backend string
 	hw      string
 	name    string
-}
-
-// flightKey is the duplicate-suppression key within one backend's group.
-type flightKey struct {
-	hw   string
-	name string
 }
 
 // ModelRegistry loads persisted per-NF models lazily and concurrently
 // safely: the first Get for a key performs the load (or trains and
 // persists when no model file exists) while every concurrent Get for the
 // same key blocks until that one attempt resolves (flightGroup). Failed
-// loads are not cached; the next Get retries.
+// loads are not cached; the next Get retries. The registry is fully
+// backend-generic — every load, train, persist and listing path goes
+// through the internal/backend interface, so registering a new backend
+// makes it servable with zero edits here.
 type ModelRegistry struct {
 	cfg RegistryConfig
 
-	yala  flightGroup[flightKey, *core.Model]
-	slomo flightGroup[flightKey, *slomo.Model]
+	models flightGroup[entryKey, backend.Model]
 
 	// hwMu guards hwConfigs, the NIC preset recorded per hardware key so
 	// Models() and retries agree on what a key means.
@@ -174,42 +188,30 @@ func (r *ModelRegistry) hwConfig(hw string, nic nicsim.Config) (nicsim.Config, e
 	return nicsim.Config{}, fmt.Errorf("serve: hardware key %q has no NIC config registered", hw)
 }
 
-// Yala returns the Yala model for an NF on the registry's default NIC,
-// loading it from the model directory or training it on demand on first
-// use.
-func (r *ModelRegistry) Yala(name string) (*core.Model, error) {
-	return r.YalaOn("", nicsim.Config{}, name)
+// Model returns the named backend's model for an NF on the registry's
+// default NIC, loading it from the model directory or training it on
+// demand on first use.
+func (r *ModelRegistry) Model(backendName, name string) (backend.Model, error) {
+	return r.ModelOn(backendName, "", nicsim.Config{}, name)
 }
 
-// YalaOn is the hardware-keyed lookup behind heterogeneous fleets: it
-// returns the Yala model for an NF trained against the given NIC preset,
-// keyed (and persisted) under hw. The empty hw selects the registry's
-// default NIC and the unqualified on-disk layout; duplicate-load
-// suppression applies per (hw, NF) key.
-func (r *ModelRegistry) YalaOn(hw string, nic nicsim.Config, name string) (*core.Model, error) {
+// ModelOn is the hardware-keyed lookup behind heterogeneous fleets: it
+// returns the backend's model for an NF trained against the given NIC
+// preset, keyed (and persisted) under hw. The empty hw selects the
+// registry's default NIC and the unqualified on-disk layout;
+// duplicate-load suppression applies per (backend, hw, NF) key. It is
+// the serve-side implementation of cluster.ModelSource.
+func (r *ModelRegistry) ModelOn(backendName, hw string, nic nicsim.Config, name string) (backend.Model, error) {
+	b, ok := backend.Get(backendName)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown backend %q (have %s)", backendName, strings.Join(backend.Names(), ", "))
+	}
 	cfg, err := r.hwConfig(hw, nic)
 	if err != nil {
 		return nil, err
 	}
-	return r.yala.do(flightKey{hw, name}, 0, func() (*core.Model, error) {
-		return r.loadYala(entryKey{BackendYala, hw, name}, cfg)
-	})
-}
-
-// SLOMO returns the SLOMO baseline model for an NF on the default NIC,
-// loading or training it like Yala.
-func (r *ModelRegistry) SLOMO(name string) (*slomo.Model, error) {
-	return r.SLOMOOn("", nicsim.Config{}, name)
-}
-
-// SLOMOOn mirrors YalaOn for the baseline.
-func (r *ModelRegistry) SLOMOOn(hw string, nic nicsim.Config, name string) (*slomo.Model, error) {
-	cfg, err := r.hwConfig(hw, nic)
-	if err != nil {
-		return nil, err
-	}
-	return r.slomo.do(flightKey{hw, name}, 0, func() (*slomo.Model, error) {
-		return r.loadSLOMO(entryKey{BackendSLOMO, hw, name}, cfg)
+	return r.models.do(entryKey{backendName, hw, name}, 0, func() (backend.Model, error) {
+		return r.load(b, entryKey{backendName, hw, name}, cfg)
 	})
 }
 
@@ -217,56 +219,34 @@ func (r *ModelRegistry) SLOMOOn(hw string, nic nicsim.Config, name string) (*slo
 // next Get re-reads the model directory. Callers also serving memoized
 // responses computed with the old model must flush those too —
 // Service.Reload does both.
-func (r *ModelRegistry) Reload(backend Backend, name string) {
-	match := func(k flightKey) bool { return k.name == name }
-	switch backend {
-	case BackendYala:
-		r.yala.forgetMatching(match)
-	case BackendSLOMO:
-		r.slomo.forgetMatching(match)
-	}
+func (r *ModelRegistry) Reload(backendName, name string) {
+	r.models.forgetMatching(func(k entryKey) bool {
+		return k.backend == backendName && k.name == name
+	})
 }
 
-// loadYala reads the persisted model, or trains and persists one against
+// load reads the persisted model, or trains and persists one against
 // the key's NIC preset. An unreadable model file (e.g. truncated by a
 // crash mid-write) also falls through to retraining, which rewrites it —
 // a corrupt file must not permanently wedge an NF's serving path.
-func (r *ModelRegistry) loadYala(key entryKey, nic nicsim.Config) (*core.Model, error) {
+func (r *ModelRegistry) load(b backend.Backend, key entryKey, nic nicsim.Config) (backend.Model, error) {
 	if r.cfg.Dir != "" {
-		if m, err := core.LoadModelFile(r.modelPath(key)); err == nil {
+		if m, err := b.Load(r.modelPath(key)); err == nil {
 			return m, nil
 		}
 	}
 	if r.trainHook != nil {
-		r.trainHook(BackendYala, key.hw, key.name)
+		r.trainHook(Backend(key.backend), key.hw, key.name)
 	}
-	// A fresh testbed per training keeps the registry concurrent-safe
-	// (testbeds cache unsynchronized) and the result deterministic.
-	tb := testbed.New(nic, r.cfg.Seed)
-	m, err := core.NewTrainer(tb, r.cfg.Train).Train(key.name)
+	m, err := b.Train(backend.TrainEnv{
+		NIC:     nic,
+		Seed:    r.cfg.Seed,
+		Options: r.cfg.trainOptions(key.backend),
+	}, key.name)
 	if err != nil {
-		return nil, fmt.Errorf("serve: training yala/%s on %s: %w", key.name, nic.Name, err)
+		return nil, fmt.Errorf("serve: training %s/%s on %s: %w", key.backend, key.name, nic.Name, err)
 	}
-	r.persist(key, m.SaveFile)
-	return m, nil
-}
-
-// loadSLOMO mirrors loadYala for the baseline.
-func (r *ModelRegistry) loadSLOMO(key entryKey, nic nicsim.Config) (*slomo.Model, error) {
-	if r.cfg.Dir != "" {
-		if m, err := slomo.LoadModelFile(r.modelPath(key)); err == nil {
-			return m, nil
-		}
-	}
-	if r.trainHook != nil {
-		r.trainHook(BackendSLOMO, key.hw, key.name)
-	}
-	tb := testbed.New(nic, r.cfg.Seed)
-	m, err := slomo.Train(tb, key.name, r.cfg.SLOMOProfile, r.cfg.SLOMO)
-	if err != nil {
-		return nil, fmt.Errorf("serve: training slomo/%s on %s: %w", key.name, nic.Name, err)
-	}
-	r.persist(key, m.SaveFile)
+	r.persist(key, func(path string) error { return b.Save(m, path) })
 	return m, nil
 }
 
@@ -303,7 +283,8 @@ func (r *ModelRegistry) PersistFailures() (uint64, string) {
 }
 
 // ModelInfo describes one model the registry knows about. HW is empty
-// for models on the registry's default NIC preset.
+// for models on the registry's default NIC preset. The /v1 wire shape
+// is frozen; the /v2 listing wraps it with a resource ID.
 type ModelInfo struct {
 	NF      string  `json:"nf"`
 	HW      string  `json:"hw,omitempty"`
@@ -312,9 +293,27 @@ type ModelInfo struct {
 	OnDisk  bool    `json:"on_disk"`
 }
 
+// ResourceID is the /v2 resource name for the model: "<nf>[@<hw>]/<backend>".
+func (i ModelInfo) ResourceID() string {
+	stem := i.NF
+	if i.HW != "" {
+		stem += "@" + i.HW
+	}
+	return stem + "/" + string(i.Backend)
+}
+
+// infoOf renders one entry's listing form.
+func infoOf(key entryKey) *ModelInfo {
+	return &ModelInfo{
+		NF:      key.name,
+		HW:      key.hw,
+		Backend: Backend(key.backend),
+	}
+}
+
 // Models lists every model discovered in the model directory plus every
 // model loaded (or trained) in memory, sorted by NF, hardware key, then
-// backend.
+// backend. Discovery spans every registered backend's on-disk suffix.
 func (r *ModelRegistry) Models() []ModelInfo {
 	infos := map[entryKey]*ModelInfo{}
 	if r.cfg.Dir != "" {
@@ -322,7 +321,7 @@ func (r *ModelRegistry) Models() []ModelInfo {
 		if err == nil {
 			for _, de := range ents {
 				name := de.Name()
-				for _, b := range []Backend{BackendYala, BackendSLOMO} {
+				for _, b := range backend.Names() {
 					suffix := fmt.Sprintf(".%s.json", b)
 					stem, ok := strings.CutSuffix(name, suffix)
 					if !ok || stem == "" {
@@ -332,23 +331,21 @@ func (r *ModelRegistry) Models() []ModelInfo {
 					if nf == "" {
 						continue
 					}
-					infos[entryKey{b, hw, nf}] = &ModelInfo{NF: nf, HW: hw, Backend: b, OnDisk: true}
+					key := entryKey{b, hw, nf}
+					info := infoOf(key)
+					info.OnDisk = true
+					infos[key] = info
 				}
 			}
 		}
 	}
-	loaded := make([]entryKey, 0)
-	for _, k := range r.yala.resolved() {
-		loaded = append(loaded, entryKey{BackendYala, k.hw, k.name})
-	}
-	for _, k := range r.slomo.resolved() {
-		loaded = append(loaded, entryKey{BackendSLOMO, k.hw, k.name})
-	}
-	for _, key := range loaded {
+	for _, key := range r.models.resolved() {
 		if info, ok := infos[key]; ok {
 			info.Loaded = true
 		} else {
-			infos[key] = &ModelInfo{NF: key.name, HW: key.hw, Backend: key.backend, Loaded: true}
+			info := infoOf(key)
+			info.Loaded = true
+			infos[key] = info
 		}
 	}
 	out := make([]ModelInfo, 0, len(infos))

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/nicsim"
@@ -52,13 +53,13 @@ func TestRegistryConcurrentLoad(t *testing.T) {
 	reg.trainHook = func(Backend, string, string) { trainings.Add(1) }
 
 	const goroutines = 16
-	models := make([]*core.Model, goroutines)
+	models := make([]backend.Model, goroutines)
 	var wg sync.WaitGroup
 	for i := 0; i < goroutines; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m, err := reg.Yala("FlowStats")
+			m, err := reg.Model("yala", "FlowStats")
 			if err != nil {
 				t.Errorf("goroutine %d: %v", i, err)
 				return
@@ -78,7 +79,7 @@ func TestRegistryConcurrentLoad(t *testing.T) {
 }
 
 // TestRegistryConcurrentKeyedLoad hammers the registry with goroutines
-// requesting a mix of identical and distinct (hardware, NF, backend)
+// requesting a mix of identical and distinct (backend, hardware, NF)
 // keys concurrently — run under -race — and asserts duplicate-load
 // suppression holds per key: every distinct key trains exactly once and
 // all requesters of a key receive the same model instance.
@@ -98,19 +99,19 @@ func TestRegistryConcurrentKeyedLoad(t *testing.T) {
 	}
 
 	type req struct {
-		backend Backend
+		backend string
 		hw      string
 		name    string
 	}
 	var reqs []req
 	for _, hw := range []string{"", "bluefield2", "pensando"} {
-		reqs = append(reqs, req{BackendYala, hw, "FlowStats"}, req{BackendSLOMO, hw, "FlowStats"})
+		reqs = append(reqs, req{"yala", hw, "FlowStats"}, req{"slomo", hw, "FlowStats"})
 	}
 
 	const waves = 4 // every key requested by 4 goroutines at once
-	results := make([][]any, len(reqs))
+	results := make([][]backend.Model, len(reqs))
 	for i := range results {
-		results[i] = make([]any, waves)
+		results[i] = make([]backend.Model, waves)
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < waves; w++ {
@@ -118,16 +119,7 @@ func TestRegistryConcurrentKeyedLoad(t *testing.T) {
 			wg.Add(1)
 			go func(w, i int, r req) {
 				defer wg.Done()
-				nic := nicForHW(r.hw)
-				var (
-					v   any
-					err error
-				)
-				if r.backend == BackendYala {
-					v, err = reg.YalaOn(r.hw, nic, r.name)
-				} else {
-					v, err = reg.SLOMOOn(r.hw, nic, r.name)
-				}
+				v, err := reg.ModelOn(r.backend, r.hw, nicForHW(r.hw), r.name)
 				if err != nil {
 					t.Errorf("%s/%s@%q: %v", r.backend, r.name, r.hw, err)
 					return
@@ -156,16 +148,16 @@ func TestRegistryConcurrentKeyedLoad(t *testing.T) {
 		t.Errorf("%d distinct keys trained, want %d", len(trainings), want)
 	}
 
-	// Reload drops every hardware variant of the NF: the next round
-	// retrains each (hw, backend) key for that NF exactly once more.
-	reg.Reload(BackendYala, "FlowStats")
+	// Reload drops every hardware variant of the (backend, NF) pair: the
+	// next round re-reads each key from disk rather than retraining.
+	reg.Reload("yala", "FlowStats")
 	for _, hw := range []string{"", "bluefield2", "pensando"} {
-		if _, err := reg.YalaOn(hw, nicForHW(hw), "FlowStats"); err != nil {
+		if _, err := reg.ModelOn("yala", hw, nicForHW(hw), "FlowStats"); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Models persisted to disk on first training, so the reload round
-	// loads files rather than retraining — Loaded counts stay at 1.
+	// loads files rather than retraining — training counts stay at 1.
 	for key, n := range trainings {
 		if n != 1 {
 			t.Errorf("after reload, key %+v trained %d times, want 1 (should reload from disk)", key, n)
@@ -177,22 +169,26 @@ func TestRegistryConcurrentKeyedLoad(t *testing.T) {
 // name a file and named keys with no registered config.
 func TestRegistryRejectsBadHW(t *testing.T) {
 	reg := NewRegistry(testRegistryConfig(t))
-	if _, err := reg.YalaOn("Bad/Key", nicForHW("pensando"), "FlowStats"); err == nil {
+	if _, err := reg.ModelOn("yala", "Bad/Key", nicForHW("pensando"), "FlowStats"); err == nil {
 		t.Fatal("path-hostile hardware key accepted")
 	}
-	if _, err := reg.YalaOn("mystery", nicsim.Config{}, "FlowStats"); err == nil {
+	if _, err := reg.ModelOn("yala", "mystery", nicsim.Config{}, "FlowStats"); err == nil {
 		t.Fatal("unknown hardware key with no config accepted")
 	}
 	// A key binds to one preset for the registry's lifetime: models under
 	// it were trained on that hardware, so rebinding must fail loudly.
-	if _, err := reg.YalaOn("edge", nicsim.BlueField2(), "FlowStats"); err != nil {
+	if _, err := reg.ModelOn("yala", "edge", nicsim.BlueField2(), "FlowStats"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.YalaOn("edge", nicsim.Pensando(), "ACL"); err == nil {
+	if _, err := reg.ModelOn("yala", "edge", nicsim.Pensando(), "ACL"); err == nil {
 		t.Fatal("conflicting rebind of hardware key accepted")
 	}
-	if _, err := reg.YalaOn("edge", nicsim.Config{}, "FlowStats"); err != nil {
+	if _, err := reg.ModelOn("yala", "edge", nicsim.Config{}, "FlowStats"); err != nil {
 		t.Fatalf("config-less lookup of bound key failed: %v", err)
+	}
+	// An unregistered backend is an error naming the registered set.
+	if _, err := reg.Model("mystery", "FlowStats"); err == nil {
+		t.Fatal("unregistered backend accepted")
 	}
 }
 
@@ -217,22 +213,24 @@ func TestRegistryPersistsAndReloads(t *testing.T) {
 	var trainings atomic.Int64
 	reg.trainHook = func(Backend, string, string) { trainings.Add(1) }
 
-	if _, err := reg.Yala("ACL"); err != nil {
+	if _, err := reg.Model("yala", "ACL"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.SLOMO("ACL"); err != nil {
+	if _, err := reg.Model("slomo", "ACL"); err != nil {
 		t.Fatal(err)
 	}
 	if n := trainings.Load(); n != 2 {
 		t.Fatalf("expected 2 trainings (yala+slomo), got %d", n)
 	}
-	for _, f := range []string{"ACL.yala.json", "ACL.slomo.json"} {
-		if _, err := core.LoadModelFile(filepath.Join(cfg.Dir, f)); f == "ACL.yala.json" && err != nil {
-			t.Fatalf("persisted yala model unreadable: %v", err)
-		}
+	if _, err := core.LoadModelFile(filepath.Join(cfg.Dir, "ACL.yala.json")); err != nil {
+		t.Fatalf("persisted yala model unreadable: %v", err)
 	}
-	if _, err := slomo.LoadModelFile(filepath.Join(cfg.Dir, "ACL.slomo.json")); err != nil {
+	sm, err := slomo.LoadModelFile(filepath.Join(cfg.Dir, "ACL.slomo.json"))
+	if err != nil {
 		t.Fatalf("persisted slomo model unreadable: %v", err)
+	}
+	if sm.Name != "ACL" || sm.SoloAtTrain <= 0 {
+		t.Fatalf("persisted slomo model %q solo=%.0f, want ACL with positive solo", sm.Name, sm.SoloAtTrain)
 	}
 
 	// A fresh registry over the same directory must load, not train.
@@ -240,28 +238,24 @@ func TestRegistryPersistsAndReloads(t *testing.T) {
 	reg2.trainHook = func(b Backend, hw, name string) {
 		t.Errorf("unexpected retraining of %s/%s@%q", b, name, hw)
 	}
-	m, err := reg2.Yala("ACL")
+	m, err := reg2.Model("yala", "ACL")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Name != "ACL" {
-		t.Fatalf("loaded model for %q, want ACL", m.Name)
+	if m.NF() != "ACL" {
+		t.Fatalf("loaded model for %q, want ACL", m.NF())
 	}
-	sm, err := reg2.SLOMO("ACL")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sm.Name != "ACL" || sm.SoloAtTrain <= 0 {
-		t.Fatalf("loaded slomo model %q solo=%.0f, want ACL with positive solo", sm.Name, sm.SoloAtTrain)
+	if sm2, err := reg2.Model("slomo", "ACL"); err != nil || sm2.NF() != "ACL" {
+		t.Fatalf("loaded slomo model %v (err %v), want ACL", sm2, err)
 	}
 
 	// Reload drops the in-memory copy; the next Get re-reads the file.
-	before, err := reg2.Yala("ACL")
+	before, err := reg2.Model("yala", "ACL")
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg2.Reload(BackendYala, "ACL")
-	after, err := reg2.Yala("ACL")
+	reg2.Reload("yala", "ACL")
+	after, err := reg2.Model("yala", "ACL")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,16 +274,68 @@ func TestRegistryPersistsAndReloads(t *testing.T) {
 	}
 }
 
+// TestRegistryReloadRace hammers hardware-keyed loads against
+// concurrent Reloads — run under -race. Every load must return a valid
+// model no matter how reloads interleave with in-flight loads; the stub
+// backend keeps the hammer cheap (no training cost).
+func TestRegistryReloadRace(t *testing.T) {
+	reg := NewRegistry(testRegistryConfig(t))
+	hws := []string{"", "bluefield2", "pensando"}
+
+	stop := make(chan struct{})
+	var reloaders sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		reloaders.Add(1)
+		go func() {
+			defer reloaders.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					reg.Reload("fake", "FlowStats")
+				}
+			}
+		}()
+	}
+
+	var loaders sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		loaders.Add(1)
+		go func(w int) {
+			defer loaders.Done()
+			for i := 0; i < 100; i++ {
+				hw := hws[(w+i)%len(hws)]
+				m, err := reg.ModelOn("fake", hw, nicForHW(hw), "FlowStats")
+				if err != nil || m == nil || m.NF() != "FlowStats" {
+					t.Errorf("loader %d iter %d: m=%v err=%v", w, i, m, err)
+					return
+				}
+			}
+		}(w)
+	}
+	loaders.Wait()
+	close(stop)
+	reloaders.Wait()
+
+	// The registry settles into a servable state: one more load per key.
+	for _, hw := range hws {
+		if _, err := reg.ModelOn("fake", hw, nicForHW(hw), "FlowStats"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestRegistryFailedLoadRetries ensures a failed load is not cached as a
 // permanent error.
 func TestRegistryFailedLoadRetries(t *testing.T) {
 	reg := NewRegistry(testRegistryConfig(t))
-	if _, err := reg.Yala("NoSuchNF"); err == nil {
+	if _, err := reg.Model("yala", "NoSuchNF"); err == nil {
 		t.Fatal("expected error for unknown NF")
 	}
 	// The failed entry must have been evicted so a valid name still works
 	// and the bad name fails again rather than deadlocking.
-	if _, err := reg.Yala("NoSuchNF"); err == nil {
+	if _, err := reg.Model("yala", "NoSuchNF"); err == nil {
 		t.Fatal("expected second failure for unknown NF")
 	}
 }

@@ -26,11 +26,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/ml"
+	"repro/internal/backend"
 	"repro/internal/nf"
-	"repro/internal/profiling"
-	"repro/internal/slomo"
 	"repro/internal/traffic"
 )
 
@@ -107,24 +104,28 @@ func validateScenario(nfName string, prof ProfileSpec, comps []CompetitorSpec, b
 	return nil
 }
 
-// Backend selects which predictor answers a request.
+// Backend selects which predictor answers a request. Valid values are
+// the names registered with internal/backend.
 type Backend string
 
-// Supported prediction backends.
+// The built-in prediction backends.
 const (
 	BackendYala  Backend = "yala"
 	BackendSLOMO Backend = "slomo"
 )
 
-// ParseBackend normalizes a request's backend field; empty means Yala.
+// ParseBackend normalizes a request's backend field against the backend
+// registry; empty selects the default (yala). Any registered backend —
+// including ones this package has never heard of — parses.
 func ParseBackend(s string) (Backend, error) {
-	switch Backend(strings.ToLower(strings.TrimSpace(s))) {
-	case "", BackendYala:
-		return BackendYala, nil
-	case BackendSLOMO:
-		return BackendSLOMO, nil
+	name := strings.ToLower(strings.TrimSpace(s))
+	if name == "" {
+		name = backend.DefaultName
 	}
-	return "", fmt.Errorf("serve: unknown backend %q (have yala, slomo)", s)
+	if _, ok := backend.Get(name); !ok {
+		return "", fmt.Errorf("serve: unknown backend %q (have %s)", s, strings.Join(backend.Names(), ", "))
+	}
+	return Backend(name), nil
 }
 
 // ProfileSpec is a traffic profile on the wire. Absent attributes fall
@@ -193,39 +194,6 @@ func scenarioKey(nf string, prof traffic.Profile, comps []CompetitorSpec) string
 	return fmt.Sprintf("%s@%s|%s", nf, prof, strings.Join(parts, ","))
 }
 
-// QuickTrainConfig is a reduced-cost Yala training configuration for
-// on-demand training in a serving context: a small random profiling plan
-// and a slimmer regressor. Accuracy is below the paper's full protocol
-// but training completes in well under a second per NF, which is what an
-// online admission path can afford. Offline-trained full models in the
-// model directory always take precedence.
-func QuickTrainConfig(seed uint64) core.TrainConfig {
-	cfg := core.DefaultTrainConfig()
-	cfg.Seed = seed
-	cfg.Plan = profiling.Random(48, seed)
-	cfg.GBR = ml.GBRConfig{
-		Trees:        60,
-		LearningRate: 0.1,
-		MaxDepth:     4,
-		MinLeaf:      2,
-		Subsample:    0.85,
-		Seed:         seed,
-	}
-	return cfg
-}
-
-// QuickSLOMOConfig mirrors QuickTrainConfig for the SLOMO baseline.
-func QuickSLOMOConfig(seed uint64) slomo.Config {
-	cfg := slomo.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Samples = 48
-	cfg.GBR = ml.GBRConfig{
-		Trees:        60,
-		LearningRate: 0.1,
-		MaxDepth:     4,
-		MinLeaf:      2,
-		Subsample:    0.85,
-		Seed:         seed,
-	}
-	return cfg
-}
+// The quick on-demand training configurations moved to internal/backend
+// (QuickYalaConfig, QuickSLOMOConfig) alongside the backends that
+// consume them.

@@ -13,10 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/nicsim"
 	"repro/internal/placement"
-	"repro/internal/slomo"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
 )
@@ -47,18 +47,22 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 	return c
 }
 
-// soloKey identifies one solo measurement.
+// soloKey identifies one solo measurement: hardware class (empty = the
+// registry's default NIC), NF and profile.
 type soloKey struct {
+	hw   string
 	name string
 	prof traffic.Profile
 }
 
 // Service answers prediction-serving requests: Predict, Compare, Admit
-// and Diagnose run on a bounded worker pool, consult the model registry,
-// and memoize full responses in a sharded LRU. Every measurement a
-// request needs runs on a fresh deterministic testbed, so a response is a
-// pure function of the request (plus the registry's models) and caching
-// is exact, not approximate.
+// and Diagnose run on a bounded worker pool, consult the model registry
+// through the backend interface, and memoize full responses in a sharded
+// LRU. Every measurement a request needs runs on a fresh deterministic
+// testbed, so a response is a pure function of the request (plus the
+// registry's models) and caching is exact, not approximate. The /v2 API
+// additionally serves hardware-qualified models ("nf@hw"): predictions
+// then run against that fleet class's NIC preset.
 type Service struct {
 	cfg   ServiceConfig
 	reg   *ModelRegistry
@@ -89,6 +93,10 @@ type Service struct {
 // NewService starts a service and its worker pool. Call Close to stop it.
 func NewService(cfg ServiceConfig) *Service {
 	cfg = cfg.withDefaults()
+	// Resolve the registry defaults once: request paths (hardware
+	// resolution, fresh testbeds) read the config on every call, and the
+	// default quick-training configs are not free to construct.
+	cfg.Registry = cfg.Registry.withDefaults()
 	s := &Service{
 		cfg:        cfg,
 		reg:        NewRegistry(cfg.Registry),
@@ -117,8 +125,8 @@ func (s *Service) Registry() *ModelRegistry { return s.reg }
 // and flushes the response cache, whose entries were computed with the
 // old model. The solo-measurement memo survives: measurements depend
 // only on the testbed, not on models.
-func (s *Service) Reload(backend Backend, name string) {
-	s.reg.Reload(backend, name)
+func (s *Service) Reload(backendName Backend, name string) {
+	s.reg.Reload(string(backendName), name)
 	s.cache.Flush()
 }
 
@@ -182,12 +190,38 @@ func submit[T any](ctx context.Context, s *Service, fn func() (T, error)) (T, er
 	return o.v, o.err
 }
 
-// freshTestbed returns a new testbed at the service's NIC preset and
-// seed. Measurements on a fresh testbed are deterministic regardless of
-// request interleaving — the property the response cache relies on.
-func (s *Service) freshTestbed() *testbed.Testbed {
-	cfg := s.cfg.Registry.withDefaults()
-	return testbed.New(cfg.NIC, cfg.Seed)
+// hwNIC resolves a request's hardware qualifier to a NIC preset: the
+// empty qualifier is the registry's default NIC; named qualifiers are
+// the fleet hardware classes (cluster.ClassConfig), which share the
+// registry's hardware-keyed on-disk layout with cluster runs.
+func (s *Service) hwNIC(hw string) (nicsim.Config, error) {
+	if hw == "" {
+		return s.cfg.Registry.NIC, nil
+	}
+	cfg, err := cluster.ClassConfig(hw)
+	if err != nil {
+		return nicsim.Config{}, badRequestf("unknown hardware class %q (have %s)", hw, strings.Join(cluster.ClassNames(), ", "))
+	}
+	return cfg, nil
+}
+
+// validateHW rejects hardware qualifiers outside the known classes
+// before any model or measurement work happens.
+func (s *Service) validateHW(hw string) error {
+	_, err := s.hwNIC(hw)
+	return err
+}
+
+// freshTestbed returns a new testbed at the hardware class's NIC preset
+// and the service's seed. Measurements on a fresh testbed are
+// deterministic regardless of request interleaving — the property the
+// response cache relies on.
+func (s *Service) freshTestbed(hw string) (*testbed.Testbed, error) {
+	nic, err := s.hwNIC(hw)
+	if err != nil {
+		return nil, err
+	}
+	return testbed.New(nic, s.cfg.Registry.Seed), nil
 }
 
 // maxSoloEntries bounds the solo-measurement memo. Clients choose
@@ -196,30 +230,34 @@ func (s *Service) freshTestbed() *testbed.Testbed {
 // Eviction only costs a deterministic re-measurement later.
 const maxSoloEntries = 4096
 
-// soloMeasurement returns the NF's solo measurement at a profile, with
-// duplicate-measurement suppression across concurrent requests. The cap
-// is safe because measurements are deterministic — eviction only costs a
-// re-measurement.
-func (s *Service) soloMeasurement(name string, prof traffic.Profile) (nicsim.Measurement, error) {
-	return s.solo.do(soloKey{name, prof}, maxSoloEntries, func() (nicsim.Measurement, error) {
-		return s.freshTestbed().SoloNF(name, prof)
+// soloMeasurement returns the NF's solo measurement at a profile on a
+// hardware class, with duplicate-measurement suppression across
+// concurrent requests. The cap is safe because measurements are
+// deterministic — eviction only costs a re-measurement.
+func (s *Service) soloMeasurement(hw, name string, prof traffic.Profile) (nicsim.Measurement, error) {
+	return s.solo.do(soloKey{hw, name, prof}, maxSoloEntries, func() (nicsim.Measurement, error) {
+		tb, err := s.freshTestbed(hw)
+		if err != nil {
+			return nicsim.Measurement{}, err
+		}
+		return tb.SoloNF(name, prof)
 	})
 }
 
-// competitors resolves competitor specs into the predictor-facing form
-// plus the aggregate counters SLOMO consumes.
-func (s *Service) competitors(specs []CompetitorSpec) ([]core.Competitor, nicsim.Counters, error) {
-	var comps []core.Competitor
-	var agg nicsim.Counters
+// competitors resolves competitor specs into the backend-facing form:
+// each co-resident's identity plus its memoized solo measurement.
+func (s *Service) competitors(hw string, specs []CompetitorSpec) ([]backend.Competitor, error) {
+	comps := make([]backend.Competitor, 0, len(specs))
 	for _, spec := range specs {
-		m, err := s.soloMeasurement(spec.Name, spec.Profile.Profile())
+		prof := spec.Profile.Profile()
+		m, err := s.soloMeasurement(hw, spec.Name, prof)
 		if err != nil {
-			return nil, nicsim.Counters{}, err
+			return nil, err
 		}
-		comps = append(comps, core.CompetitorFromMeasurement(m))
-		agg.Add(m.Counters)
+		mm := m
+		comps = append(comps, backend.Competitor{NF: spec.Name, Profile: prof, Solo: &mm})
 	}
-	return comps, agg, nil
+	return comps, nil
 }
 
 // PredictRequest asks for an NF's throughput under a co-location.
@@ -230,35 +268,38 @@ type PredictRequest struct {
 	Backend     string           `json:"backend,omitempty"`
 }
 
-// PredictResponse is the predictor's answer.
+// PredictResponse is the predictor's answer. HW is set only for
+// hardware-qualified (/v2) requests, so the /v1 wire shape is unchanged.
 type PredictResponse struct {
 	NF           string      `json:"nf"`
+	HW           string      `json:"hw,omitempty"`
 	Backend      Backend     `json:"backend"`
 	Profile      ProfileSpec `json:"profile"`
 	SoloPPS      float64     `json:"solo_pps"`
 	PredictedPPS float64     `json:"predicted_pps"`
-	// PerResourcePPS and Bottleneck carry Yala's per-resource breakdown;
-	// SLOMO, memory-only, omits them.
+	// PerResourcePPS and Bottleneck carry a per-resource breakdown for
+	// backends that attribute (yala); extrapolating backends omit them.
 	PerResourcePPS map[string]float64 `json:"per_resource_pps,omitempty"`
 	Bottleneck     string             `json:"bottleneck,omitempty"`
 }
 
 // predictKey is the shared cache key for one prediction scenario;
-// Compare and Diagnose derive from the same entries.
-func predictKey(backend Backend, name string, prof traffic.Profile, comps []CompetitorSpec) string {
-	return fmt.Sprintf("predict|%s|%s", backend, scenarioKey(name, prof, comps))
+// Compare and Diagnose derive from the same entries, and /v1 and /v2
+// requests for the default hardware share them too (hw = "").
+func predictKey(backendName Backend, hw, name string, prof traffic.Profile, comps []CompetitorSpec) string {
+	return fmt.Sprintf("predict|%s|%s|%s", backendName, hw, scenarioKey(name, prof, comps))
 }
 
 // predictCached answers one scenario through the shared predict cache,
 // on the caller's goroutine (pool scheduling is the caller's concern).
 // Its lookup is quiet: the API entry point already counted this request
 // in the hit/miss stats.
-func (s *Service) predictCached(backend Backend, name string, prof traffic.Profile, comps []CompetitorSpec) (PredictResponse, error) {
-	key := predictKey(backend, name, prof, comps)
+func (s *Service) predictCached(backendName Backend, hw, name string, prof traffic.Profile, comps []CompetitorSpec) (PredictResponse, error) {
+	key := predictKey(backendName, hw, name, prof, comps)
 	if v, ok := s.cache.getQuiet(key); ok {
 		return v.(PredictResponse), nil
 	}
-	resp, err := s.predictUncached(backend, name, prof, comps)
+	resp, err := s.predictUncached(backendName, hw, name, prof, comps)
 	if err != nil {
 		return PredictResponse{}, err
 	}
@@ -266,67 +307,90 @@ func (s *Service) predictCached(backend Backend, name string, prof traffic.Profi
 	return resp, nil
 }
 
-// Predict estimates throughput for the request's scenario, serving from
+// Predict estimates throughput for the request's scenario on the default
+// hardware — the /v1 entry point.
+func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	return s.PredictOn(ctx, "", req)
+}
+
+// PredictOn is the hardware-qualified form behind /v2: hw names a fleet
+// hardware class ("" = the server's default NIC). Responses serve from
 // the response cache when the scenario has been answered before. Cache
 // hits answer synchronously on the caller's goroutine; only predictor
 // work goes through the worker pool — the pool bounds compute, and a
 // lookup is not compute.
-func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+func (s *Service) PredictOn(ctx context.Context, hw string, req PredictRequest) (PredictResponse, error) {
 	s.predicts.Add(1)
-	if err := validateScenario(req.NF, req.Profile, req.Competitors, req.Backend); err != nil {
+	if err := s.validateScenarioOn(hw, req.NF, req.Profile, req.Competitors, req.Backend); err != nil {
 		s.errors.Add(1)
 		return PredictResponse{}, err
 	}
-	backend, _ := ParseBackend(req.Backend)
+	backendName, _ := ParseBackend(req.Backend)
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
 	// A hit answers inline — a lookup is not compute. A miss (including
 	// the rare eviction race) always goes through the worker pool, so
 	// predictor work stays bounded no matter the HTTP concurrency.
-	if v, ok := s.cache.Get(predictKey(backend, req.NF, prof, comps)); ok {
+	if v, ok := s.cache.Get(predictKey(backendName, hw, req.NF, prof, comps)); ok {
 		return v.(PredictResponse), nil
 	}
 	return submit(ctx, s, func() (PredictResponse, error) {
-		return s.predictCached(backend, req.NF, prof, comps)
+		return s.predictCached(backendName, hw, req.NF, prof, comps)
 	})
 }
 
-// predictUncached computes a prediction straight from the models.
-func (s *Service) predictUncached(backend Backend, name string, prof traffic.Profile, specs []CompetitorSpec) (PredictResponse, error) {
-	comps, agg, err := s.competitors(specs)
+// predictUncached computes a prediction straight from the models,
+// through the backend interface — no backend-specific code remains on
+// this path.
+func (s *Service) predictUncached(backendName Backend, hw, name string, prof traffic.Profile, specs []CompetitorSpec) (PredictResponse, error) {
+	b, ok := backend.Get(string(backendName))
+	if !ok {
+		return PredictResponse{}, badRequestf("unknown backend %q", backendName)
+	}
+	comps, err := s.competitors(hw, specs)
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	resp := PredictResponse{NF: name, Backend: backend, Profile: SpecOf(prof)}
-	switch backend {
-	case BackendYala:
-		model, err := s.reg.Yala(name)
-		if err != nil {
-			return PredictResponse{}, err
-		}
-		pred := model.Predict(prof, comps)
-		resp.SoloPPS = pred.Solo
-		resp.PredictedPPS = pred.Throughput
-		resp.Bottleneck = pred.Bottleneck.String()
-		resp.PerResourcePPS = map[string]float64{}
-		for res, t := range pred.PerResource {
-			resp.PerResourcePPS[res.String()] = t
-		}
-	case BackendSLOMO:
-		model, err := s.reg.SLOMO(name)
-		if err != nil {
-			return PredictResponse{}, err
-		}
-		// SLOMO extrapolates its fixed-profile sensitivity using the NF's
-		// solo throughput at the requested profile (§7.1).
-		solo, err := s.soloMeasurement(name, prof)
-		if err != nil {
-			return PredictResponse{}, err
-		}
-		resp.SoloPPS = solo.Throughput
-		resp.PredictedPPS = model.PredictExtrapolated(agg, solo.Throughput)
+	nic, err := s.hwNIC(hw)
+	if err != nil {
+		return PredictResponse{}, err
 	}
-	return resp, nil
+	model, err := s.reg.ModelOn(string(backendName), hw, nic, name)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	pred, err := b.Predict(model, backend.Scenario{
+		Profile:     prof,
+		Competitors: comps,
+		Solo: func() (float64, error) {
+			m, err := s.soloMeasurement(hw, name, prof)
+			if err != nil {
+				return 0, err
+			}
+			return m.Throughput, nil
+		},
+	})
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	return PredictResponse{
+		NF:             name,
+		HW:             hw,
+		Backend:        backendName,
+		Profile:        SpecOf(prof),
+		SoloPPS:        pred.SoloPPS,
+		PredictedPPS:   pred.PredictedPPS,
+		PerResourcePPS: pred.PerResourcePPS,
+		Bottleneck:     pred.Bottleneck,
+	}, nil
+}
+
+// validateScenarioOn is validateScenario plus the hardware qualifier.
+func (s *Service) validateScenarioOn(hw, nfName string, prof ProfileSpec, comps []CompetitorSpec, backendName string) error {
+	if err := s.validateHW(hw); err != nil {
+		return err
+	}
+	return validateScenario(nfName, prof, comps, backendName)
 }
 
 // BatchRequest carries many prediction scenarios in one round trip —
@@ -344,35 +408,53 @@ type BatchResponse struct {
 	Errors    []string          `json:"errors,omitempty"`
 }
 
+// hwPredict is one batch element with its hardware qualifier resolved —
+// /v1 elements always carry "", /v2 elements parse theirs from the
+// model ID.
+type hwPredict struct {
+	hw  string
+	req PredictRequest
+}
+
 // PredictBatch serves every scenario in the batch, each through the
-// cache. Elements run concurrently so a batch of misses overlaps on the
-// worker pool instead of serializing; hits cost a lookup each.
+// cache — the /v1 entry point (default hardware throughout).
 func (s *Service) PredictBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	items := make([]hwPredict, len(req.Requests))
+	for i, r := range req.Requests {
+		items[i] = hwPredict{req: r}
+	}
+	return s.predictBatch(ctx, items)
+}
+
+// predictBatch serves every scenario, each through the cache. Elements
+// run concurrently so a batch of misses overlaps on the worker pool
+// instead of serializing; hits cost a lookup each.
+func (s *Service) predictBatch(ctx context.Context, items []hwPredict) (BatchResponse, error) {
 	// A malformed element fails the whole batch up front: element-level
 	// Errors are for scenarios the service could not answer, not for
 	// requests the client should not have sent.
-	for i, r := range req.Requests {
-		if err := validateScenario(r.NF, r.Profile, r.Competitors, r.Backend); err != nil {
+	for i, it := range items {
+		if err := s.validateScenarioOn(it.hw, it.req.NF, it.req.Profile, it.req.Competitors, it.req.Backend); err != nil {
 			s.errors.Add(1)
 			return BatchResponse{}, fmt.Errorf("requests[%d]: %w", i, err)
 		}
 	}
-	resp := BatchResponse{Responses: make([]PredictResponse, len(req.Requests))}
-	errs := make([]string, len(req.Requests))
+	resp := BatchResponse{Responses: make([]PredictResponse, len(items))}
+	errs := make([]string, len(items))
 	var failed atomic.Bool
 	var wg sync.WaitGroup
-	for i, r := range req.Requests {
+	for i, it := range items {
 		wg.Add(1)
-		go func(i int, r PredictRequest) {
+		go func(i int, it hwPredict) {
 			defer wg.Done()
-			one, err := s.Predict(ctx, r)
+			one, err := s.PredictOn(ctx, it.hw, it.req)
 			if err != nil {
 				errs[i] = err.Error()
 				failed.Store(true)
 				return
 			}
 			resp.Responses[i] = one
-		}(i, r)
+		}(i, it)
 	}
 	wg.Wait()
 	if failed.Load() {
@@ -394,6 +476,7 @@ type CompareRequest struct {
 // CompareResponse is the head-to-head result.
 type CompareResponse struct {
 	NF      string          `json:"nf"`
+	HW      string          `json:"hw,omitempty"`
 	Profile ProfileSpec     `json:"profile"`
 	Yala    PredictResponse `json:"yala"`
 	SLOMO   PredictResponse `json:"slomo"`
@@ -403,13 +486,18 @@ type CompareResponse struct {
 	SLOMOErrPct float64 `json:"slomo_err_pct,omitempty"`
 }
 
-// Compare runs both predictors on the same scenario. It is assembled
-// entirely from predict-keyed (and measure-keyed) cache entries, so a
-// Compare after a Predict of the same scenario reuses that work instead
-// of recomputing it under a separate key.
+// Compare runs both predictors on the same scenario — /v1 entry point.
 func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
+	return s.CompareOn(ctx, "", req)
+}
+
+// CompareOn is the hardware-qualified Compare. It is assembled entirely
+// from predict-keyed (and measure-keyed) cache entries, so a Compare
+// after a Predict of the same scenario reuses that work instead of
+// recomputing it under a separate key.
+func (s *Service) CompareOn(ctx context.Context, hw string, req CompareRequest) (CompareResponse, error) {
 	s.compares.Add(1)
-	if err := validateScenario(req.NF, req.Profile, req.Competitors, ""); err != nil {
+	if err := s.validateScenarioOn(hw, req.NF, req.Profile, req.Competitors, ""); err != nil {
 		s.errors.Add(1)
 		return CompareResponse{}, err
 	}
@@ -418,39 +506,39 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareRespo
 	// Warm fast path: every piece already resident → assemble inline.
 	// Any missing piece (including an eviction race) goes through the
 	// worker pool; assembly itself is not compute.
-	vy, okY := s.cache.Get(predictKey(BackendYala, req.NF, prof, comps))
-	vs, okS := s.cache.Get(predictKey(BackendSLOMO, req.NF, prof, comps))
+	vy, okY := s.cache.Get(predictKey(BackendYala, hw, req.NF, prof, comps))
+	vs, okS := s.cache.Get(predictKey(BackendSLOMO, hw, req.NF, prof, comps))
 	truth, okM := 0.0, !req.GroundTruth
 	if req.GroundTruth {
-		if v, ok := s.cache.Get(measureKey(req.NF, prof, comps)); ok {
+		if v, ok := s.cache.Get(measureKey(hw, req.NF, prof, comps)); ok {
 			truth, okM = v.(float64), true
 		}
 	}
 	if okY && okS && okM {
-		return assembleCompare(req.NF, prof, vy.(PredictResponse), vs.(PredictResponse), req.GroundTruth, truth), nil
+		return assembleCompare(req.NF, hw, prof, vy.(PredictResponse), vs.(PredictResponse), req.GroundTruth, truth), nil
 	}
 	return submit(ctx, s, func() (CompareResponse, error) {
-		yala, err := s.predictCached(BackendYala, req.NF, prof, comps)
+		yala, err := s.predictCached(BackendYala, hw, req.NF, prof, comps)
 		if err != nil {
 			return CompareResponse{}, err
 		}
-		sl, err := s.predictCached(BackendSLOMO, req.NF, prof, comps)
+		sl, err := s.predictCached(BackendSLOMO, hw, req.NF, prof, comps)
 		if err != nil {
 			return CompareResponse{}, err
 		}
 		var truth float64
 		if req.GroundTruth {
-			if truth, err = s.measureCached(req.NF, prof, comps); err != nil {
+			if truth, err = s.measureCached(hw, req.NF, prof, comps); err != nil {
 				return CompareResponse{}, err
 			}
 		}
-		return assembleCompare(req.NF, prof, yala, sl, req.GroundTruth, truth), nil
+		return assembleCompare(req.NF, hw, prof, yala, sl, req.GroundTruth, truth), nil
 	})
 }
 
 // assembleCompare builds the head-to-head response from its parts.
-func assembleCompare(nf string, prof traffic.Profile, yala, sl PredictResponse, groundTruth bool, truth float64) CompareResponse {
-	resp := CompareResponse{NF: nf, Profile: SpecOf(prof), Yala: yala, SLOMO: sl}
+func assembleCompare(nf, hw string, prof traffic.Profile, yala, sl PredictResponse, groundTruth bool, truth float64) CompareResponse {
+	resp := CompareResponse{NF: nf, HW: hw, Profile: SpecOf(prof), Yala: yala, SLOMO: sl}
 	if groundTruth {
 		resp.MeasuredPPS = truth
 		if truth > 0 {
@@ -462,18 +550,18 @@ func assembleCompare(nf string, prof traffic.Profile, yala, sl PredictResponse, 
 }
 
 // measureKey caches ground-truth co-run measurements.
-func measureKey(name string, prof traffic.Profile, comps []CompetitorSpec) string {
-	return "measure|" + scenarioKey(name, prof, comps)
+func measureKey(hw, name string, prof traffic.Profile, comps []CompetitorSpec) string {
+	return fmt.Sprintf("measure|%s|%s", hw, scenarioKey(name, prof, comps))
 }
 
 // measureCached memoizes measureScenario in the response cache. Quiet
 // lookup: the API entry point already counted this request.
-func (s *Service) measureCached(name string, prof traffic.Profile, comps []CompetitorSpec) (float64, error) {
-	key := measureKey(name, prof, comps)
+func (s *Service) measureCached(hw, name string, prof traffic.Profile, comps []CompetitorSpec) (float64, error) {
+	key := measureKey(hw, name, prof, comps)
 	if v, ok := s.cache.getQuiet(key); ok {
 		return v.(float64), nil
 	}
-	truth, err := s.measureScenario(name, prof, comps)
+	truth, err := s.measureScenario(hw, name, prof, comps)
 	if err != nil {
 		return 0, err
 	}
@@ -483,8 +571,11 @@ func (s *Service) measureCached(name string, prof traffic.Profile, comps []Compe
 
 // measureScenario co-runs the scenario on a fresh testbed and returns the
 // target's ground-truth throughput.
-func (s *Service) measureScenario(name string, prof traffic.Profile, specs []CompetitorSpec) (float64, error) {
-	tb := s.freshTestbed()
+func (s *Service) measureScenario(hw, name string, prof traffic.Profile, specs []CompetitorSpec) (float64, error) {
+	tb, err := s.freshTestbed(hw)
+	if err != nil {
+		return 0, err
+	}
 	ws := make([]*nicsim.Workload, 0, len(specs)+1)
 	w, err := tb.Workload(name, prof)
 	if err != nil {
@@ -530,15 +621,25 @@ type AdmitResponse struct {
 	Reason    string  `json:"reason,omitempty"`
 }
 
-// Admit answers an online admission-control query by reusing the
-// placement package's feasibility check (§7.5.1) with registry models.
+// Admit answers an online admission-control query — /v1 entry point.
 func (s *Service) Admit(ctx context.Context, req AdmitRequest) (AdmitResponse, error) {
+	return s.AdmitOn(ctx, "", req)
+}
+
+// AdmitOn is the hardware-qualified admission check: it reuses the
+// placement package's feasibility primitive (§7.5.1) with registry
+// models for any backend, on the class's NIC preset and core budget.
+func (s *Service) AdmitOn(ctx context.Context, hw string, req AdmitRequest) (AdmitResponse, error) {
 	s.admits.Add(1)
+	if err := s.validateHW(hw); err != nil {
+		s.errors.Add(1)
+		return AdmitResponse{}, err
+	}
 	if err := req.validate(); err != nil {
 		s.errors.Add(1)
 		return AdmitResponse{}, err
 	}
-	backend, _ := ParseBackend(req.Backend)
+	backendName, _ := ParseBackend(req.Backend)
 	// Canonical resident order makes the cache key (and the fresh
 	// testbed's measurement order) independent of caller ordering.
 	residents := append([]ColoNF(nil), req.Residents...)
@@ -549,51 +650,49 @@ func (s *Service) Admit(ctx context.Context, req AdmitRequest) (AdmitResponse, e
 	for i, r := range residents {
 		parts[i] = coloKey(r)
 	}
-	key := fmt.Sprintf("admit|%s|%s|cand=%s", backend, strings.Join(parts, ","), coloKey(req.Candidate))
+	key := fmt.Sprintf("admit|%s|%s|%s|cand=%s", backendName, hw, strings.Join(parts, ","), coloKey(req.Candidate))
 	if v, ok := s.cache.Get(key); ok {
 		return v.(AdmitResponse), nil
 	}
 	return submit(ctx, s, func() (AdmitResponse, error) {
-		return s.admit(backend, key, residents, req.Candidate)
+		return s.admit(backendName, hw, key, residents, req.Candidate)
 	})
 }
 
-func (s *Service) admit(backend Backend, key string, residents []ColoNF, candidate ColoNF) (AdmitResponse, error) {
+func (s *Service) admit(backendName Backend, hw, key string, residents []ColoNF, candidate ColoNF) (AdmitResponse, error) {
 	// Load every model involved before building the simulator, so the
 	// feasibility pass never trains under its own latency budget. A fresh
 	// simulator per request keeps the answer a pure function of the
 	// request (the simulator's measurement caches are order-dependent).
-	strat := placement.YalaAware
-	sim := placement.NewSimulator(s.freshTestbed(), map[string]*core.Model{}, map[string]*slomo.Model{})
+	strat := placement.PredictionAware(string(backendName))
+	tb, err := s.freshTestbed(hw)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
+	sim := placement.NewSimulator(tb)
 
 	// Core capacity first — placement always pairs the SLA check with the
 	// Fits check, and an infeasible core budget needs no predictions.
 	if !sim.Fits(len(residents)) {
-		resp := AdmitResponse{Admit: false, Backend: backend, Residents: len(residents), Reason: "cores"}
+		resp := AdmitResponse{Admit: false, Backend: backendName, Residents: len(residents), Reason: "cores"}
 		s.cache.Put(key, resp)
 		return resp, nil
 	}
 
+	nic, err := s.hwNIC(hw)
+	if err != nil {
+		return AdmitResponse{}, err
+	}
 	names := map[string]bool{candidate.Name: true}
 	for _, r := range residents {
 		names[r.Name] = true
 	}
 	for name := range names {
-		switch backend {
-		case BackendYala:
-			m, err := s.reg.Yala(name)
-			if err != nil {
-				return AdmitResponse{}, err
-			}
-			sim.Yala[name] = m
-		case BackendSLOMO:
-			strat = placement.SLOMOAware
-			m, err := s.reg.SLOMO(name)
-			if err != nil {
-				return AdmitResponse{}, err
-			}
-			sim.SLOMO[name] = m
+		m, err := s.reg.ModelOn(string(backendName), hw, nic, name)
+		if err != nil {
+			return AdmitResponse{}, err
 		}
+		sim.SetModel(string(backendName), name, m)
 	}
 
 	arr := make([]placement.Arrival, len(residents))
@@ -609,7 +708,7 @@ func (s *Service) admit(backend Backend, key string, residents []ColoNF, candida
 	// the feasibility pass then runs no simulations of its own, and
 	// repeated admits over the same NFs reuse the same measurements.
 	for _, a := range append(append([]placement.Arrival(nil), arr...), cand) {
-		m, err := s.soloMeasurement(a.Name, a.Profile)
+		m, err := s.soloMeasurement(hw, a.Name, a.Profile)
 		if err != nil {
 			return AdmitResponse{}, err
 		}
@@ -619,7 +718,7 @@ func (s *Service) admit(backend Backend, key string, residents []ColoNF, candida
 	if err != nil {
 		return AdmitResponse{}, err
 	}
-	resp := AdmitResponse{Admit: ok, Backend: backend, Residents: len(residents)}
+	resp := AdmitResponse{Admit: ok, Backend: backendName, Residents: len(residents)}
 	if !ok {
 		resp.Reason = "sla"
 	}
@@ -676,6 +775,7 @@ type DiagnoseRequest struct {
 // DiagnoseResponse is Yala's bottleneck attribution (§7.5.2).
 type DiagnoseResponse struct {
 	NF             string             `json:"nf"`
+	HW             string             `json:"hw,omitempty"`
 	Profile        ProfileSpec        `json:"profile"`
 	Bottleneck     string             `json:"bottleneck"`
 	SoloPPS        float64            `json:"solo_pps"`
@@ -684,22 +784,28 @@ type DiagnoseResponse struct {
 	PerResourcePPS map[string]float64 `json:"per_resource_pps"`
 }
 
-// Diagnose attributes the scenario's predicted slowdown to a resource.
-// The response is pure derivation from the Yala prediction, so it shares
-// the predict-keyed cache entry instead of storing its own.
+// Diagnose attributes the scenario's predicted slowdown to a resource —
+// /v1 entry point.
 func (s *Service) Diagnose(ctx context.Context, req DiagnoseRequest) (DiagnoseResponse, error) {
+	return s.DiagnoseOn(ctx, "", req)
+}
+
+// DiagnoseOn is the hardware-qualified Diagnose. The response is pure
+// derivation from the Yala prediction, so it shares the predict-keyed
+// cache entry instead of storing its own.
+func (s *Service) DiagnoseOn(ctx context.Context, hw string, req DiagnoseRequest) (DiagnoseResponse, error) {
 	s.diagnoses.Add(1)
-	if err := validateScenario(req.NF, req.Profile, req.Competitors, ""); err != nil {
+	if err := s.validateScenarioOn(hw, req.NF, req.Profile, req.Competitors, ""); err != nil {
 		s.errors.Add(1)
 		return DiagnoseResponse{}, err
 	}
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
-	if v, ok := s.cache.Get(predictKey(BackendYala, req.NF, prof, comps)); ok {
+	if v, ok := s.cache.Get(predictKey(BackendYala, hw, req.NF, prof, comps)); ok {
 		return diagnoseFrom(v.(PredictResponse)), nil
 	}
 	return submit(ctx, s, func() (DiagnoseResponse, error) {
-		pred, err := s.predictCached(BackendYala, req.NF, prof, comps)
+		pred, err := s.predictCached(BackendYala, hw, req.NF, prof, comps)
 		if err != nil {
 			return DiagnoseResponse{}, err
 		}
@@ -711,6 +817,7 @@ func (s *Service) Diagnose(ctx context.Context, req DiagnoseRequest) (DiagnoseRe
 func diagnoseFrom(pred PredictResponse) DiagnoseResponse {
 	resp := DiagnoseResponse{
 		NF:             pred.NF,
+		HW:             pred.HW,
 		Profile:        pred.Profile,
 		Bottleneck:     pred.Bottleneck,
 		SoloPPS:        pred.SoloPPS,
@@ -723,7 +830,9 @@ func diagnoseFrom(pred PredictResponse) DiagnoseResponse {
 	return resp
 }
 
-// ServiceStats is the operator-facing counter snapshot.
+// ServiceStats is the operator-facing counter snapshot. The shape is
+// the frozen /v1 wire form; /v2 wraps it with the registered-backend
+// list (statsV2).
 type ServiceStats struct {
 	UptimeSec       float64           `json:"uptime_sec"`
 	Workers         int               `json:"workers"`

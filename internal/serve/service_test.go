@@ -17,6 +17,7 @@ import (
 	"repro/internal/slomo"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
+	"repro/pkg/yalaclient"
 )
 
 func testService(t *testing.T) *Service {
@@ -178,15 +179,14 @@ func TestAdmitMatchesPlacementFeasibility(t *testing.T) {
 	}
 
 	cfg := s.cfg.Registry.withDefaults()
-	yala := map[string]*core.Model{}
+	sim := placement.NewSimulator(testbed.New(nicsim.BlueField2(), cfg.Seed))
 	for _, name := range []string{"ACL", "FlowStats"} {
-		m, err := s.Registry().Yala(name)
+		m, err := s.Registry().Model("yala", name)
 		if err != nil {
 			t.Fatal(err)
 		}
-		yala[name] = m
+		sim.SetModel("yala", name, m)
 	}
-	sim := placement.NewSimulator(testbed.New(nicsim.BlueField2(), cfg.Seed), yala, nil)
 	// Seed solos exactly as the service does (fresh testbed per
 	// measurement) so the decisions must match, not merely tend to.
 	for _, name := range []string{"ACL", "FlowStats"} {
@@ -233,34 +233,44 @@ func TestAdmitMatchesPlacementFeasibility(t *testing.T) {
 	}
 }
 
-// TestHTTPRoundTrip runs the full stack: HTTP server, typed client, and a
-// small load-generation run that must complete without errors.
+// TestHTTPRoundTrip runs the full stack: HTTP server, the public SDK
+// against /v2, and a small load-generation run that must complete
+// without errors.
 func TestHTTPRoundTrip(t *testing.T) {
 	s := testService(t)
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
-	client := NewClient(srv.URL)
+	client := yalaclient.New(srv.URL)
+	ctx := context.Background()
 
-	direct, err := s.Predict(context.Background(), PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}})
+	direct, err := s.Predict(ctx, PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaHTTP, err := client.Predict(PredictRequest{NF: "ACL", Competitors: []CompetitorSpec{{Name: "FlowStats"}}})
+	viaHTTP, err := client.Predict(ctx, yalaclient.ModelID{NF: "ACL"}, "",
+		yalaclient.PredictParams{Competitors: []yalaclient.Competitor{{Name: "FlowStats"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(direct, viaHTTP) {
-		t.Fatalf("HTTP response differs from direct call:\n%+v\n%+v", direct, viaHTTP)
+	// The SDK's wire types mirror the service's exactly, so the
+	// marshaled forms must be byte-identical.
+	directJSON, _ := json.Marshal(direct)
+	viaJSON, _ := json.Marshal(viaHTTP)
+	if !bytes.Equal(directJSON, viaJSON) {
+		t.Fatalf("HTTP response differs from direct call:\n%s\n%s", directJSON, viaJSON)
 	}
 
-	if _, err := client.Diagnose(DiagnoseRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}}); err != nil {
+	if _, err := client.Diagnose(ctx, yalaclient.ModelID{NF: "FlowStats"},
+		yalaclient.PredictParams{Competitors: []yalaclient.Competitor{{Name: "ACL"}}}); err != nil {
 		t.Fatal(err)
 	}
 
-	// Unknown NFs surface as a client error, not a hang or a 500-shaped
-	// mystery.
-	if _, err := client.Predict(PredictRequest{NF: "NoSuchNF"}); err == nil {
-		t.Fatal("expected error for unknown NF over HTTP")
+	// Unknown NFs surface as a structured client error, not a hang or a
+	// 500-shaped mystery.
+	_, err = client.Predict(ctx, yalaclient.ModelID{NF: "NoSuchNF"}, "", yalaclient.PredictParams{})
+	var apiErr *yalaclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Code != "invalid_argument" {
+		t.Fatalf("unknown NF error = %v, want invalid_argument APIError", err)
 	}
 
 	rep, err := Loadgen(LoadgenConfig{
@@ -283,7 +293,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("loadgen issued %d requests, want 200", rep.Requests)
 	}
 
-	stats, err := client.Stats()
+	stats, err := client.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

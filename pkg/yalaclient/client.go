@@ -1,0 +1,334 @@
+package yalaclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultBackend is the backend used when a call names none.
+const DefaultBackend = "yala"
+
+// ModelID names one model resource: an NF, optionally qualified by a
+// fleet hardware class. The zero HW selects the server's default NIC.
+type ModelID struct {
+	NF string
+	HW string
+}
+
+// String renders the /v2 resource name: "nf" or "nf@hw".
+func (m ModelID) String() string {
+	if m.HW == "" {
+		return m.NF
+	}
+	return m.NF + "@" + m.HW
+}
+
+// APIError is a structured error returned by the server's /v2 envelope.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	RequestID  string
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if msg == "" {
+		msg = http.StatusText(e.StatusCode)
+	}
+	if e.Code != "" {
+		return fmt.Sprintf("yalaclient: %s: %s", e.Code, msg)
+	}
+	return fmt.Sprintf("yalaclient: HTTP %d: %s", e.StatusCode, msg)
+}
+
+// Client is a typed client for the yala serve /v2 HTTP API.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying HTTP client entirely (custom
+// transport, proxies, instrumentation).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// WithTimeout bounds each request round trip. The default is no
+// timeout — prediction misses can legitimately take a while on a cold
+// server — so latency-sensitive callers should set one. Order-safe with
+// WithHTTPClient: the timeout is applied after all options resolve, to
+// a private copy, never to a caller-owned http.Client.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries retries transport failures and 5xx responses up to n
+// times with exponential backoff. The default is 0: load generation and
+// benchmarking must observe every failure, so retrying is opt-in.
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithRetryBackoff sets the initial retry backoff (default 100ms,
+// doubling per attempt). Only meaningful with WithRetries.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// New returns a client for a server base URL (e.g.
+// "http://localhost:8844"). The default transport keeps enough idle
+// connections per host for load-generation fan-out — net/http's default
+// of 2 makes every worker beyond the second re-handshake per request.
+func New(base string, opts ...Option) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 256
+	tr.MaxIdleConnsPerHost = 256
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		httpc:   &http.Client{Transport: tr},
+		backoff: 100 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.timeout > 0 {
+		// Shallow-copy before setting the timeout so a caller-supplied
+		// shared http.Client is never mutated.
+		hc := *c.httpc
+		hc.Timeout = c.timeout
+		c.httpc = &hc
+	}
+	return c
+}
+
+// do round-trips one call: marshal, retry loop, envelope decoding.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("yalaclient: encoding %s request: %w", path, err)
+		}
+	}
+	backoff := c.backoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		data, status, err := c.roundTrip(ctx, method, path, body)
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("yalaclient: %s %s: %w", method, path, err)
+		case status >= 500:
+			lastErr = apiError(status, data)
+		case status >= 400:
+			return apiError(status, data)
+		default:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("yalaclient: decoding %s response: %w", path, err)
+			}
+			return nil
+		}
+		if attempt >= c.retries {
+			return lastErr
+		}
+		select {
+		case <-time.After(backoff):
+			backoff *= 2
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// roundTrip performs one HTTP exchange and slurps the response.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, resp.StatusCode, nil
+}
+
+// apiError decodes the /v2 error envelope (falling back to the flat /v1
+// shape and then the raw status).
+func apiError(status int, data []byte) error {
+	var v2 struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(data, &v2) == nil && v2.Error.Message != "" {
+		return &APIError{StatusCode: status, Code: v2.Error.Code, Message: v2.Error.Message, RequestID: v2.Error.RequestID}
+	}
+	var v1 struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &v1) == nil && v1.Error != "" {
+		return &APIError{StatusCode: status, Message: v1.Error}
+	}
+	return &APIError{StatusCode: status}
+}
+
+// modelPath renders a backend-scoped custom-method path.
+func modelPath(m ModelID, backendName, verb string) string {
+	if backendName == "" {
+		backendName = DefaultBackend
+	}
+	return "/v2/models/" + url.PathEscape(m.String()) + "/" + url.PathEscape(backendName) + ":" + verb
+}
+
+// Predict estimates the model's throughput for one scenario via the
+// named backend ("" = DefaultBackend).
+func (c *Client) Predict(ctx context.Context, m ModelID, backendName string, p PredictParams) (PredictResult, error) {
+	var out PredictResult
+	err := c.do(ctx, http.MethodPost, modelPath(m, backendName, "predict"), p, &out)
+	return out, err
+}
+
+// PredictBatch evaluates many scenarios in one round trip.
+func (c *Client) PredictBatch(ctx context.Context, items []BatchItem) (BatchResult, error) {
+	wire := struct {
+		Requests []batchItemWire `json:"requests"`
+	}{Requests: make([]batchItemWire, len(items))}
+	for i, it := range items {
+		wire.Requests[i] = batchItemWire{
+			Model:       it.Model.String(),
+			Backend:     it.Backend,
+			Profile:     it.Profile,
+			Competitors: it.Competitors,
+		}
+	}
+	var out BatchResult
+	err := c.do(ctx, http.MethodPost, "/v2/models:batchPredict", wire, &out)
+	return out, err
+}
+
+// Compare runs Yala and the SLOMO baseline on the same scenario.
+func (c *Client) Compare(ctx context.Context, m ModelID, p CompareParams) (CompareResult, error) {
+	var out CompareResult
+	err := c.do(ctx, http.MethodPost, "/v2/models/"+url.PathEscape(m.String())+":compare", p, &out)
+	return out, err
+}
+
+// Admit asks whether the model's NF can join the residents without
+// breaking any SLA, per the named backend's predictions.
+func (c *Client) Admit(ctx context.Context, m ModelID, backendName string, p AdmitParams) (AdmitResult, error) {
+	var out AdmitResult
+	err := c.do(ctx, http.MethodPost, modelPath(m, backendName, "admit"), p, &out)
+	return out, err
+}
+
+// Diagnose attributes the scenario's predicted slowdown to a resource.
+func (c *Client) Diagnose(ctx context.Context, m ModelID, p PredictParams) (DiagnoseResult, error) {
+	var out DiagnoseResult
+	err := c.do(ctx, http.MethodPost, "/v2/models/"+url.PathEscape(m.String())+":diagnose", p, &out)
+	return out, err
+}
+
+// Reload evicts the model from the server's registry so the next
+// request re-reads the model directory.
+func (c *Client) Reload(ctx context.Context, m ModelID, backendName string) error {
+	return c.do(ctx, http.MethodPost, modelPath(m, backendName, "reload"), nil, nil)
+}
+
+// ListModels fetches one page of the server's model listing.
+func (c *Client) ListModels(ctx context.Context, p ListModelsParams) (ModelsPage, error) {
+	q := url.Values{}
+	if p.PageSize > 0 {
+		q.Set("page_size", strconv.Itoa(p.PageSize))
+	}
+	if p.PageToken != "" {
+		q.Set("page_token", p.PageToken)
+	}
+	path := "/v2/models"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out ModelsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// AllModels walks the listing to completion. Page tokens are
+// offset-based, so a listing that grows mid-walk (a concurrent request
+// lazy-loading a new model) can shift entries across page boundaries;
+// treat the result as a snapshot-quality inventory, not a transactional
+// one.
+func (c *Client) AllModels(ctx context.Context) ([]ModelInfo, error) {
+	var all []ModelInfo
+	params := ListModelsParams{}
+	for {
+		page, err := c.ListModels(ctx, params)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page.Models...)
+		if page.NextPageToken == "" {
+			return all, nil
+		}
+		params.PageToken = page.NextPageToken
+	}
+}
+
+// ClusterRun executes a fleet-orchestration comparison on the server.
+func (c *Client) ClusterRun(ctx context.Context, p ClusterRunParams) (ClusterComparison, error) {
+	var out ClusterComparison
+	err := c.do(ctx, http.MethodPost, "/v2/cluster/runs", p, &out)
+	return out, err
+}
+
+// ClusterPolicies lists the scheduling policies the server runs.
+func (c *Client) ClusterPolicies(ctx context.Context) ([]string, error) {
+	var out struct {
+		Policies []string `json:"policies"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v2/cluster/policies", nil, &out)
+	return out.Policies, err
+}
+
+// Stats snapshots the server's operator counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/v2/stats", nil, &out)
+	return out, err
+}
+
+// Health probes the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

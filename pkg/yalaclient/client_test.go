@@ -1,0 +1,183 @@
+package yalaclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestModelIDString(t *testing.T) {
+	if got := (ModelID{NF: "FlowStats"}).String(); got != "FlowStats" {
+		t.Fatalf("plain id %q", got)
+	}
+	if got := (ModelID{NF: "FlowStats", HW: "pensando"}).String(); got != "FlowStats@pensando" {
+		t.Fatalf("qualified id %q", got)
+	}
+}
+
+// TestWithTimeoutOrderSafe locks in the option contract: the timeout
+// applies regardless of option order and never mutates a caller-owned
+// http.Client.
+func TestWithTimeoutOrderSafe(t *testing.T) {
+	shared := &http.Client{}
+	c := New("http://x", WithTimeout(5*time.Second), WithHTTPClient(shared))
+	if c.httpc.Timeout != 5*time.Second {
+		t.Fatalf("timeout lost when WithHTTPClient follows: %v", c.httpc.Timeout)
+	}
+	if shared.Timeout != 0 {
+		t.Fatalf("caller-owned client mutated: %v", shared.Timeout)
+	}
+	c = New("http://x", WithHTTPClient(shared), WithTimeout(5*time.Second))
+	if c.httpc.Timeout != 5*time.Second || shared.Timeout != 0 {
+		t.Fatalf("reversed order: client %v, shared %v", c.httpc.Timeout, shared.Timeout)
+	}
+}
+
+// TestAPIErrorDecoding covers both envelope shapes and the raw-status
+// fallback.
+func TestAPIErrorDecoding(t *testing.T) {
+	var body atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(body.Load().(string)))
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+
+	body.Store(`{"error":{"code":"invalid_argument","message":"nope","request_id":"req-000042"}}`)
+	_, err := c.Predict(context.Background(), ModelID{NF: "x"}, "", PredictParams{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "invalid_argument" || apiErr.RequestID != "req-000042" {
+		t.Fatalf("v2 envelope decoded as %v", err)
+	}
+
+	body.Store(`{"error":"flat message"}`)
+	_, err = c.Predict(context.Background(), ModelID{NF: "x"}, "", PredictParams{})
+	if !errors.As(err, &apiErr) || apiErr.Message != "flat message" || apiErr.Code != "" {
+		t.Fatalf("v1 envelope decoded as %v", err)
+	}
+
+	body.Store(`not json at all`)
+	_, err = c.Predict(context.Background(), ModelID{NF: "x"}, "", PredictParams{})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("raw fallback decoded as %v", err)
+	}
+}
+
+// TestRetries asserts 5xx responses retry up to the configured budget
+// and 4xx responses never do.
+func TestRetries(t *testing.T) {
+	var calls atomic.Int64
+	var status atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(int(status.Load()))
+		w.Write([]byte(`{"error":{"code":"unavailable","message":"busy"}}`))
+	}))
+	defer ts.Close()
+
+	status.Store(http.StatusServiceUnavailable)
+	c := New(ts.URL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("expected error from always-503 server")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("5xx retried %d calls, want 3 (1 + 2 retries)", got)
+	}
+
+	calls.Store(0)
+	status.Store(http.StatusBadRequest)
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("expected error from 400 server")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx retried %d calls, want exactly 1", got)
+	}
+}
+
+// TestRequestShapes pins the wire paths and bodies the SDK emits.
+func TestRequestShapes(t *testing.T) {
+	type seen struct {
+		method, path, body string
+	}
+	var last atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, r.ContentLength+1)
+		n, _ := r.Body.Read(buf)
+		last.Store(seen{r.Method, r.URL.RequestURI(), string(buf[:n])})
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	if _, err := c.Predict(ctx, ModelID{NF: "FlowStats", HW: "pensando"}, "slomo", PredictParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := last.Load().(seen); got.path != "/v2/models/FlowStats@pensando/slomo:predict" {
+		t.Fatalf("predict path %q", got.path)
+	}
+
+	if _, err := c.Predict(ctx, ModelID{NF: "ACL"}, "", PredictParams{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := last.Load().(seen); got.path != "/v2/models/ACL/yala:predict" {
+		t.Fatalf("default-backend path %q", got.path)
+	}
+
+	if err := c.Reload(ctx, ModelID{NF: "ACL"}, "yala"); err != nil {
+		t.Fatal(err)
+	}
+	if got := last.Load().(seen); got.path != "/v2/models/ACL/yala:reload" || got.body != "" {
+		t.Fatalf("reload request %+v", got)
+	}
+
+	if _, err := c.PredictBatch(ctx, []BatchItem{{Model: ModelID{NF: "NAT"}}}); err != nil {
+		t.Fatal(err)
+	}
+	got := last.Load().(seen)
+	if got.path != "/v2/models:batchPredict" {
+		t.Fatalf("batch path %q", got.path)
+	}
+	var batch struct {
+		Requests []map[string]any `json:"requests"`
+	}
+	if err := json.Unmarshal([]byte(got.body), &batch); err != nil || len(batch.Requests) != 1 {
+		t.Fatalf("batch body %q: %v", got.body, err)
+	}
+	if batch.Requests[0]["model"] != "NAT" {
+		t.Fatalf("batch element %+v", batch.Requests[0])
+	}
+
+	if _, err := c.ListModels(ctx, ListModelsParams{PageSize: 2, PageToken: "tok"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := last.Load().(seen); got.path != "/v2/models?page_size=2&page_token=tok" {
+		t.Fatalf("list path %q", got.path)
+	}
+}
+
+// TestAllModelsPagination walks a two-page listing.
+func TestAllModelsPagination(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("page_token") == "" {
+			fmt.Fprint(w, `{"models":[{"id":"A/yala"},{"id":"B/yala"}],"next_page_token":"p2","total_size":3}`)
+			return
+		}
+		fmt.Fprint(w, `{"models":[{"id":"C/yala"}],"total_size":3}`)
+	}))
+	defer ts.Close()
+	models, err := New(ts.URL).AllModels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 || models[2].ID != "C/yala" {
+		t.Fatalf("paginated walk: %+v", models)
+	}
+}

@@ -1,0 +1,36 @@
+// Package yalaclient is the supported Go SDK for the yala prediction
+// service's versioned /v2 HTTP API.
+//
+// A Client is constructed from a base URL plus functional options:
+//
+//	client := yalaclient.New("http://localhost:8844",
+//		yalaclient.WithTimeout(5*time.Second),
+//		yalaclient.WithRetries(2),
+//	)
+//
+// Models are addressed by ModelID — an NF name, optionally qualified by
+// a fleet hardware class ({NF: "FlowStats", HW: "pensando"} →
+// "FlowStats@pensando") — and every prediction call names the backend
+// that should answer ("" selects the default, "yala"). The surface maps
+// one-to-one onto /v2:
+//
+//	Predict, PredictBatch   → :predict, /v2/models:batchPredict
+//	Compare, Diagnose       → :compare, :diagnose
+//	Admit                   → :admit
+//	Reload                  → :reload
+//	ListModels, AllModels   → GET /v2/models (paginated)
+//	ClusterRun, ClusterPolicies → /v2/cluster/runs, /v2/cluster/policies
+//	Stats, Health           → /v2/stats, /healthz
+//
+// Server-side failures surface as *APIError carrying the structured
+// envelope's machine-readable code, message and request ID:
+//
+//	_, err := client.Predict(ctx, yalaclient.ModelID{NF: "NoSuchNF"}, "", params)
+//	var apiErr *yalaclient.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == "invalid_argument" { ... }
+//
+// The package depends only on the standard library, so external tools
+// can vendor it without pulling in the simulator tree. See
+// Example (package example) for an end-to-end walkthrough against an
+// in-process server.
+package yalaclient

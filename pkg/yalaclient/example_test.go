@@ -1,0 +1,67 @@
+package yalaclient_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/profiling"
+	"repro/internal/serve"
+	"repro/pkg/yalaclient"
+)
+
+// Example drives the SDK against an in-process prediction server: ask
+// whether FlowStats keeps its SLA when co-located with ACL, then list
+// the models the server materialized to answer. In production the
+// server side is just `yala serve -models DIR`.
+func Example() {
+	// A quick-training server configuration keeps the example fast;
+	// deployments point Dir at offline-trained full models instead.
+	train := core.DefaultTrainConfig()
+	train.Seed = 1
+	train.Plan = profiling.Random(12, 1)
+	train.PatternProbes = 1
+	train.GBR = ml.GBRConfig{Trees: 25, LearningRate: 0.15, MaxDepth: 3, MinLeaf: 2, Subsample: 1, Seed: 1}
+	svc := serve.NewService(serve.ServiceConfig{
+		Registry: serve.RegistryConfig{Seed: 1, Train: train},
+		Workers:  2,
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	client := yalaclient.New(srv.URL)
+	ctx := context.Background()
+
+	pred, err := client.Predict(ctx, yalaclient.ModelID{NF: "FlowStats"}, "",
+		yalaclient.PredictParams{Competitors: []yalaclient.Competitor{{Name: "ACL"}}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s via %s: predicted throughput positive: %v\n",
+		pred.NF, pred.Backend, pred.PredictedPPS > 0)
+
+	admit, err := client.Admit(ctx, yalaclient.ModelID{NF: "FlowStats"}, "",
+		yalaclient.AdmitParams{
+			Residents: []yalaclient.Resident{{Name: "ACL", SLA: 1}},
+			SLA:       1, // tolerate any drop — always admissible within core budget
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admit with loose SLA: %v\n", admit.Admit)
+
+	models, err := client.AllModels(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("models served: %d\n", len(models))
+
+	// Output:
+	// FlowStats via yala: predicted throughput positive: true
+	// admit with loose SLA: true
+	// models served: 2
+}

@@ -1,0 +1,221 @@
+package yalaclient
+
+import "encoding/json"
+
+// ProfileSpec is a traffic profile on the wire. Absent attributes fall
+// back to the server's default profile; MTBR is a pointer because 0
+// matches/MB (a match-free workload) must stay distinguishable from
+// "not specified".
+type ProfileSpec struct {
+	Flows   int      `json:"flows,omitempty"`
+	PktSize int      `json:"pktsize,omitempty"`
+	MTBR    *float64 `json:"mtbr,omitempty"`
+}
+
+// F64 builds the pointer form MTBR takes in a ProfileSpec literal.
+func F64(v float64) *float64 { return &v }
+
+// Competitor names one co-located NF and its traffic profile.
+type Competitor struct {
+	Name    string      `json:"name"`
+	Profile ProfileSpec `json:"profile,omitzero"`
+}
+
+// PredictParams is the scenario body of Predict and Diagnose calls.
+type PredictParams struct {
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+}
+
+// PredictResult is the server's prediction for one scenario.
+type PredictResult struct {
+	NF             string             `json:"nf"`
+	HW             string             `json:"hw,omitempty"`
+	Backend        string             `json:"backend"`
+	Profile        ProfileSpec        `json:"profile"`
+	SoloPPS        float64            `json:"solo_pps"`
+	PredictedPPS   float64            `json:"predicted_pps"`
+	PerResourcePPS map[string]float64 `json:"per_resource_pps,omitempty"`
+	Bottleneck     string             `json:"bottleneck,omitempty"`
+}
+
+// BatchItem is one element of a PredictBatch call: a fully qualified
+// (model, backend, scenario) tuple, so one batch can span NFs, hardware
+// classes and backends.
+type BatchItem struct {
+	Model       ModelID      `json:"-"`
+	Backend     string       `json:"backend,omitempty"`
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+}
+
+// batchItemWire is BatchItem with the model rendered as its resource ID.
+type batchItemWire struct {
+	Model       string       `json:"model"`
+	Backend     string       `json:"backend,omitempty"`
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+}
+
+// BatchResult returns one response per request, in order. An element
+// that failed carries its message in Errors at the same index and a
+// zero response; the batch call itself still succeeds.
+type BatchResult struct {
+	Responses []PredictResult `json:"responses"`
+	Errors    []string        `json:"errors,omitempty"`
+}
+
+// CompareParams is the scenario body of a Compare call.
+type CompareParams struct {
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+	// GroundTruth additionally co-runs the scenario on the server's
+	// simulator and reports each predictor's error against it.
+	GroundTruth bool `json:"ground_truth,omitempty"`
+}
+
+// CompareResult is the Yala-vs-SLOMO head-to-head for one scenario.
+type CompareResult struct {
+	NF          string        `json:"nf"`
+	HW          string        `json:"hw,omitempty"`
+	Profile     ProfileSpec   `json:"profile"`
+	Yala        PredictResult `json:"yala"`
+	SLOMO       PredictResult `json:"slomo"`
+	MeasuredPPS float64       `json:"measured_pps,omitempty"`
+	YalaErrPct  float64       `json:"yala_err_pct,omitempty"`
+	SLOMOErrPct float64       `json:"slomo_err_pct,omitempty"`
+}
+
+// Resident is one NF already on the NIC in an Admit call.
+type Resident struct {
+	Name    string      `json:"name"`
+	Profile ProfileSpec `json:"profile,omitzero"`
+	SLA     float64     `json:"sla"`
+}
+
+// AdmitParams asks whether the path model can join Residents without
+// breaking any SLA: the candidate's profile and SLA, plus the resident
+// set.
+type AdmitParams struct {
+	Residents []Resident  `json:"residents,omitempty"`
+	Profile   ProfileSpec `json:"profile,omitzero"`
+	SLA       float64     `json:"sla"`
+}
+
+// AdmitResult is the admission decision. Reason distinguishes a
+// core-capacity rejection ("cores") from a predicted SLA violation
+// ("sla").
+type AdmitResult struct {
+	Admit     bool   `json:"admit"`
+	Backend   string `json:"backend"`
+	Residents int    `json:"residents"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+// DiagnoseResult is the per-resource bottleneck attribution.
+type DiagnoseResult struct {
+	NF             string             `json:"nf"`
+	HW             string             `json:"hw,omitempty"`
+	Profile        ProfileSpec        `json:"profile"`
+	Bottleneck     string             `json:"bottleneck"`
+	SoloPPS        float64            `json:"solo_pps"`
+	PredictedPPS   float64            `json:"predicted_pps"`
+	DropPct        float64            `json:"drop_pct"`
+	PerResourcePPS map[string]float64 `json:"per_resource_pps"`
+}
+
+// ModelInfo describes one model the server knows about.
+type ModelInfo struct {
+	ID      string `json:"id"`
+	NF      string `json:"nf"`
+	HW      string `json:"hw,omitempty"`
+	Backend string `json:"backend"`
+	Loaded  bool   `json:"loaded"`
+	OnDisk  bool   `json:"on_disk"`
+}
+
+// ListModelsParams pages through the model listing.
+type ListModelsParams struct {
+	PageSize  int
+	PageToken string
+}
+
+// ModelsPage is one page of the listing; a non-empty NextPageToken
+// continues it.
+type ModelsPage struct {
+	Models        []ModelInfo `json:"models"`
+	NextPageToken string      `json:"next_page_token,omitempty"`
+	TotalSize     int         `json:"total_size"`
+}
+
+// ClusterRunParams shapes a fleet-orchestration comparison run. Zero
+// values take the server's defaults; Policies empty means all
+// policies.
+type ClusterRunParams struct {
+	NICs         int         `json:"nics,omitempty"`
+	Classes      []ClassSpec `json:"classes,omitempty"`
+	Workload     string      `json:"workload,omitempty"`
+	Arrivals     int         `json:"arrivals,omitempty"`
+	Seed         uint64      `json:"seed,omitempty"`
+	NFs          []string    `json:"nfs,omitempty"`
+	Policies     []string    `json:"policies,omitempty"`
+	Profiles     int         `json:"profiles,omitempty"`
+	MeanIAT      float64     `json:"mean_iat,omitempty"`
+	MeanLifetime float64     `json:"mean_lifetime,omitempty"`
+	DriftProb    *float64    `json:"drift_prob,omitempty"`
+	SLALo        float64     `json:"sla_lo,omitempty"`
+	SLAHi        float64     `json:"sla_hi,omitempty"`
+}
+
+// ClassSpec declares one homogeneous slice of a mixed fleet.
+type ClassSpec struct {
+	Class string `json:"class"`
+	Count int    `json:"count"`
+	Cores int    `json:"cores,omitempty"`
+}
+
+// ClusterPolicyResult is one policy's outcome in a comparison run.
+type ClusterPolicyResult struct {
+	Policy         string  `json:"policy"`
+	Arrivals       int     `json:"arrivals"`
+	Admitted       int     `json:"admitted"`
+	Rejected       int     `json:"rejected"`
+	Rollbacks      int     `json:"rollbacks"`
+	Migrations     int     `json:"migrations"`
+	Evictions      int     `json:"evictions"`
+	Departures     int     `json:"departures"`
+	Violations     int     `json:"violations"`
+	PeakTenants    int     `json:"peak_tenants"`
+	AvgUtilization float64 `json:"avg_utilization"`
+	DecisionP50NS  int64   `json:"decision_p50_ns"`
+	DecisionP99NS  int64   `json:"decision_p99_ns"`
+}
+
+// ClusterComparison is a comparison run's result. Scenario is kept as
+// raw JSON so callers that understand the server's full scenario shape
+// (the CLI) can decode it losslessly.
+type ClusterComparison struct {
+	Scenario json.RawMessage       `json:"scenario"`
+	Results  []ClusterPolicyResult `json:"results"`
+}
+
+// CacheStats is the server's response-cache counter snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats is the operator-facing server snapshot.
+type Stats struct {
+	UptimeSec       float64           `json:"uptime_sec"`
+	Workers         int               `json:"workers"`
+	Backends        []string          `json:"backends,omitempty"`
+	Requests        map[string]uint64 `json:"requests"`
+	Errors          uint64            `json:"errors"`
+	Cache           CacheStats        `json:"cache"`
+	Models          []ModelInfo       `json:"models"`
+	PersistFailures uint64            `json:"persist_failures,omitempty"`
+	LastPersistErr  string            `json:"last_persist_error,omitempty"`
+}
