@@ -11,7 +11,8 @@
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
 //	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full]
-//	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-seed n] [-json path]
+//	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url} [-edgecache n] [-health 500ms]
+//	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-gateway] [-seed n] [-json path]
 //	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
 //	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
 //	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
@@ -29,10 +30,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/nf"
 	"repro/internal/nfbench"
 	"repro/internal/nicsim"
@@ -65,6 +68,8 @@ func main() {
 		err = cmdPlace(args)
 	case "serve":
 		err = cmdServe(args)
+	case "gateway":
+		err = cmdGateway(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
 	case "cluster":
@@ -83,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|loadgen|cluster|trace|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|gateway|loadgen|cluster|trace|list} [flags]")
 	os.Exit(2)
 }
 
@@ -330,6 +335,76 @@ func cmdServe(args []string) error {
 	return http.ListenAndServe(*addr, svc.Handler())
 }
 
+// cmdGateway runs the scale-out serving front end (internal/gateway):
+// either spawn N in-process serve replicas sharing a model directory
+// (single-binary operation) or route across externally managed replicas
+// given by -backends. Traffic shards by (nf, hw, backend) rendezvous
+// hashing with health-checked failover; reloads fan out to every
+// replica; repeated deterministic scenarios serve from the edge cache.
+func cmdGateway(args []string) error {
+	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
+	addr := fs.String("addr", ":8860", "listen address")
+	replicas := fs.Int("replicas", 0, "spawn this many in-process serve replicas")
+	backends := fs.String("backends", "", "comma-separated external replica base URLs (alternative to -replicas)")
+	models := fs.String("models", "", "model directory shared by in-process replicas (required with -replicas)")
+	workers := fs.Int("workers", 0, "per-replica worker pool size (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "per-replica prediction cache capacity (0 = default 8192, negative disables)")
+	edge := fs.Int("edgecache", 0, "gateway edge response cache capacity (0 = default 8192, negative disables)")
+	seed := fs.Uint64("seed", 1, "replica testbed and on-demand training seed")
+	health := fs.Duration("health", 500*time.Millisecond, "replica health-check interval")
+	fs.Parse(args)
+
+	var urls []string
+	if *backends != "" {
+		for _, u := range strings.Split(*backends, ",") {
+			// Skip empties so a trailing comma doesn't register a
+			// phantom, permanently dead replica.
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	if *replicas > 0 {
+		if *models == "" {
+			return fmt.Errorf("gateway: -models is required with -replicas")
+		}
+		if err := os.MkdirAll(*models, 0o755); err != nil {
+			return err
+		}
+		reps, err := gateway.SpawnReplicas(*replicas, serve.ServiceConfig{
+			Registry:     serve.RegistryConfig{Dir: *models, Seed: *seed},
+			Workers:      *workers,
+			CacheEntries: *cache,
+		})
+		if err != nil {
+			return err
+		}
+		defer gateway.CloseReplicas(reps)
+		for _, rep := range reps {
+			urls = append(urls, rep.URL)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("gateway: need -replicas N or -backends url,url")
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:         urls,
+		HealthInterval:   *health,
+		EdgeCacheEntries: *edge,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+	fmt.Printf("yala gateway: listening on %s, %d replicas\n", *addr, len(urls))
+	for i, u := range urls {
+		fmt.Printf("  replica %d: %s\n", i, u)
+	}
+	fmt.Printf("  routing: rendezvous on (nf, hw, backend); reloads fan out; GET /v2/gateway/stats\n")
+	return http.ListenAndServe(*addr, gw.Handler())
+}
+
 // cmdLoadgen replays randomized arrival scenarios against a live server.
 // It exits nonzero when the run recorded any transport or server error,
 // so CI can gate on it.
@@ -346,6 +421,7 @@ func cmdLoadgen(args []string) error {
 	diagnose := fs.Float64("diagnose", 0, "fraction of Diagnose requests")
 	admit := fs.Float64("admit", 0, "fraction of Admit requests")
 	seed := fs.Uint64("seed", 1, "scenario seed")
+	gw := fs.Bool("gateway", false, "the URL is a yala gateway: report per-replica distribution and edge-cache counters")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path")
 	fs.Parse(args)
 
@@ -360,6 +436,7 @@ func cmdLoadgen(args []string) error {
 		CompareFrac:    *compare,
 		DiagnoseFrac:   *diagnose,
 		AdmitFrac:      *admit,
+		Gateway:        *gw,
 	}
 	if *nfs != "" {
 		for _, name := range strings.Split(*nfs, ",") {

@@ -303,3 +303,110 @@ func TestServeLoadgenE2E(t *testing.T) {
 		t.Fatal("SDK cluster run with bad workload returned nil error")
 	}
 }
+
+// TestGatewayE2E boots the scale-out gateway with two in-process
+// replicas through the real binary and drives it with the real load
+// generator in -gateway mode: both replicas must serve traffic, a
+// reload must fan out to both, and flag validation must exit nonzero.
+func TestGatewayE2E(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	url := "http://" + addr
+
+	gw := exec.Command(yalaBin, "gateway", "-addr", addr,
+		"-replicas", "2", "-models", filepath.Join(dir, "models"))
+	var gwOut bytes.Buffer
+	gw.Stdout, gw.Stderr = &gwOut, &gwOut
+	if err := gw.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		gw.Process.Kill()
+		gw.Wait()
+	}()
+
+	healthy := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				healthy = true
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatalf("gateway never became healthy:\n%s", gwOut.String())
+	}
+
+	// The default 5-NF pool spreads across both replicas under the
+	// deterministic slot-indexed rendezvous hash (pinned by
+	// TestRoutingDefaultPoolSpreads in internal/gateway).
+	stdout, stderr, code := run(t,
+		"loadgen", "-url", url, "-gateway", "-n", "120", "-c", "4",
+		"-profiles", "2", "-maxcomp", "1", "-seed", "2")
+	if code != 0 {
+		t.Fatalf("gateway loadgen exited %d:\n%s%s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("replica")) {
+		t.Fatalf("-gateway report lacks the replica distribution:\n%s", stdout)
+	}
+
+	client := yalaclient.New(url)
+	st, err := client.GatewayStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Replicas) != 2 {
+		t.Fatalf("gateway reports %d replicas, want 2", len(st.Replicas))
+	}
+	for _, rep := range st.Replicas {
+		if !rep.Healthy || rep.Requests == 0 {
+			t.Fatalf("replica %s idle or unhealthy after loadgen: %+v", rep.URL, rep)
+		}
+	}
+
+	// Reload fans out to both replicas.
+	before := st
+	if err := client.Reload(context.Background(), yalaclient.ModelID{NF: "FlowStats"}, "yala"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.GatewayStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fanouts != before.Fanouts+1 {
+		t.Fatalf("gateway fanouts %d → %d, want +1", before.Fanouts, st.Fanouts)
+	}
+	for i, rep := range st.Replicas {
+		if rep.Fanouts != before.Replicas[i].Fanouts+1 {
+			t.Fatalf("replica %s fanouts %d → %d, want +1", rep.URL, before.Replicas[i].Fanouts, rep.Fanouts)
+		}
+	}
+
+	// Aggregate stats answer through the gateway (loadgen's hit-rate
+	// snapshot depends on this).
+	agg, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Requests["predict"] == 0 {
+		t.Fatalf("aggregate stats counted no predictions: %+v", agg.Requests)
+	}
+
+	// Flag validation: -replicas without -models, and no replicas at
+	// all, both exit nonzero.
+	if _, _, code := run(t, "gateway", "-replicas", "2"); code == 0 {
+		t.Fatal("gateway -replicas without -models exited 0")
+	}
+	if _, _, code := run(t, "gateway"); code == 0 {
+		t.Fatal("gateway without replicas or backends exited 0")
+	}
+}

@@ -14,6 +14,12 @@
 // resources, structured error envelopes, paginated listings) with the
 // flat /v1 endpoints kept as deprecated byte-compatible adapters, and
 // pkg/yalaclient is the supported stdlib-only Go SDK for it.
+// internal/gateway scales the serving tier out: `yala gateway` shards
+// /v2 traffic across N serve replicas by rendezvous hashing on
+// (NF, hardware class, backend), with health-checked transparent
+// failover, reload fan-out (plus replay for replicas that were down),
+// batch scatter/gather, and an edge response cache; BENCH_gateway.json
+// records the measured curve and the host's transport floor.
 //
 // See README.md for the package map, CLI entry points, the online
 // prediction-serving subsystem (internal/serve) and the cluster-scale

@@ -1,0 +1,957 @@
+// Package gateway is the scale-out front end for the prediction-serving
+// subsystem: a thin coordinator that routes /v2 traffic across N
+// interchangeable serve replicas and survives replica failure — the
+// cluster-head shape the related clustered-systems work converges on,
+// applied to the serving tier itself.
+//
+// Routing is rendezvous hashing on (NF, hardware class, backend), so
+// every scenario for one model keeps landing on the same replica and
+// that replica's LRU stays hot for its key range; when a replica is
+// marked down — by the active health loop (pkg/yalaclient probes) or
+// passively by a transport failure mid-proxy — the same ranking yields
+// the next-best replica, which is exactly consistent-hashing failover:
+// only the dead replica's key range moves. Every proxied verb is
+// idempotent (predictions are deterministic), so a transport failure
+// retries transparently on the next replica in rank order and clients
+// see zero errors across a replica kill.
+//
+// Mutating custom methods (:reload, /v1/reload) fan out to every
+// replica so no replica serves a stale model; a replica that misses a
+// fan-out while down has the reload queued and replayed by the health
+// loop when it recovers, so it never rejoins stale. :batchPredict
+// scatters its elements to their home replicas in per-replica
+// sub-batches and gathers the responses back in request order.
+//
+// The gateway also keeps an edge response cache (the same sharded LRU
+// the replicas use): deterministic 200s for the model-scoped custom
+// methods are memoized as raw bytes keyed on (path, body), which takes
+// the whole JSON decode/validate/encode pipeline off the warm path.
+// Reload fan-outs evict affected edge entries conservatively (any entry
+// naming the NF), mirroring the replicas' own targeted eviction.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pkg/yalaclient"
+)
+
+// Request and edge-cache size bounds, matching the serve layer's own
+// body cap.
+const (
+	maxBodyBytes      = 10 << 20
+	maxEdgeEntryBytes = 1 << 20
+)
+
+// Config shapes a Gateway.
+type Config struct {
+	// Backends are the replica base URLs traffic shards across.
+	Backends []string
+	// HealthInterval is the active probe period (default 500ms);
+	// HealthTimeout bounds one probe or pending-reload replay (default
+	// 2s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// EdgeCacheEntries sizes the gateway's response cache: 0 selects the
+	// default 8192, negative disables edge caching entirely.
+	EdgeCacheEntries int
+	// Client optionally replaces the forwarding HTTP client (tests,
+	// instrumentation). The default keeps a deep idle-connection pool
+	// per replica, like the SDK's.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.EdgeCacheEntries == 0 {
+		c.EdgeCacheEntries = 8192
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 256
+		c.Client = &http.Client{Transport: tr}
+	}
+	return c
+}
+
+// replica is one backend the gateway routes to.
+type replica struct {
+	url    string
+	slot   int                // position in Config.Backends — the hash identity
+	client *yalaclient.Client // health probes and pending-reload replay
+
+	healthy  atomic.Bool
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	fanouts  atomic.Uint64
+
+	// pending holds reload fan-outs this replica missed while down,
+	// keyed "backend|nf"; the health loop replays them on recovery so
+	// the replica never rejoins serving a stale model. The seq guards
+	// replay-vs-new-failure races: a drain only clears the entry it
+	// actually replayed.
+	mu      sync.Mutex
+	pending map[string]pendingReload
+}
+
+type pendingReload struct {
+	backend, nf string
+	seq         uint64
+}
+
+// Gateway routes /v2 (and compatibility /v1) traffic across replicas.
+type Gateway struct {
+	cfg      Config
+	replicas []*replica
+	httpc    *http.Client
+	edge     *serve.Cache
+
+	requests   atomic.Uint64
+	retries    atomic.Uint64
+	fanouts    atomic.Uint64
+	pendingSeq atomic.Uint64
+
+	// reloadGen counts edge-cache invalidations. A proxied miss records
+	// the generation before its replica round trip and re-checks it
+	// around the Put: without that, a response computed against the
+	// pre-reload model could be inserted just after a concurrent
+	// fan-out's eviction swept the cache, and would then serve stale
+	// forever.
+	reloadGen atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New starts a gateway over the configured replicas and its health
+// loop. Replicas start optimistically healthy — the first probe (or the
+// first failed proxy) corrects that — so a gateway booted before its
+// replicas converges instead of blackholing. Call Close to stop.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: need at least one replica backend URL")
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		httpc: cfg.Client,
+		edge:  serve.NewCache(cfg.EdgeCacheEntries),
+		stop:  make(chan struct{}),
+	}
+	for i, u := range cfg.Backends {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			// A phantom empty-URL replica would boot optimistically
+			// healthy and then fail every send and probe forever —
+			// reject the typo (e.g. a trailing comma) at construction.
+			return nil, fmt.Errorf("gateway: backend %d has an empty URL", i)
+		}
+		rep := &replica{
+			url:     u,
+			slot:    i,
+			client:  yalaclient.New(u),
+			pending: map[string]pendingReload{},
+		}
+		rep.healthy.Store(true)
+		g.replicas = append(g.replicas, rep)
+	}
+	g.wg.Add(1)
+	go g.healthLoop()
+	return g, nil
+}
+
+// Close stops the health loop. In-flight proxied requests finish on
+// their own contexts.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// Replicas lists the replica base URLs in slot order.
+func (g *Gateway) Replicas() []string {
+	urls := make([]string, len(g.replicas))
+	for i, rep := range g.replicas {
+		urls[i] = rep.url
+	}
+	return urls
+}
+
+// healthLoop actively probes every replica and replays missed reload
+// fan-outs on recovery. Passive marking (a failed proxy) reacts faster
+// than the probe period; this loop is what brings replicas back.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.probeAll()
+		}
+	}
+}
+
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for _, rep := range g.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+			defer cancel()
+			if err := rep.client.Health(ctx); err != nil {
+				rep.healthy.Store(false)
+				return
+			}
+			g.drainPending(rep)
+			rep.healthy.Store(true)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// drainPending replays the reload fan-outs a replica missed while down.
+// Server-side reloads are idempotent (drop model, evict entries), so a
+// duplicate replay is harmless; an entry clears on success or on a 4xx
+// (the reload was invalid everywhere — nothing to catch up on).
+func (g *Gateway) drainPending(rep *replica) {
+	rep.mu.Lock()
+	missed := make([]pendingReload, 0, len(rep.pending))
+	for _, p := range rep.pending {
+		missed = append(missed, p)
+	}
+	rep.mu.Unlock()
+	for _, p := range missed {
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+		err := rep.client.Reload(ctx, yalaclient.ModelID{NF: p.nf}, p.backend)
+		cancel()
+		var apiErr *yalaclient.APIError
+		if err == nil || (errors.As(err, &apiErr) && apiErr.StatusCode < 500) {
+			key := p.backend + "|" + p.nf
+			rep.mu.Lock()
+			if cur, ok := rep.pending[key]; ok && cur.seq == p.seq {
+				delete(rep.pending, key)
+			}
+			rep.mu.Unlock()
+		}
+	}
+}
+
+func (g *Gateway) addPending(rep *replica, backendName, nfName string) {
+	rep.mu.Lock()
+	rep.pending[backendName+"|"+nfName] = pendingReload{
+		backend: backendName,
+		nf:      nfName,
+		seq:     g.pendingSeq.Add(1),
+	}
+	rep.mu.Unlock()
+}
+
+// hashSlot scores one (key, replica slot) pair for rendezvous ranking.
+// Hashing the slot index — not the URL — keeps the key→replica map
+// stable across restarts: in-process replicas get fresh ephemeral ports
+// every boot, and URL-based hashing would reshuffle every key range
+// (cold-starting every replica cache) on each restart.
+func hashSlot(key string, slot int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	h.Write([]byte{0, byte(slot), byte(slot >> 8)})
+	return h.Sum64()
+}
+
+// rank orders replicas for a routing key: healthy replicas in
+// rendezvous order (highest score first), then unhealthy ones as a last
+// resort — trying a probably-dead replica beats failing outright when
+// passive marking lags a recovery. Health is snapshotted once so a
+// concurrent flip cannot drop a replica from the ordering.
+func (g *Gateway) rank(key string) []*replica {
+	type scored struct {
+		rep     *replica
+		healthy bool
+		h       uint64
+	}
+	all := make([]scored, len(g.replicas))
+	for i, rep := range g.replicas {
+		all[i] = scored{rep, rep.healthy.Load(), hashSlot(key, rep.slot)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].healthy != all[j].healthy {
+			return all[i].healthy
+		}
+		return all[i].h > all[j].h
+	})
+	out := make([]*replica, len(all))
+	for i, s := range all {
+		out[i] = s.rep
+	}
+	return out
+}
+
+// route is one request's routing decision.
+type route struct {
+	key         string // rendezvous key
+	cacheable   bool   // deterministic 200, edge-cacheable
+	fanout      bool   // mutating verb: all replicas
+	v1Reload    bool   // fan-out target comes from the body
+	backend, nf string // fan-out target from the path
+}
+
+// classify derives the routing decision from the path alone.
+// Model-scoped /v2 traffic hashes on (nf, hw, backend) so one model's
+// scenarios keep hitting the replica whose LRU already holds them; the
+// model-less verbs (:compare, :diagnose) hash with the default backend,
+// which co-locates them with the yala predictions they are assembled
+// from. Everything else hashes on the path — which, usefully, keeps a
+// paginated /v2/models walk on one replica so its offset tokens stay
+// coherent while health holds.
+func classify(r *http.Request) route {
+	path := r.URL.Path
+	if path == "/v1/reload" && r.Method == http.MethodPost {
+		return route{fanout: true, v1Reload: true}
+	}
+	rest, ok := strings.CutPrefix(path, "/v2/models/")
+	if !ok {
+		return route{key: "path|" + path}
+	}
+	segs := strings.Split(rest, "/")
+	switch len(segs) {
+	case 1:
+		// /v2/models/{nf[@hw]}:{compare|diagnose}
+		id, _, ok := strings.Cut(segs[0], ":")
+		if !ok {
+			return route{key: "path|" + path}
+		}
+		nf, hw := splitModelID(id)
+		return route{key: modelKey(nf, hw, ""), cacheable: r.Method == http.MethodPost}
+	case 2:
+		// /v2/models/{nf[@hw]}/{backend}:{predict|admit|reload}
+		nf, hw := splitModelID(segs[0])
+		backendName, verb, ok := strings.Cut(segs[1], ":")
+		if !ok {
+			return route{key: "path|" + path}
+		}
+		// Only a POST :reload mutates; any other method proxies to one
+		// replica, whose method-bound route answers 405 — a GET must
+		// never fan out across the fleet (or count as a fan-out).
+		if verb == "reload" && r.Method == http.MethodPost {
+			return route{fanout: true, backend: backendName, nf: nf}
+		}
+		return route{key: modelKey(nf, hw, backendName), cacheable: r.Method == http.MethodPost}
+	}
+	return route{key: "path|" + path}
+}
+
+// splitModelID cuts a "<nf>[@<hw>]" resource name. Malformed IDs pass
+// through as-is — the replica owns validation and its 400 proxies back.
+func splitModelID(id string) (nf, hw string) {
+	nf, hw, _ = strings.Cut(id, "@")
+	return nf, hw
+}
+
+// modelKey is the rendezvous key for one (nf, hw, backend) model.
+func modelKey(nf, hw, backendName string) string {
+	if backendName == "" {
+		backendName = yalaclient.DefaultBackend
+	}
+	return "model|" + nf + "@" + hw + "|" + strings.ToLower(backendName)
+}
+
+// Handler exposes the gateway over HTTP. Everything not handled locally
+// (health, gateway stats, aggregate stats, batch scatter) proxies to a
+// replica chosen by the request's routing key.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /v2/gateway/stats", g.handleGatewayStats)
+	mux.HandleFunc("GET /v2/stats", g.handleAggregateStats)
+	mux.HandleFunc("POST /v2/models:batchPredict", g.handleBatchScatter)
+	mux.HandleFunc("/", g.handleProxy)
+	return mux
+}
+
+// handleHealthz reports gateway liveness: up while at least one replica
+// is healthy — the gateway itself holds no models, so "can serve"
+// means "can route".
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	for _, rep := range g.replicas {
+		if rep.healthy.Load() {
+			w.Write([]byte("ok\n"))
+			return
+		}
+	}
+	g.writeError(w, http.StatusServiceUnavailable, "unavailable", "no healthy replica")
+}
+
+// edgeEntry is one memoized raw response.
+type edgeEntry struct {
+	contentType string
+	body        []byte
+}
+
+// edgeKey keys one deterministic response: the full request URI (which
+// carries nf, hw, backend and verb) plus the exact body bytes.
+func edgeKey(uri string, body []byte) string {
+	return uri + "\x00" + string(body)
+}
+
+// handleProxy routes one request: fan-outs go everywhere, cacheable
+// verbs consult the edge cache, everything else forwards to the ranked
+// replica with transparent failover.
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid_argument", "reading request body: "+err.Error())
+		return
+	}
+	rt := classify(r)
+	if rt.fanout {
+		g.fanoutReload(w, r, rt, body)
+		return
+	}
+	var ekey string
+	if rt.cacheable {
+		ekey = edgeKey(r.URL.RequestURI(), body)
+		if v, ok := g.edge.Get(ekey); ok {
+			e := v.(edgeEntry)
+			if e.contentType != "" {
+				w.Header().Set("Content-Type", e.contentType)
+			}
+			w.Header().Set("X-Gateway-Cache", "hit")
+			w.Write(e.body)
+			return
+		}
+	}
+	gen := g.reloadGen.Load()
+	rep, status, hdr, respBody, err := g.sendWithFailover(r.Context(), rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		if r.Context().Err() != nil {
+			g.writeError(w, http.StatusServiceUnavailable, "unavailable", "client canceled: "+err.Error())
+			return
+		}
+		g.writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Sprintf("no replica answered: %v", err))
+		return
+	}
+	if ekey != "" && status == http.StatusOK && len(respBody) <= maxEdgeEntryBytes {
+		g.edge.Put(ekey, edgeEntry{contentType: hdr.Get("Content-Type"), body: respBody})
+		// A reload fan-out may have swept the cache while this response
+		// was in flight — the response could predate the reload. The
+		// eviction bumps reloadGen before scanning, so either the sweep
+		// saw this entry, or the generation moved and the entry removes
+		// itself here. Over-removal only costs a re-proxy.
+		if g.reloadGen.Load() != gen {
+			g.edge.EvictMatching(func(k string) bool { return k == ekey })
+		}
+	}
+	copyResponseHeaders(w, hdr)
+	w.Header().Set("X-Gateway-Replica", rep.url)
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+// copyResponseHeaders forwards the replica headers clients key on; hop
+// metadata stays behind.
+func copyResponseHeaders(w http.ResponseWriter, hdr http.Header) {
+	for _, k := range []string{"Content-Type", "X-Request-Id", "Deprecation", "Link", "Allow"} {
+		if v := hdr.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+}
+
+// sendWithFailover tries the key's replicas in rank order. A transport
+// failure marks the replica down and moves on — every verb routed here
+// is idempotent (predictions are deterministic; reloads fan out
+// elsewhere), so a retry after an ambiguous failure is safe. HTTP error
+// statuses are replica answers, not failures: they proxy back as-is.
+func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, contentType string, body []byte) (*replica, int, http.Header, []byte, error) {
+	var lastErr error
+	for i, rep := range g.rank(key) {
+		if i > 0 {
+			g.retries.Add(1)
+		}
+		status, hdr, respBody, err := g.send(ctx, rep, method, uri, contentType, body)
+		if err != nil {
+			lastErr = err
+			rep.errors.Add(1)
+			if ctx.Err() != nil {
+				// The client gave up; stop burning replicas (and do not
+				// mark them down for our caller's impatience).
+				return nil, 0, nil, nil, lastErr
+			}
+			rep.healthy.Store(false)
+			continue
+		}
+		rep.requests.Add(1)
+		return rep, status, hdr, respBody, nil
+	}
+	return nil, 0, nil, nil, lastErr
+}
+
+// send performs one proxied exchange and slurps the response.
+func (g *Gateway) send(ctx context.Context, rep *replica, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.url+uri, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := g.httpc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// fanoutReload forwards a mutating reload to every replica — healthy or
+// not — so no replica serves a stale model. Replicas that fail the
+// fan-out (transport error or 5xx) get the reload queued for replay on
+// recovery. The response is the first success if any replica applied it
+// (stragglers catch up via the pending queue), a replica's own 4xx if
+// the reload was invalid (deterministic catalogs: invalid on one is
+// invalid on all), and a 503 only when nothing answered.
+func (g *Gateway) fanoutReload(w http.ResponseWriter, r *http.Request, rt route, body []byte) {
+	backendName, nfName := rt.backend, rt.nf
+	if rt.v1Reload {
+		var req struct {
+			NF      string `json:"nf"`
+			Backend string `json:"backend"`
+		}
+		if len(bytes.TrimSpace(body)) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				g.writeError(w, http.StatusBadRequest, "invalid_argument", "decoding reload body: "+err.Error())
+				return
+			}
+		}
+		backendName, nfName = req.Backend, req.NF
+	}
+	if backendName == "" {
+		backendName = yalaclient.DefaultBackend
+	}
+	g.fanouts.Add(1)
+
+	type result struct {
+		rep    *replica
+		status int
+		hdr    http.Header
+		body   []byte
+		err    error
+	}
+	results := make([]result, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			status, hdr, respBody, err := g.send(r.Context(), rep, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+			results[i] = result{rep, status, hdr, respBody, err}
+			if err == nil {
+				rep.requests.Add(1)
+				if status < 400 {
+					rep.fanouts.Add(1)
+				}
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+
+	var success, clientErr *result
+	applied := 0
+	for i := range results {
+		res := &results[i]
+		switch {
+		case res.err == nil && res.status < 400:
+			applied++
+			if success == nil {
+				success = res
+			}
+		case res.err == nil && res.status < 500:
+			if clientErr == nil {
+				clientErr = res
+			}
+		}
+	}
+	// Queue catch-up reloads for replicas that missed an applied (or
+	// ambiguously applied) fan-out; a pure client error applied nowhere
+	// and needs no catch-up.
+	if clientErr == nil && nfName != "" {
+		for i := range results {
+			res := &results[i]
+			if res.err != nil || res.status >= 500 {
+				if res.err != nil && r.Context().Err() == nil {
+					res.rep.healthy.Store(false)
+					res.rep.errors.Add(1)
+				}
+				g.addPending(res.rep, backendName, nfName)
+			}
+		}
+		// Pre-reload responses memoized at the edge are stale the moment
+		// any replica reloads.
+		g.evictEdge(nfName)
+	}
+
+	switch {
+	case clientErr != nil:
+		copyResponseHeaders(w, clientErr.hdr)
+		w.WriteHeader(clientErr.status)
+		w.Write(clientErr.body)
+	case applied > 0:
+		copyResponseHeaders(w, success.hdr)
+		w.Header().Set("X-Gateway-Fanout", fmt.Sprintf("%d/%d", applied, len(results)))
+		w.WriteHeader(success.status)
+		w.Write(success.body)
+	default:
+		g.writeError(w, http.StatusServiceUnavailable, "unavailable", "reload fan-out reached no replica")
+	}
+}
+
+// evictEdge drops edge-cached responses a reload of nf could
+// invalidate. Edge keys embed the request path and body, so matching
+// the NF name anywhere in the key over-approximates (an entry naming
+// the NF only as a competitor goes too) but never under-evicts: admits
+// name residents only in the body, compares depend on every backend.
+// Over-eviction merely costs a re-proxy to a replica whose own eviction
+// is exact.
+func (g *Gateway) evictEdge(nf string) {
+	// Bump the generation before sweeping: in-flight misses re-check it
+	// around their Put (handleProxy), so a stale response can never be
+	// inserted behind the sweep and survive.
+	g.reloadGen.Add(1)
+	g.edge.EvictMatching(func(key string) bool {
+		return strings.Contains(key, nf)
+	})
+}
+
+// writeError renders the /v2 structured error envelope for
+// gateway-originated failures.
+func (g *Gateway) writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"code": code, "message": message},
+	})
+}
+
+// handleGatewayStats serves the gateway's own operator snapshot
+// (GET /v2/gateway/stats), wire-shaped as yalaclient.GatewayStats. Each
+// healthy replica is asked for its live cache size so operators can
+// watch a reload fan-out land everywhere.
+func (g *Gateway) handleGatewayStats(w http.ResponseWriter, r *http.Request) {
+	out := yalaclient.GatewayStats{
+		Requests: g.requests.Load(),
+		Retries:  g.retries.Load(),
+		Fanouts:  g.fanouts.Load(),
+	}
+	es := g.edge.Stats()
+	out.EdgeHits, out.EdgeMisses, out.EdgeEntries = es.Hits, es.Misses, es.Entries
+
+	entries := make([]int, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		entries[i] = -1
+		if !rep.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
+			defer cancel()
+			if st, err := rep.client.Stats(ctx); err == nil {
+				entries[i] = st.Cache.Entries
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	for i, rep := range g.replicas {
+		rep.mu.Lock()
+		npending := len(rep.pending)
+		rep.mu.Unlock()
+		out.Replicas = append(out.Replicas, yalaclient.GatewayReplicaStats{
+			URL:            rep.url,
+			Healthy:        rep.healthy.Load(),
+			Requests:       rep.requests.Load(),
+			Errors:         rep.errors.Load(),
+			Fanouts:        rep.fanouts.Load(),
+			CacheEntries:   entries[i],
+			PendingReloads: npending,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAggregateStats sums /v2/stats across healthy replicas so
+// operator tooling (and loadgen's cache-hit-rate snapshot) sees
+// fleet-wide counters: request, error and cache counters add, workers
+// sum to aggregate capacity, the model list and backend set are unions,
+// uptime is the oldest replica's.
+func (g *Gateway) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
+	type fetched struct {
+		st  yalaclient.Stats
+		err error
+	}
+	results := make([]fetched, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		results[i].err = fmt.Errorf("unhealthy")
+		if !rep.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
+			defer cancel()
+			results[i].st, results[i].err = rep.client.Stats(ctx)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	agg := yalaclient.Stats{Requests: map[string]uint64{}}
+	models := map[string]yalaclient.ModelInfo{}
+	backends := map[string]bool{}
+	answered := 0
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		answered++
+		st := res.st
+		if st.UptimeSec > agg.UptimeSec {
+			agg.UptimeSec = st.UptimeSec
+		}
+		agg.Workers += st.Workers
+		for k, v := range st.Requests {
+			agg.Requests[k] += v
+		}
+		agg.Errors += st.Errors
+		agg.Cache.Entries += st.Cache.Entries
+		agg.Cache.Hits += st.Cache.Hits
+		agg.Cache.Misses += st.Cache.Misses
+		agg.Cache.Evictions += st.Cache.Evictions
+		agg.PersistFailures += st.PersistFailures
+		if st.LastPersistErr != "" {
+			agg.LastPersistErr = st.LastPersistErr
+		}
+		for _, b := range st.Backends {
+			backends[b] = true
+		}
+		for _, m := range st.Models {
+			key := m.NF + "|" + m.HW + "|" + m.Backend
+			if prev, ok := models[key]; ok {
+				prev.Loaded = prev.Loaded || m.Loaded
+				prev.OnDisk = prev.OnDisk || m.OnDisk
+				models[key] = prev
+			} else {
+				models[key] = m
+			}
+		}
+	}
+	if answered == 0 {
+		g.writeError(w, http.StatusServiceUnavailable, "unavailable", "no healthy replica answered /v2/stats")
+		return
+	}
+	for b := range backends {
+		agg.Backends = append(agg.Backends, b)
+	}
+	sort.Strings(agg.Backends)
+	for _, m := range models {
+		agg.Models = append(agg.Models, m)
+	}
+	sort.Slice(agg.Models, func(i, j int) bool {
+		a, b := agg.Models[i], agg.Models[j]
+		if a.NF != b.NF {
+			return a.NF < b.NF
+		}
+		if a.HW != b.HW {
+			return a.HW < b.HW
+		}
+		return a.Backend < b.Backend
+	})
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleBatchScatter splits a :batchPredict body by each element's
+// routing key, issues the per-replica sub-batches concurrently, and
+// reassembles responses in request order — one client round trip fans
+// out to every shard at once instead of serializing N proxied calls.
+func (g *Gateway) handleBatchScatter(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid_argument", "reading request body: "+err.Error())
+		return
+	}
+	var params struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &params); err != nil {
+			g.writeError(w, http.StatusBadRequest, "invalid_argument", "decoding request body: "+err.Error())
+			return
+		}
+	}
+
+	// Group elements by home replica: each element ranks on its own
+	// (nf, hw, backend) key and joins the sub-batch of the top-ranked
+	// replica, so every model stays on its cache-hot shard. The group
+	// remembers its first element's key — the failover order for the
+	// whole sub-batch if that replica dies between grouping and send.
+	type elemID struct {
+		Model   string `json:"model"`
+		Backend string `json:"backend"`
+	}
+	type subBatch struct {
+		key    string
+		idxs   []int
+		status int
+		body   []byte
+		err    error
+	}
+	byReplica := map[*replica]*subBatch{}
+	var subs []*subBatch
+	for i, raw := range params.Requests {
+		var e elemID
+		// A malformed element still routes (somewhere); the replica owns
+		// validation and its whole-batch 400 proxies back.
+		_ = json.Unmarshal(raw, &e)
+		nf, hw := splitModelID(e.Model)
+		key := modelKey(nf, hw, e.Backend)
+		home := g.rank(key)[0]
+		sub, ok := byReplica[home]
+		if !ok {
+			sub = &subBatch{key: key}
+			byReplica[home] = sub
+			subs = append(subs, sub)
+		}
+		sub.idxs = append(sub.idxs, i)
+	}
+
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		raws := make([]json.RawMessage, len(sub.idxs))
+		for j, idx := range sub.idxs {
+			raws[j] = params.Requests[idx]
+		}
+		subBody, err := json.Marshal(map[string]any{"requests": raws})
+		if err != nil {
+			g.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		wg.Add(1)
+		go func(sub *subBatch, subBody []byte) {
+			defer wg.Done()
+			_, sub.status, _, sub.body, sub.err = g.sendWithFailover(r.Context(), sub.key, http.MethodPost, "/v2/models:batchPredict", "application/json", subBody)
+		}(sub, subBody)
+	}
+	wg.Wait()
+
+	responses := make([]json.RawMessage, len(params.Requests))
+	errs := make([]string, len(params.Requests))
+	anyErr := false
+	for _, sub := range subs {
+		if sub.err != nil {
+			g.writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Sprintf("sub-batch failed on every replica: %v", sub.err))
+			return
+		}
+		if sub.status != http.StatusOK {
+			// The replica's whole-batch error names sub-batch indices;
+			// remap them to the client's before proxying the status.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(sub.status)
+			w.Write(remapBatchIndices(sub.body, sub.idxs))
+			return
+		}
+		var decoded struct {
+			Responses []json.RawMessage `json:"responses"`
+			Errors    []string          `json:"errors"`
+		}
+		if err := json.Unmarshal(sub.body, &decoded); err != nil || len(decoded.Responses) != len(sub.idxs) {
+			g.writeError(w, http.StatusBadGateway, "internal", "replica returned a malformed sub-batch response")
+			return
+		}
+		for j, idx := range sub.idxs {
+			responses[idx] = decoded.Responses[j]
+			if j < len(decoded.Errors) && decoded.Errors[j] != "" {
+				errs[idx] = decoded.Errors[j]
+				anyErr = true
+			}
+		}
+	}
+	out := struct {
+		Responses []json.RawMessage `json:"responses"`
+		Errors    []string          `json:"errors,omitempty"`
+	}{Responses: responses}
+	if out.Responses == nil {
+		out.Responses = []json.RawMessage{}
+	}
+	if anyErr {
+		out.Errors = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// remapBatchIndices rewrites "requests[<i>]" references in a replica's
+// whole-batch error from sub-batch positions to the client's original
+// element indices, so "requests[0]" in a 2-element sub-batch can
+// surface as "requests[7]" of the client's 10-element batch.
+func remapBatchIndices(body []byte, idxs []int) []byte {
+	s := string(body)
+	const marker = "requests["
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return body
+	}
+	j := i + len(marker)
+	k := j
+	for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+		k++
+	}
+	if k == j || k >= len(s) || s[k] != ']' {
+		return body
+	}
+	sub, err := strconv.Atoi(s[j:k])
+	if err != nil || sub < 0 || sub >= len(idxs) {
+		return body
+	}
+	return []byte(s[:j] + strconv.Itoa(idxs[sub]) + s[k:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,68 @@
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// Replica is one in-process serve instance bound to a loopback
+// listener — the unit `yala gateway -replicas` scales out.
+type Replica struct {
+	// URL is the replica's base URL (http://127.0.0.1:<port>).
+	URL string
+
+	svc *serve.Service
+	srv *http.Server
+}
+
+// Service exposes the replica's underlying serve.Service (tests,
+// direct inspection).
+func (r *Replica) Service() *serve.Service { return r.svc }
+
+// Close stops the replica: the listener closes first (in-flight
+// requests fail over at the gateway), then the service drains.
+func (r *Replica) Close() {
+	r.srv.Close()
+	r.svc.Close()
+}
+
+// SpawnReplicas boots n in-process serve replicas on loopback
+// listeners — the single-binary deployment behind `yala gateway
+// -replicas N`. The replicas share one model directory, and therefore
+// one set of persisted models (training persists via atomic rename, so
+// concurrent on-demand training converges on identical files), but
+// each keeps a private worker pool and response cache — exactly the
+// per-process resources the gateway shards traffic across. On error,
+// already-spawned replicas are closed before returning.
+func SpawnReplicas(n int, cfg serve.ServiceConfig) ([]*Replica, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gateway: replica count %d must be positive", n)
+	}
+	replicas := make([]*Replica, 0, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			CloseReplicas(replicas)
+			return nil, fmt.Errorf("gateway: replica %d listener: %w", i, err)
+		}
+		svc := serve.NewService(cfg)
+		rep := &Replica{
+			URL: "http://" + lis.Addr().String(),
+			svc: svc,
+			srv: &http.Server{Handler: svc.Handler()},
+		}
+		go rep.srv.Serve(lis)
+		replicas = append(replicas, rep)
+	}
+	return replicas, nil
+}
+
+// CloseReplicas closes every replica in the slice.
+func CloseReplicas(replicas []*Replica) {
+	for _, rep := range replicas {
+		rep.Close()
+	}
+}

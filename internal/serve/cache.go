@@ -16,7 +16,8 @@ const cacheShards = 16
 // deterministic functions of (backend, NF, competitor multiset, traffic
 // profile) given the loaded models, so entries never go stale under a
 // fixed model set; capacity is the only eviction pressure. Swapping a
-// model (Service.Reload) flushes the cache.
+// model (Service.Reload) evicts exactly the entries computed with it
+// (EvictMatching).
 type Cache struct {
 	shards [cacheShards]cacheShard
 	seed   maphash.Seed
@@ -118,6 +119,28 @@ func (c *Cache) Put(key string, val any) {
 		delete(s.items, oldest.Value.(*cacheEntry).key)
 		c.evictions.Add(1)
 	}
+}
+
+// EvictMatching removes every resident entry whose key satisfies match
+// and reports how many were dropped. Targeted invalidation (a model
+// reload touching one backend+NF) uses this instead of Flush so entries
+// computed from unrelated models keep serving warm. Dropped entries do
+// not count toward the eviction stat — that tracks capacity pressure.
+func (c *Cache) EvictMatching(match func(key string) bool) int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key, el := range s.items {
+			if match(key) {
+				s.ll.Remove(el)
+				delete(s.items, key)
+				dropped++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return dropped
 }
 
 // Flush drops every resident entry (hit/miss counters are kept).

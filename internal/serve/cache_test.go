@@ -60,6 +60,40 @@ func TestCacheRecencyOrder(t *testing.T) {
 	}
 }
 
+// TestCacheEvictMatching checks targeted invalidation drops exactly the
+// matching entries, across shards, without touching the eviction stat.
+func TestCacheEvictMatching(t *testing.T) {
+	c := NewCache(256)
+	for i := 0; i < 64; i++ {
+		prefix := "keep"
+		if i%4 == 0 {
+			prefix = "drop"
+		}
+		c.Put(fmt.Sprintf("%s-%d", prefix, i), i)
+	}
+	dropped := c.EvictMatching(func(key string) bool {
+		return key[:4] == "drop"
+	})
+	if dropped != 16 {
+		t.Fatalf("dropped %d entries, want 16", dropped)
+	}
+	if c.Len() != 48 {
+		t.Fatalf("len = %d after targeted eviction, want 48", c.Len())
+	}
+	for i := 0; i < 64; i++ {
+		_, ok := c.getQuiet(fmt.Sprintf("keep-%d", i))
+		if i%4 != 0 && !ok {
+			t.Fatalf("keep-%d missing after unrelated eviction", i)
+		}
+	}
+	if _, ok := c.getQuiet("drop-0"); ok {
+		t.Fatal("matched entry survived EvictMatching")
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("targeted eviction counted as capacity eviction: %d", st.Evictions)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	c := NewCache(-1)
 	c.Put("k", 1)

@@ -256,6 +256,91 @@ func TestV2GoldenModelsPage(t *testing.T) {
 	}
 }
 
+// TestV2PaginationDrift is the shrinking-listing contract: a page token
+// minted against a longer listing must, after models disappear between
+// page fetches (reload drops the loaded entries, the files leave the
+// model directory), land as an empty final page — 200, no models, no
+// next_page_token — never an error or an out-of-range slice. Offset
+// tokens are documented as snapshot-quality, but "the listing moved"
+// must degrade to "the walk ends", not to a failed walk: behind a
+// scale-out gateway every replica pages independently, so drift is the
+// common case, not the corner.
+func TestV2PaginationDrift(t *testing.T) {
+	dir := t.TempDir()
+	svc := NewService(ServiceConfig{
+		Registry: RegistryConfig{Dir: dir, Seed: 1, Train: testTrainConfig(1), SLOMO: testSLOMOConfig(1)},
+		Workers:  2,
+	})
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	// Four stub models: listing = [ACL, FlowStats, NAT, NIDS] × fake.
+	seeded := []string{"ACL", "FlowStats", "NAT", "NIDS"}
+	for _, name := range seeded {
+		if resp, body := roundTrip(t, ts, "POST", "/v2/models/"+name+"/fake:predict", `{}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seeding %s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	resp, body := roundTrip(t, ts, "GET", "/v2/models?page_size=3", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("page 1: status %d body %s", resp.StatusCode, body)
+	}
+	var page1 modelsPageV2
+	if err := json.Unmarshal(body, &page1); err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Models) != 3 || page1.NextPageToken == "" || page1.TotalSize != 4 {
+		t.Fatalf("page 1 shape: %+v", page1)
+	}
+
+	// Mutate the registry between fetches: drop every model but ACL from
+	// memory and from disk. The held token now points past the end.
+	for _, name := range seeded[1:] {
+		svc.Reload("fake", name)
+		if err := os.Remove(filepath.Join(dir, name+".fake.json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, body = roundTrip(t, ts, "GET", "/v2/models?page_size=3&page_token="+page1.NextPageToken, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale token: status %d body %s (want empty final page)", resp.StatusCode, body)
+	}
+	var page2 modelsPageV2
+	if err := json.Unmarshal(body, &page2); err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Models) != 0 || page2.NextPageToken != "" || page2.TotalSize != 1 {
+		t.Fatalf("stale token page: %+v, want empty final page over 1 model", page2)
+	}
+
+	// The exact-boundary token (offset == listing length) is the token a
+	// client legitimately holds when the final page filled completely;
+	// it must also close the walk cleanly.
+	resp, body = roundTrip(t, ts, "GET", "/v2/models?page_token="+encodePageToken(1), "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("boundary token: status %d body %s", resp.StatusCode, body)
+	}
+	var page3 modelsPageV2
+	if err := json.Unmarshal(body, &page3); err != nil {
+		t.Fatal(err)
+	}
+	if len(page3.Models) != 0 || page3.NextPageToken != "" {
+		t.Fatalf("boundary token page: %+v, want empty final page", page3)
+	}
+
+	// A walk restarted from scratch sees the shrunken listing whole.
+	resp, body = roundTrip(t, ts, "GET", "/v2/models", "")
+	var page4 modelsPageV2
+	if err := json.Unmarshal(body, &page4); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(page4.Models) != 1 || page4.Models[0].ID != "ACL/fake" {
+		t.Fatalf("fresh walk after shrink: status %d page %+v", resp.StatusCode, page4)
+	}
+}
+
 // TestV2HardwareQualifiedPredict exercises the hw-qualified model path:
 // the same NF served on two hardware classes yields class-specific
 // predictions, and an unknown class is rejected up front.

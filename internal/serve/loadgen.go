@@ -41,6 +41,11 @@ type LoadgenConfig struct {
 	// batch endpoint (1 = single-scenario requests). Batching only
 	// applies to the Predict share of the mix.
 	Batch int
+	// Gateway marks the URL as a scale-out gateway: the run snapshots
+	// /v2/gateway/stats around the workload and reports the per-replica
+	// request distribution and edge-cache counters alongside the
+	// aggregate latencies.
+	Gateway bool
 }
 
 func (c LoadgenConfig) withDefaults() LoadgenConfig {
@@ -83,6 +88,21 @@ type LoadgenReport struct {
 	P90 time.Duration `json:"p90"`
 	P99 time.Duration `json:"p99"`
 	Max time.Duration `json:"max"`
+	// Replicas is the per-replica request distribution across this run
+	// (gateway mode only): how the rendezvous router spread the
+	// workload, with edge-cache traffic accounted separately below.
+	Replicas []ReplicaLoad `json:"replicas,omitempty"`
+	// EdgeHits and EdgeMisses are the gateway edge cache's deltas across
+	// this run (gateway mode only).
+	EdgeHits   uint64 `json:"edge_hits,omitempty"`
+	EdgeMisses uint64 `json:"edge_misses,omitempty"`
+}
+
+// ReplicaLoad is one replica's share of a gateway loadgen run.
+type ReplicaLoad struct {
+	URL      string `json:"url"`
+	Requests uint64 `json:"requests"`
+	Healthy  bool   `json:"healthy"`
 }
 
 // String renders the report for the CLI.
@@ -94,6 +114,16 @@ func (r LoadgenReport) String() string {
 	fmt.Fprintf(&b, "latency     p50 %v  p90 %v  p99 %v  max %v",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	if len(r.Replicas) > 0 {
+		fmt.Fprintf(&b, "\nedge cache  %d hits, %d misses this run", r.EdgeHits, r.EdgeMisses)
+		for _, rep := range r.Replicas {
+			state := "up"
+			if !rep.Healthy {
+				state = "DOWN"
+			}
+			fmt.Fprintf(&b, "\nreplica     %-28s %7d reqs (%s)", rep.URL, rep.Requests, state)
+		}
+	}
 	return b.String()
 }
 
@@ -134,6 +164,13 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	// Workers share one client (one connection pool), as a real
 	// high-fan-in front end would.
 	client := yalaclient.New(cfg.URL)
+	var gwBefore yalaclient.GatewayStats
+	if cfg.Gateway {
+		var err error
+		if gwBefore, err = client.GatewayStats(context.Background()); err != nil {
+			return LoadgenReport{}, fmt.Errorf("serve: loadgen -gateway against %s: %w (is it a yala gateway?)", cfg.URL, err)
+		}
+	}
 	start := time.Now()
 	for wk := 0; wk < cfg.Workers; wk++ {
 		wg.Add(1)
@@ -181,6 +218,25 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 		rep.P90 = percentile(all, 0.90)
 		rep.P99 = percentile(all, 0.99)
 		rep.Max = all[len(all)-1]
+	}
+	if cfg.Gateway {
+		// Distribution deltas are best-effort: the run's own numbers
+		// stand even if the closing snapshot fails (gateway restarted).
+		if after, err := client.GatewayStats(context.Background()); err == nil {
+			before := map[string]uint64{}
+			for _, r := range gwBefore.Replicas {
+				before[r.URL] = r.Requests
+			}
+			for _, r := range after.Replicas {
+				rep.Replicas = append(rep.Replicas, ReplicaLoad{
+					URL:      r.URL,
+					Requests: counterDelta(r.Requests, before[r.URL]),
+					Healthy:  r.Healthy,
+				})
+			}
+			rep.EdgeHits = counterDelta(after.EdgeHits, gwBefore.EdgeHits)
+			rep.EdgeMisses = counterDelta(after.EdgeMisses, gwBefore.EdgeMisses)
+		}
 	}
 	if ep := firstErr.Load(); ep != nil && rep.Errors > 0 {
 		return rep, fmt.Errorf("serve: loadgen: %d/%d requests failed (first: %w)", rep.Errors, rep.Requests, *ep)
@@ -250,11 +306,32 @@ func fireOne(client *yalaclient.Client, cfg LoadgenConfig, rng *sim.RNG, profile
 	}
 }
 
-// percentile reads the p-quantile from sorted latencies.
+// counterDelta is after-before for monotonic counters, degrading to the
+// raw after-value when the counter reset between snapshots (a gateway
+// or replica restart mid-run) — unsigned subtraction would otherwise
+// wrap to a ~1.8e19 garbage delta in the report.
+func counterDelta(after, before uint64) uint64 {
+	if after < before {
+		return after
+	}
+	return after - before
+}
+
+// percentile reads the p-quantile from sorted latencies. The empty
+// slice has no quantile and reads 0; out-of-range p clamps to the
+// boundaries (p<=0 is the minimum, p>=1 the maximum — the index math
+// must never walk off either end), and a one-element slice answers
+// every quantile with that element.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
 	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(sorted)-1 {
+		idx = len(sorted) - 1
+	}
 	return sorted[idx]
 }

@@ -4,7 +4,63 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
+
+// TestPercentile pins the quantile edge cases: the empty slice, exact
+// boundary quantiles, one-element slices (p99 of one sample is that
+// sample) and out-of-range p must all read without indexing out of
+// range.
+func TestPercentile(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty p50", nil, 0.50, 0},
+		{"empty p0", ms(), 0.0, 0},
+		{"empty p100", ms(), 1.0, 0},
+		{"one element p0", ms(7), 0.0, 7 * time.Millisecond},
+		{"one element p50", ms(7), 0.50, 7 * time.Millisecond},
+		{"one element p99", ms(7), 0.99, 7 * time.Millisecond},
+		{"one element p100", ms(7), 1.0, 7 * time.Millisecond},
+		{"two elements p0 is min", ms(1, 9), 0.0, 1 * time.Millisecond},
+		{"two elements p100 is max", ms(1, 9), 1.0, 9 * time.Millisecond},
+		{"ten elements p50", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.50, 5 * time.Millisecond},
+		{"ten elements p99", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.99, 9 * time.Millisecond},
+		{"negative p clamps to min", ms(1, 9), -0.5, 1 * time.Millisecond},
+		{"p beyond 1 clamps to max", ms(1, 9), 1.5, 9 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%v, %g) = %v, want %v", tc.name, tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestCounterDelta: monotonic-counter deltas degrade to the raw after
+// value on a mid-run counter reset instead of wrapping unsigned.
+func TestCounterDelta(t *testing.T) {
+	cases := []struct{ after, before, want uint64 }{
+		{10, 3, 7},
+		{3, 3, 0},
+		{2, 10, 2}, // reset between snapshots
+		{0, 5, 0},
+	}
+	for _, tc := range cases {
+		if got := counterDelta(tc.after, tc.before); got != tc.want {
+			t.Errorf("counterDelta(%d, %d) = %d, want %d", tc.after, tc.before, got, tc.want)
+		}
+	}
+}
 
 // TestLoadgenReportsServerErrors is the regression test for the CI gate:
 // a run that recorded server errors must return a non-nil error (so

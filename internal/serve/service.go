@@ -122,12 +122,99 @@ func (s *Service) Registry() *ModelRegistry { return s.reg }
 
 // Reload evicts a model so the next request re-reads the model directory
 // — the operator hook for pushing retrained models into a live server —
-// and flushes the response cache, whose entries were computed with the
-// old model. The solo-measurement memo survives: measurements depend
+// and drops exactly the response-cache entries computed with the old
+// model: predictions for that backend+NF (the diagnose and compare views
+// are assembled from those same entries), admissions under that backend
+// naming the NF as candidate or resident, and the NF's ground-truth
+// co-run measurements. Entries for unrelated (backend, NF) pairs keep
+// serving warm — a single-model push must not cold-start every key the
+// server holds. The solo-measurement memo survives: measurements depend
 // only on the testbed, not on models.
 func (s *Service) Reload(backendName Backend, name string) {
 	s.reg.Reload(string(backendName), name)
-	s.cache.Flush()
+	s.cache.EvictMatching(func(key string) bool {
+		return reloadAffects(key, string(backendName), name)
+	})
+}
+
+// reloadAffects reports whether one cache entry was computed with the
+// (backend, nf) model being reloaded. The key shapes it parses are the
+// ones this file builds:
+//
+//	predict|<backend>|<hw>|<nf>@<profile>|<competitors>
+//	measure|<hw>|<nf>@<profile>|<competitors>
+//	admit|<backend>|<hw>|<colo>,<colo>,...|cand=<colo>   (colo = <nf>@<profile>~<sla>)
+//
+// Competitors contribute only their memoized solo measurements — never
+// their models — so a predict entry depends on exactly one model: its
+// target NF's under its backend. An admit entry consults models for
+// every participant, so the NF may appear anywhere in the colo list.
+// Measure entries are model-independent, but they follow the reloaded
+// NF out of the cache anyway: Reload's contract is "the next request
+// involving this NF recomputes", and a re-measurement is deterministic.
+// The reload spans hardware classes (the registry drops every hw key),
+// so hw never narrows the match.
+func reloadAffects(key, backendName, name string) bool {
+	kind, rest, ok := strings.Cut(key, "|")
+	if !ok {
+		return false
+	}
+	switch kind {
+	case "predict":
+		b, rest, ok := strings.Cut(rest, "|")
+		if !ok || b != backendName {
+			return false
+		}
+		_, scenario, ok := strings.Cut(rest, "|") // strip hw
+		if !ok {
+			return false
+		}
+		target, _, _ := strings.Cut(scenario, "@")
+		return target == name
+	case "measure":
+		_, scenario, ok := strings.Cut(rest, "|") // strip hw
+		if !ok {
+			return false
+		}
+		target, _, _ := strings.Cut(scenario, "@")
+		return target == name
+	case "admit":
+		b, rest, ok := strings.Cut(rest, "|")
+		if !ok || b != backendName {
+			return false
+		}
+		_, colos, ok := strings.Cut(rest, "|") // strip hw
+		if !ok {
+			return false
+		}
+		return admitKeyNames(colos, name)
+	}
+	return false
+}
+
+// admitKeyNames reports whether an admit key's participant list names
+// nf. A participant name appears as "<nf>@" at the start of the list or
+// right after a separator: ',' between residents, '|' before the
+// candidate clause, '=' after "cand". Profile renderings "(f, p, m)"
+// contain commas, but only ever followed by digits — never by a name —
+// so a separator-preceded match is always a real participant boundary.
+func admitKeyNames(colos, nf string) bool {
+	marker := nf + "@"
+	for off := 0; ; {
+		i := strings.Index(colos[off:], marker)
+		if i < 0 {
+			return false
+		}
+		i += off
+		if i == 0 {
+			return true
+		}
+		switch colos[i-1] {
+		case ',', '|', '=':
+			return true
+		}
+		off = i + 1
+	}
 }
 
 // ErrClosed reports a request arriving after Close. The HTTP layer maps

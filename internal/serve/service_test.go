@@ -340,20 +340,137 @@ func TestPredictBatch(t *testing.T) {
 	}
 }
 
-// TestReloadFlushesCache verifies Service.Reload drops memoized
-// responses along with the model — otherwise scenarios answered before
-// the reload would keep serving the old model's predictions.
-func TestReloadFlushesCache(t *testing.T) {
+// TestReloadTargetedEviction is the over-eviction regression test:
+// Service.Reload must drop every memoized response computed with the
+// reloaded (backend, NF) model — otherwise scenarios answered before
+// the reload would keep serving the old model's predictions — while
+// every unrelated entry keeps serving warm. A single-model push used to
+// Flush the whole cache, cold-starting every other (backend, NF, hw)
+// key on the server.
+func TestReloadTargetedEviction(t *testing.T) {
 	s := testService(t)
-	if _, err := s.Predict(context.Background(), PredictRequest{NF: "ACL"}); err != nil {
+	ctx := context.Background()
+
+	// Warm one entry per kind: predictions for ACL under both backends
+	// and for FlowStats under yala, a ground-truth measurement for ACL,
+	// and admissions naming ACL (as resident) and not naming it.
+	if _, err := s.Predict(ctx, PredictRequest{NF: "ACL"}); err != nil {
 		t.Fatal(err)
 	}
-	if s.cache.Len() == 0 {
-		t.Fatal("expected a cached response before reload")
+	if _, err := s.Predict(ctx, PredictRequest{NF: "ACL", Backend: "slomo"}); err != nil {
+		t.Fatal(err)
 	}
+	if _, err := s.Predict(ctx, PredictRequest{NF: "FlowStats", Competitors: []CompetitorSpec{{Name: "ACL"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compare(ctx, CompareRequest{NF: "ACL", GroundTruth: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(ctx, AdmitRequest{
+		Residents: []ColoNF{{Name: "ACL", SLA: 0.5}},
+		Candidate: ColoNF{Name: "FlowStats", SLA: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Admit(ctx, AdmitRequest{Candidate: ColoNF{Name: "FlowStats", SLA: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	prof := ProfileSpec{}.Profile()
+	has := func(key string) bool {
+		_, ok := s.cache.getQuiet(key)
+		return ok
+	}
+	aclYala := predictKey(BackendYala, "", "ACL", prof, nil)
+	aclSLOMO := predictKey(BackendSLOMO, "", "ACL", prof, nil)
+	fsYala := predictKey(BackendYala, "", "FlowStats", prof, []CompetitorSpec{{Name: "ACL"}})
+	aclMeasure := measureKey("", "ACL", prof, nil)
+	for _, key := range []string{aclYala, aclSLOMO, fsYala, aclMeasure} {
+		if !has(key) {
+			t.Fatalf("expected %q cached before reload", key)
+		}
+	}
+	admitEntries := func() int {
+		n := 0
+		for i := range s.cache.shards {
+			sh := &s.cache.shards[i]
+			sh.mu.Lock()
+			for key := range sh.items {
+				if strings.HasPrefix(key, "admit|") {
+					n++
+				}
+			}
+			sh.mu.Unlock()
+		}
+		return n
+	}
+	if n := admitEntries(); n != 2 {
+		t.Fatalf("expected 2 admit entries before reload, have %d", n)
+	}
+
+	before := s.cache.Len()
 	s.Reload(BackendYala, "ACL")
-	if n := s.cache.Len(); n != 0 {
-		t.Fatalf("cache still holds %d entries after reload", n)
+
+	// Evicted: the yala ACL prediction, ACL's ground-truth measurement,
+	// and the admission whose colo list names ACL.
+	if has(aclYala) {
+		t.Fatal("yala ACL prediction survived its own reload")
+	}
+	if has(aclMeasure) {
+		t.Fatal("ACL measurement survived reload")
+	}
+	if n := admitEntries(); n != 1 {
+		t.Fatalf("expected only the ACL-free admit entry to survive, have %d", n)
+	}
+	// Survivors: the same NF under the other backend, and the other NF
+	// under the reloaded backend — even with ACL as a competitor, since
+	// competitors contribute measurements, not models.
+	if !has(aclSLOMO) {
+		t.Fatal("slomo ACL prediction evicted by a yala reload")
+	}
+	if !has(fsYala) {
+		t.Fatal("yala FlowStats prediction evicted by an ACL reload")
+	}
+	if after := s.cache.Len(); after >= before {
+		t.Fatalf("reload evicted nothing (%d -> %d entries)", before, after)
+	}
+
+	// The evicted scenario recomputes on demand with the fresh model.
+	if _, err := s.Predict(ctx, PredictRequest{NF: "ACL"}); err != nil {
+		t.Fatal(err)
+	}
+	if !has(aclYala) {
+		t.Fatal("reloaded scenario did not re-cache")
+	}
+}
+
+// TestReloadAffects pins the cache-key parsing behind targeted reload
+// eviction, including the boundary cases the key grammar makes easy to
+// get wrong: NF names that are substrings of other NF names, hardware
+// qualifiers, and profile renderings containing separators.
+func TestReloadAffects(t *testing.T) {
+	prof := ProfileSpec{Flows: 32000}.Profile()
+	cases := []struct {
+		key         string
+		backend, nf string
+		want        bool
+		why         string
+	}{
+		{predictKey(BackendYala, "", "ACL", prof, nil), "yala", "ACL", true, "default-hw predict of the reloaded model"},
+		{predictKey(BackendYala, "bluefield2", "ACL", prof, nil), "yala", "ACL", true, "reload spans hardware classes"},
+		{predictKey(BackendSLOMO, "", "ACL", prof, nil), "yala", "ACL", false, "other backend's model untouched"},
+		{predictKey(BackendYala, "", "NAT", prof, []CompetitorSpec{{Name: "ACL"}}), "yala", "ACL", false, "competitors contribute measurements, not models"},
+		{measureKey("", "ACL", prof, nil), "yala", "ACL", true, "target measurement follows its NF"},
+		{measureKey("", "NAT", prof, []CompetitorSpec{{Name: "ACL"}}), "yala", "ACL", false, "competitor in a measurement is model-free"},
+		{"admit|yala||ACL@(32000, 512, 600)~0.5|cand=NAT@(32000, 512, 600)~0.5", "yala", "ACL", true, "resident named in colo list"},
+		{"admit|yala||ACL@(32000, 512, 600)~0.5|cand=NAT@(32000, 512, 600)~0.5", "yala", "NAT", true, "candidate named after cand="},
+		{"admit|yala||SNAT@(32000, 512, 600)~0.5|cand=SNAT@(32000, 512, 600)~0.5", "yala", "NAT", false, "NAT must not match inside SNAT"},
+		{"admit|slomo||ACL@(32000, 512, 600)~0.5|cand=NAT@(32000, 512, 600)~0.5", "yala", "ACL", false, "admit under the other backend"},
+	}
+	for _, tc := range cases {
+		if got := reloadAffects(tc.key, tc.backend, tc.nf); got != tc.want {
+			t.Errorf("reloadAffects(%q, %s, %s) = %v, want %v (%s)", tc.key, tc.backend, tc.nf, got, tc.want, tc.why)
+		}
 	}
 }
 

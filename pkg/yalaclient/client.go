@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -80,6 +82,9 @@ func WithTimeout(d time.Duration) Option {
 // WithRetries retries transport failures and 5xx responses up to n
 // times with exponential backoff. The default is 0: load generation and
 // benchmarking must observe every failure, so retrying is opt-in.
+// Retries respect idempotency: every call except Reload repeats freely,
+// while Reload — the one mutating custom method — retries only dial
+// failures, where the request provably never reached the server.
 func WithRetries(n int) Option {
 	return func(c *Client) { c.retries = n }
 }
@@ -116,8 +121,30 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// do round-trips one call: marshal, retry loop, envelope decoding.
+// do round-trips one idempotent call: marshal, retry loop, envelope
+// decoding. Every API call except Reload goes through here — reads and
+// deterministic computations answer identically on a duplicate
+// delivery, so retrying an ambiguous failure is always safe.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.call(ctx, method, path, in, out, true)
+}
+
+// doNonIdempotent is the retry-averse variant for mutating custom
+// methods (:reload). An ambiguous failure — a transport error after the
+// request may have reached the server, or any HTTP response at all — is
+// returned instead of retried: re-sending could apply the mutation
+// twice, and behind a scale-out gateway a :reload re-triggers a whole
+// fan-out. Only provably-unsent requests (dial failures: the connection
+// never opened) retry.
+func (c *Client) doNonIdempotent(ctx context.Context, method, path string, in, out any) error {
+	return c.call(ctx, method, path, in, out, false)
+}
+
+// call is the shared retry loop. Context cancellation is honored both
+// between attempts (the backoff select) and across an attempt that
+// failed because the context expired mid-flight — a canceled caller
+// must never be held hostage by the remaining retry budget.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, idempotent bool) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -131,9 +158,24 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		data, status, err := c.roundTrip(ctx, method, path, body)
 		switch {
 		case err != nil:
+			if ctx.Err() != nil {
+				// The round trip failed because the caller gave up;
+				// surface that, not a transport-flavored wrapper.
+				return ctx.Err()
+			}
 			lastErr = fmt.Errorf("yalaclient: %s %s: %w", method, path, err)
+			if !idempotent && !dialError(err) {
+				// Ambiguous: the request may have been delivered and
+				// acted on before the connection died.
+				return lastErr
+			}
 		case status >= 500:
 			lastErr = apiError(status, data)
+			if !idempotent {
+				// The server (or an intermediary) saw the request; a 5xx
+				// does not prove the mutation was not applied.
+				return lastErr
+			}
 		case status >= 400:
 			return apiError(status, data)
 		default:
@@ -155,6 +197,14 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return ctx.Err()
 		}
 	}
+}
+
+// dialError reports a transport failure that provably happened before
+// the request left the client — the connection never opened — making a
+// retry safe even for non-idempotent calls.
+func dialError(err error) bool {
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // roundTrip performs one HTTP exchange and slurps the response.
@@ -261,9 +311,13 @@ func (c *Client) Diagnose(ctx context.Context, m ModelID, p PredictParams) (Diag
 }
 
 // Reload evicts the model from the server's registry so the next
-// request re-reads the model directory.
+// request re-reads the model directory. Reload is the one mutating
+// custom method, so it never retries an ambiguous failure — against a
+// gateway it fans out to every replica, and re-sending would re-trigger
+// the fan-out (WithRetries still covers dial failures, where the
+// request provably never left).
 func (c *Client) Reload(ctx context.Context, m ModelID, backendName string) error {
-	return c.do(ctx, http.MethodPost, modelPath(m, backendName, "reload"), nil, nil)
+	return c.doNonIdempotent(ctx, http.MethodPost, modelPath(m, backendName, "reload"), nil, nil)
 }
 
 // ListModels fetches one page of the server's model listing.
@@ -331,4 +385,15 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // Health probes the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// GatewayStats snapshots a scale-out gateway's routing state: health,
+// request distribution and fan-out counters per replica, plus the edge
+// cache's counters. Only a yala gateway serves this endpoint — against
+// a plain yala serve it returns a not_found APIError, which is also the
+// cheap way to ask "is this base URL a gateway?".
+func (c *Client) GatewayStats(ctx context.Context) (GatewayStats, error) {
+	var out GatewayStats
+	err := c.do(ctx, http.MethodGet, "/v2/gateway/stats", nil, &out)
+	return out, err
 }

@@ -101,6 +101,154 @@ func TestRetries(t *testing.T) {
 	}
 }
 
+// TestRetryIdempotency is the non-idempotent-retry contract: a flaky
+// server that answers the first attempt with a 500 (or kills the
+// connection mid-response) must see exactly one :reload attempt — the
+// request may already have been acted on — while :predict, which is
+// deterministic and safe to duplicate, retries through the same flake
+// and succeeds.
+func TestRetryIdempotency(t *testing.T) {
+	var calls atomic.Int64
+	var failFirst atomic.Int64 // how many leading calls fail
+	var hijack atomic.Bool     // fail by severing the connection instead of a 500
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= failFirst.Load() {
+			if hijack.Load() {
+				// An ambiguous transport error: the request was fully
+				// received, then the connection dies without a response.
+				conn, _, err := w.(http.Hijacker).Hijack()
+				if err != nil {
+					t.Errorf("hijack: %v", err)
+					return
+				}
+				conn.Close()
+				return
+			}
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":{"code":"internal","message":"flake"}}`))
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(3), WithRetryBackoff(time.Millisecond))
+	ctx := context.Background()
+
+	// Idempotent predict rides through a one-500 flake.
+	failFirst.Store(1)
+	if _, err := c.Predict(ctx, ModelID{NF: "ACL"}, "", PredictParams{}); err != nil {
+		t.Fatalf("predict through a 500 flake: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("predict made %d attempts, want 2", got)
+	}
+
+	// Non-idempotent reload must not retry a 5xx: the server saw it.
+	calls.Store(0)
+	failFirst.Store(1)
+	if err := c.Reload(ctx, ModelID{NF: "ACL"}, "yala"); err == nil {
+		t.Fatal("reload through a 500 flake must fail, not retry")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("reload made %d attempts on a 5xx, want exactly 1", got)
+	}
+
+	// ...nor an ambiguous transport error (connection severed after the
+	// request was delivered).
+	calls.Store(0)
+	failFirst.Store(1)
+	hijack.Store(true)
+	if err := c.Reload(ctx, ModelID{NF: "ACL"}, "yala"); err == nil {
+		t.Fatal("reload through a severed connection must fail, not retry")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("reload made %d attempts on a severed connection, want exactly 1", got)
+	}
+
+	// The same severed connection is retried for the idempotent predict.
+	calls.Store(0)
+	failFirst.Store(1)
+	if _, err := c.Predict(ctx, ModelID{NF: "ACL"}, "", PredictParams{}); err != nil {
+		t.Fatalf("predict through a severed connection: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("predict made %d attempts, want 2", got)
+	}
+}
+
+// TestReloadRetriesDialFailure: a dial failure proves the request never
+// left the client, so even the non-idempotent reload may retry it.
+func TestReloadRetriesDialFailure(t *testing.T) {
+	// A server that dies after the client learns its address: every
+	// subsequent dial is refused.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	start := time.Now()
+	err := New(url, WithRetries(2), WithRetryBackoff(time.Millisecond)).
+		Reload(context.Background(), ModelID{NF: "ACL"}, "yala")
+	if err == nil {
+		t.Fatal("reload against a dead server must fail")
+	}
+	// Three dial attempts with 1ms+2ms backoff — if the dial-failure
+	// path skipped retries the call would return almost instantly; the
+	// real assertion is just that it does not hang and does not panic.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retries took %v", elapsed)
+	}
+	if !dialError(errors.Unwrap(err)) && !dialError(err) {
+		t.Fatalf("expected a dial-classified error, got %v", err)
+	}
+}
+
+// TestRetryHonorsContext: cancellation between attempts ends the retry
+// loop immediately with the context's error, no matter how much retry
+// budget remains.
+func TestRetryHonorsContext(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"unavailable","message":"busy"}}`))
+	}))
+	defer ts.Close()
+
+	// A huge backoff and budget: without the ctx check the loop would
+	// park for minutes.
+	c := New(ts.URL, WithRetries(100), WithRetryBackoff(time.Minute))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Stats(ctx)
+		done <- err
+	}()
+	// Wait for the first attempt to land, then cancel mid-backoff.
+	for i := 0; calls.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled retry loop returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop ignored context cancellation")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("canceled loop made %d attempts, want 1", got)
+	}
+
+	// A context canceled before the call starts never reaches the wire.
+	calls.Store(0)
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := c.Stats(pre); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled call returned %v", err)
+	}
+}
+
 // TestRequestShapes pins the wire paths and bodies the SDK emits.
 func TestRequestShapes(t *testing.T) {
 	type seen struct {

@@ -207,6 +207,32 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// GatewayReplicaStats is one replica's state as seen by a scale-out
+// gateway: liveness, how much traffic it served, how many fan-outs
+// reached it, and a live snapshot of its response-cache size
+// (CacheEntries is -1 when the replica could not be asked).
+type GatewayReplicaStats struct {
+	URL            string `json:"url"`
+	Healthy        bool   `json:"healthy"`
+	Requests       uint64 `json:"requests"`
+	Errors         uint64 `json:"errors"`
+	Fanouts        uint64 `json:"fanouts"`
+	CacheEntries   int    `json:"cache_entries"`
+	PendingReloads int    `json:"pending_reloads,omitempty"`
+}
+
+// GatewayStats is the gateway's operator snapshot: per-replica state
+// plus the gateway's own routing and edge-cache counters.
+type GatewayStats struct {
+	Replicas    []GatewayReplicaStats `json:"replicas"`
+	Requests    uint64                `json:"requests"`
+	Retries     uint64                `json:"retries"`
+	Fanouts     uint64                `json:"fanouts"`
+	EdgeHits    uint64                `json:"edge_hits"`
+	EdgeMisses  uint64                `json:"edge_misses"`
+	EdgeEntries int                   `json:"edge_entries"`
+}
+
 // Stats is the operator-facing server snapshot.
 type Stats struct {
 	UptimeSec       float64           `json:"uptime_sec"`
