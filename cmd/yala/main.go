@@ -10,8 +10,8 @@
 //	yala predict  -nf FlowMonitor -with NIDS,FlowStats [-flows n] [-pktsize n] [-mtbr f]
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
-//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full]
-//	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url} [-edgecache n] [-health 500ms]
+//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full] [-pprof] [-accesslog]
+//	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url} [-edgecache n] [-health 500ms] [-accesslog]
 //	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-gateway] [-seed n] [-json path]
 //	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
 //	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -303,6 +304,8 @@ func cmdServe(args []string) error {
 	cache := fs.Int("cache", 0, "prediction cache capacity (0 = default 8192, negative disables)")
 	seed := fs.Uint64("seed", 1, "testbed and on-demand training seed")
 	full := fs.Bool("full", false, "use the full offline training protocol for on-demand training (slow; default is the quick serving config)")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	accessLog := fs.Bool("accesslog", false, "log one line per request (request ID, verb, status, latency, stage timings)")
 	fs.Parse(args)
 	if *models == "" {
 		return fmt.Errorf("serve: -models is required")
@@ -324,15 +327,34 @@ func cmdServe(args []string) error {
 		Registry:     reg,
 		Workers:      *workers,
 		CacheEntries: *cache,
+		AccessLog:    *accessLog,
 	})
 	defer svc.Close()
 
+	// The service handler owns "/" (including GET /metrics); pprof, when
+	// asked for, mounts on an outer mux so nothing ever reaches the
+	// side-effect-registered http.DefaultServeMux.
+	handler := http.Handler(svc.Handler())
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+	}
+
 	fmt.Printf("yala serve: listening on %s, models in %s\n", *addr, *models)
-	fmt.Printf("  GET  /v2/models /v2/stats /v2/cluster/policies /healthz\n")
+	fmt.Printf("  GET  /v2/models /v2/stats /v2/cluster/policies /healthz /metrics\n")
 	fmt.Printf("  POST /v2/models:batchPredict /v2/models/{nf[@hw]}/{backend}:predict|:admit|:reload\n")
 	fmt.Printf("       /v2/models/{nf[@hw]}:compare|:diagnose /v2/cluster/runs\n")
 	fmt.Printf("  /v1 endpoints remain available (deprecated; Deprecation header set)\n")
-	return http.ListenAndServe(*addr, svc.Handler())
+	if *pprofOn {
+		fmt.Printf("  pprof: /debug/pprof/ enabled\n")
+	}
+	return http.ListenAndServe(*addr, handler)
 }
 
 // cmdGateway runs the scale-out serving front end (internal/gateway):
@@ -352,6 +374,7 @@ func cmdGateway(args []string) error {
 	edge := fs.Int("edgecache", 0, "gateway edge response cache capacity (0 = default 8192, negative disables)")
 	seed := fs.Uint64("seed", 1, "replica testbed and on-demand training seed")
 	health := fs.Duration("health", 500*time.Millisecond, "replica health-check interval")
+	accessLog := fs.Bool("accesslog", false, "log one line per gateway request (request ID, method, path, status, latency)")
 	fs.Parse(args)
 
 	var urls []string
@@ -392,6 +415,7 @@ func cmdGateway(args []string) error {
 		Backends:         urls,
 		HealthInterval:   *health,
 		EdgeCacheEntries: *edge,
+		AccessLog:        *accessLog,
 	})
 	if err != nil {
 		return err
@@ -401,7 +425,7 @@ func cmdGateway(args []string) error {
 	for i, u := range urls {
 		fmt.Printf("  replica %d: %s\n", i, u)
 	}
-	fmt.Printf("  routing: rendezvous on (nf, hw, backend); reloads fan out; GET /v2/gateway/stats\n")
+	fmt.Printf("  routing: rendezvous on (nf, hw, backend); reloads fan out; GET /v2/gateway/stats /metrics\n")
 	return http.ListenAndServe(*addr, gw.Handler())
 }
 

@@ -35,9 +35,11 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/nicsim"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/testbed"
 )
@@ -239,6 +241,14 @@ type Env struct {
 	base  nicsim.Config
 	seed  uint64
 	class map[classKey]*classEnv
+
+	// obsReg, when installed via SetObs, receives scheduler telemetry:
+	// per-policy decision-latency histograms and candidate-slot counters
+	// — the signal that makes decision cost attributable per policy
+	// (and, with the slots-scanned counter, provable as O(changed
+	// slots) rather than O(fleet)). Nil keeps the scheduler free of any
+	// metric overhead for library callers.
+	obsReg *obs.Registry
 }
 
 // NewEnv builds an environment on a fresh testbed at the given NIC
@@ -258,6 +268,31 @@ func NewEnv(cfg nicsim.Config, seed uint64, models ModelSource) *Env {
 	e.class[base.key] = base
 	e.Sim = base.sim
 	return e
+}
+
+// SetObs installs a metric registry for scheduler telemetry. The serve
+// layer passes its own registry so cluster_* series appear in the
+// server's /metrics exposition; nil (the default) disables recording.
+func (e *Env) SetObs(r *obs.Registry) { e.obsReg = r }
+
+// observeDecision records one scheduling decision's wall-clock latency
+// under the policy's cluster_decision_seconds series.
+func (e *Env) observeDecision(policy string, d time.Duration) {
+	if e.obsReg == nil {
+		return
+	}
+	e.obsReg.Histogram("cluster_decision_seconds", nil, "policy", policy).Observe(d.Seconds())
+}
+
+// countSlots records one decision's candidate-slot work: scanned is
+// every NIC examined, scored the subset that went through a predictor
+// feasibility check.
+func (e *Env) countSlots(policy string, scanned, scored int) {
+	if e.obsReg == nil {
+		return
+	}
+	e.obsReg.Counter("cluster_slots_scanned_total", "policy", policy).Add(uint64(scanned))
+	e.obsReg.Counter("cluster_slots_scored_total", "policy", policy).Add(uint64(scored))
 }
 
 // classEnv resolves (building on first use) the environment slice for

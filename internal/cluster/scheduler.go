@@ -119,6 +119,8 @@ func (p predictFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
 	// its solo throughput — so no prediction is consulted. Occupied NICs
 	// with capacity are bucketed by class and scored in one batched
 	// feasibility call each.
+	scored := 0
+	defer func() { p.env.countSlots(p.name, len(f.NICs), scored) }()
 	feasible := make([]bool, len(f.NICs))
 	type bucket struct {
 		ce   *classEnv
@@ -147,6 +149,7 @@ func (p predictFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
 		}
 		b.idx = append(b.idx, i)
 		b.sets = append(b.sets, n.arrivals())
+		scored++
 	}
 	for _, b := range buckets {
 		oks, err := p.env.feasibleBatch(b.ce, b.sets, a, p.strat)
@@ -173,6 +176,8 @@ func (p predictFit) Choose(f *Fleet, a placement.Arrival) (int, error) {
 
 // choosePerSlot is the original slot-at-a-time loop.
 func (p predictFit) choosePerSlot(f *Fleet, a placement.Arrival) (int, error) {
+	scored := 0
+	defer func() { p.env.countSlots(p.name, len(f.NICs), scored) }()
 	best, bestFree := -1, math.MaxInt
 	for i, n := range f.NICs {
 		if !f.Fits(i) {
@@ -183,6 +188,7 @@ func (p predictFit) choosePerSlot(f *Fleet, a placement.Arrival) (int, error) {
 			if !ok {
 				return 0, fmt.Errorf("cluster: NIC %d has unresolved class %q", n.ID, n.Class)
 			}
+			scored++
 			ok2, err := p.env.feasible(ce, n.arrivals(), a, p.strat)
 			if err != nil {
 				return 0, err

@@ -28,6 +28,13 @@
 // the whole JSON decode/validate/encode pipeline off the warm path.
 // Reload fan-outs evict affected edge entries conservatively (any entry
 // naming the NF), mirroring the replicas' own targeted eviction.
+//
+// Telemetry spans the hop: the gateway adopts or mints an X-Request-Id
+// and forwards it upstream so one ID names a request at the client, the
+// gateway and the replica; GET /metrics serves the gateway's own
+// gateway_* series (routing counters, per-replica health and upstream
+// latency, edge-cache state) followed by the fleet-merged replica
+// exposition — counters sum, uptime reports the oldest replica's.
 package gateway
 
 import (
@@ -46,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/pkg/yalaclient"
 )
@@ -73,6 +81,9 @@ type Config struct {
 	// instrumentation). The default keeps a deep idle-connection pool
 	// per replica, like the SDK's.
 	Client *http.Client
+	// AccessLog emits one log line per gateway request (request ID,
+	// method, path, status, latency).
+	AccessLog bool
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +116,10 @@ type replica struct {
 	errors   atomic.Uint64
 	fanouts  atomic.Uint64
 
+	// upstream records proxied round-trip latency to this replica
+	// (gateway_upstream_seconds{replica=url}).
+	upstream *obs.Histogram
+
 	// pending holds reload fan-outs this replica missed while down,
 	// keyed "backend|nf"; the health loop replays them on recovery so
 	// the replica never rejoins serving a stale model. The seq guards
@@ -130,6 +145,10 @@ type Gateway struct {
 	retries    atomic.Uint64
 	fanouts    atomic.Uint64
 	pendingSeq atomic.Uint64
+	ridCounter atomic.Uint64
+
+	obs        *obs.Registry
+	reqSeconds *obs.Histogram
 
 	// reloadGen counts edge-cache invalidations. A proxied miss records
 	// the generation before its replica round trip and re-checks it
@@ -176,6 +195,7 @@ func New(cfg Config) (*Gateway, error) {
 		rep.healthy.Store(true)
 		g.replicas = append(g.replicas, rep)
 	}
+	g.initObs()
 	g.wg.Add(1)
 	go g.healthLoop()
 	return g, nil
@@ -385,11 +405,12 @@ func modelKey(nf, hw, backendName string) string {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v2/gateway/stats", g.handleGatewayStats)
 	mux.HandleFunc("GET /v2/stats", g.handleAggregateStats)
 	mux.HandleFunc("POST /v2/models:batchPredict", g.handleBatchScatter)
 	mux.HandleFunc("/", g.handleProxy)
-	return mux
+	return g.withObs(mux)
 }
 
 // handleHealthz reports gateway liveness: up while at least one replica
@@ -511,7 +532,10 @@ func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, conten
 	return nil, 0, nil, nil, lastErr
 }
 
-// send performs one proxied exchange and slurps the response.
+// send performs one proxied exchange and slurps the response. The
+// request ID the gateway middleware attached travels upstream as
+// X-Request-Id — the replica adopts it into its own envelope and
+// metrics log line, so one ID names the request end to end.
 func (g *Gateway) send(ctx context.Context, rep *replica, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if len(body) > 0 {
@@ -524,7 +548,14 @@ func (g *Gateway) send(ctx context.Context, rep *replica, method, uri, contentTy
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if rid := requestIDFrom(ctx); rid != "" {
+		req.Header.Set("X-Request-Id", rid)
+	}
+	start := time.Now()
 	resp, err := g.httpc.Do(req)
+	if rep.upstream != nil {
+		rep.upstream.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -750,8 +781,17 @@ func (g *Gateway) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
 		}
 		answered++
 		st := res.st
+		// Uptime is the oldest replica's and start time the earliest —
+		// never a sum: five replicas up an hour each is still an
+		// hour-old fleet.
 		if st.UptimeSec > agg.UptimeSec {
 			agg.UptimeSec = st.UptimeSec
+		}
+		if st.UptimeSeconds > agg.UptimeSeconds {
+			agg.UptimeSeconds = st.UptimeSeconds
+		}
+		if st.StartTime != 0 && (agg.StartTime == 0 || st.StartTime < agg.StartTime) {
+			agg.StartTime = st.StartTime
 		}
 		agg.Workers += st.Workers
 		for k, v := range st.Requests {

@@ -31,7 +31,13 @@ type stubReplica struct {
 	served  int            // non-health requests served
 	paths   map[string]int // path → count
 	reloads int
-	entries int // cache size reported via /v2/stats
+	entries int    // cache size reported via /v2/stats
+	lastRID string // X-Request-Id seen on the last non-health request
+
+	// /v2/stats uptime fields, settable per stub so aggregation rules
+	// (max uptime, min start) are observable.
+	uptimeSeconds float64
+	startTime     int64
 }
 
 func newStubReplica(t *testing.T, id string) *stubReplica {
@@ -88,20 +94,32 @@ func (s *stubReplica) handler() http.Handler {
 		s.mu.Lock()
 		s.served++
 		s.paths[r.URL.Path]++
+		s.lastRID = r.Header.Get("X-Request-Id")
 		isReload := strings.HasSuffix(r.URL.Path, ":reload") || r.URL.Path == "/v1/reload"
 		if isReload {
 			s.reloads++
 			s.entries = 0
 		}
 		entries := s.entries
+		served := s.served
+		uptime, start := s.uptimeSeconds, s.startTime
 		s.mu.Unlock()
+
+		if r.URL.Path == "/metrics" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprintf(w, "# TYPE yala_requests_total counter\nyala_requests_total{verb=\"predict\"} %d\n", served)
+			fmt.Fprintf(w, "# TYPE yala_uptime_seconds gauge\nyala_uptime_seconds %g\n", uptime)
+			fmt.Fprintf(w, "# TYPE yala_start_time_seconds gauge\nyala_start_time_seconds %d\n", start)
+			fmt.Fprint(w, "# TYPE yala_stage_seconds histogram\nyala_stage_seconds_bucket{stage=\"predict\",le=\"+Inf\"} 1\nyala_stage_seconds_sum{stage=\"predict\"} 0.25\nyala_stage_seconds_count{stage=\"predict\"} 1\n")
+			return
+		}
 
 		w.Header().Set("Content-Type", "application/json")
 		switch {
 		case isReload:
 			fmt.Fprint(w, `{"ok":true}`)
 		case r.URL.Path == "/v2/stats":
-			fmt.Fprintf(w, `{"uptime_sec":1,"workers":2,"backends":["yala","slomo"],"requests":{"predict":%d},"errors":0,"cache":{"entries":%d,"hits":1,"misses":1,"evictions":0},"models":[{"id":"A/yala","nf":"A","backend":"yala","loaded":true,"on_disk":false}]}`, s.served, entries)
+			fmt.Fprintf(w, `{"uptime_sec":1,"uptime_seconds":%g,"start_time":%d,"workers":2,"backends":["yala","slomo"],"requests":{"predict":%d},"errors":0,"cache":{"entries":%d,"hits":1,"misses":1,"evictions":0},"models":[{"id":"A/yala","nf":"A","backend":"yala","loaded":true,"on_disk":false}]}`, uptime, start, served, entries)
 		case r.URL.Path == "/v2/models:batchPredict":
 			body, _ := io.ReadAll(r.Body)
 			var params struct {

@@ -1,0 +1,155 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// initObs builds the gateway's own metric registry: routing counters
+// the proxy paths already maintain as atomics, edge-cache state, and
+// per-replica health/traffic/latency series. Replica labels use the
+// replica URL — the operator-facing identity — not the slot index.
+func (g *Gateway) initObs() {
+	r := obs.NewRegistry()
+	g.obs = r
+	r.CounterFunc("gateway_requests_total", g.requests.Load)
+	r.CounterFunc("gateway_retries_total", g.retries.Load)
+	r.CounterFunc("gateway_fanouts_total", g.fanouts.Load)
+	r.CounterFunc("gateway_edge_hits_total", g.edge.Hits)
+	r.CounterFunc("gateway_edge_misses_total", g.edge.Misses)
+	r.CounterFunc("gateway_edge_evictions_total", g.edge.Evictions)
+	r.GaugeFunc("gateway_edge_entries", func() float64 { return float64(g.edge.Len()) })
+	g.reqSeconds = r.Histogram("gateway_request_seconds", nil)
+	for _, rep := range g.replicas {
+		r.GaugeFunc("gateway_replica_up", func() float64 {
+			if rep.healthy.Load() {
+				return 1
+			}
+			return 0
+		}, "replica", rep.url)
+		r.CounterFunc("gateway_replica_requests_total", rep.requests.Load, "replica", rep.url)
+		r.CounterFunc("gateway_replica_errors_total", rep.errors.Load, "replica", rep.url)
+		r.CounterFunc("gateway_replica_fanouts_total", rep.fanouts.Load, "replica", rep.url)
+		rep.upstream = r.Histogram("gateway_upstream_seconds", nil, "replica", rep.url)
+	}
+}
+
+// Obs exposes the gateway's metric registry.
+func (g *Gateway) Obs() *obs.Registry { return g.obs }
+
+// promContentType is the Prometheus text exposition media type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// aggregationRule decides how one replica-exported family merges across
+// the fleet: counters and histogram components sum; uptime reports the
+// oldest replica's and start time the earliest — summing either would
+// fabricate a server older than the fleet.
+func aggregationRule(family string) obs.MergeRule {
+	switch family {
+	case "yala_uptime_seconds":
+		return obs.MergeMax
+	case "yala_start_time_seconds":
+		return obs.MergeMin
+	}
+	return obs.MergeSum
+}
+
+// handleMetrics serves GET /metrics: the gateway's own gateway_* series
+// followed by the replicas' yala_* series aggregated across the fleet
+// (summed, except the uptime/start-time gauges per aggregationRule).
+// Replica scrapes are concurrent and best-effort — a replica that fails
+// to answer is simply absent from this scrape, like a down target in
+// any Prometheus fleet.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	g.obs.WriteProm(w)
+	merged := obs.MergeExpositions(g.scrapeReplicas(r.Context()), aggregationRule)
+	merged.Render(w)
+}
+
+// scrapeReplicas fetches and parses every healthy replica's /metrics.
+func (g *Gateway) scrapeReplicas(ctx context.Context) []*obs.Exposition {
+	exps := make([]*obs.Exposition, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		if !rep.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, rep.url+"/metrics", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.httpc.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			exp, err := obs.ParseExposition(resp.Body)
+			if err != nil {
+				return
+			}
+			exps[i] = exp
+		}(i, rep)
+	}
+	wg.Wait()
+	return exps
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withObs is the gateway's request middleware: it adopts the client's
+// X-Request-Id (or generates a gw- one), carries it in the request
+// context as an obs trace so send() can forward it upstream — one ID
+// then names the request at the client, the gateway and the replica —
+// and records overall gateway latency plus the optional access log.
+func (g *Gateway) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("gw-%06d", g.ridCounter.Add(1))
+		if hdr := r.Header.Get("X-Request-Id"); hdr != "" && len(hdr) <= 64 {
+			rid = hdr
+		}
+		w.Header().Set("X-Request-Id", rid)
+		tr := obs.NewTrace(rid)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		dur := time.Since(start)
+		g.reqSeconds.Observe(dur.Seconds())
+		if g.cfg.AccessLog {
+			log.Printf("gateway: rid=%s method=%s path=%s status=%d dur=%s",
+				rid, r.Method, r.URL.Path, rec.status, dur.Round(time.Microsecond))
+		}
+	})
+}
+
+// requestIDFrom reads the request ID the middleware attached, "" on a
+// context without one (direct library use).
+func requestIDFrom(ctx context.Context) string {
+	if tr := obs.FromContext(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+// Package obs is the serving stack's stdlib-only telemetry core: named
+// counters, gauges and fixed-bucket latency histograms behind a
+// lock-sharded Registry, a per-request span API that attributes a
+// request's time to pipeline stages (decode, cache, predict, encode),
+// and Prometheus text exposition (WriteProm) with a matching parser and
+// merger (ParseExposition, MergeExpositions) so a gateway can aggregate
+// its replicas' scrapes into one exposition.
+//
+// The design is allocation-conscious: hot paths hold direct *Counter
+// and *Histogram pointers obtained once at construction (a registry
+// lookup is get-or-create, but nothing forces one per event), Span is a
+// value type so StartSpan/End on a traced request stays off the heap,
+// and an untraced context makes the whole span API a no-op. The
+// registry lock is only ever taken at registration and exposition time,
+// never per observation — counters are single atomics and histogram
+// observations are one atomic add per bucket plus a CAS-loop float sum.
+//
+// Instrumentation convention across the repo:
+//
+//   - internal/serve exposes yala_* series (per-verb request counters,
+//     stage latency histograms, cache and worker-pool state),
+//   - internal/gateway exposes gateway_* series (per-replica upstream
+//     latency, failover and fan-out counters, edge-cache state),
+//   - internal/cluster exposes cluster_* series (scheduler decision
+//     latency and candidate-slots-scanned counters).
+package obs

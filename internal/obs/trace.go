@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace accumulates per-stage timings for one request. It is created
+// by the serving layer's request middleware, carried in the request
+// context, and read back at response time to feed stage histograms and
+// access-log lines. Safe for concurrent spans — batch elements fan out
+// on a shared request context.
+type Trace struct {
+	ID string
+
+	mu     sync.Mutex
+	stages []stageSample
+}
+
+type stageSample struct {
+	name string
+	dur  time.Duration
+}
+
+// NewTrace returns a trace for one request.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// add records one finished span.
+func (t *Trace) add(name string, dur time.Duration) {
+	t.mu.Lock()
+	t.stages = append(t.stages, stageSample{name, dur})
+	t.mu.Unlock()
+}
+
+// Stages returns the total time attributed to each stage name. A stage
+// spanned more than once (batch elements, retries) sums.
+func (t *Trace) Stages() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.stages))
+	for _, s := range t.stages {
+		out[s.name] += s.dur
+	}
+	return out
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches t to ctx.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the request's trace, or nil if the context is
+// untraced (direct library calls, tests).
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Span is one in-flight stage timing. It is a value type: starting and
+// ending a span allocates nothing, and a span started on an untraced
+// context is a no-op.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing the named stage on ctx's trace. Call End on
+// the returned span when the stage finishes; on an untraced context
+// both calls are no-ops.
+func StartSpan(ctx context.Context, name string) Span {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return Span{}
+	}
+	return Span{tr: tr, name: name, start: time.Now()}
+}
+
+// End finishes the span and records its duration on the trace.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	s.tr.add(s.name, time.Since(s.start))
+}

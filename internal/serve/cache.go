@@ -166,6 +166,13 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// Hits, Misses and Evictions read the individual counters without the
+// per-shard locking Stats' entry count needs — the /metrics exposition
+// funcs read them at every scrape.
+func (c *Cache) Hits() uint64      { return c.hits.Load() }
+func (c *Cache) Misses() uint64    { return c.misses.Load() }
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
+
 // CacheStats is a point-in-time counter snapshot.
 type CacheStats struct {
 	Entries   int    `json:"entries"`

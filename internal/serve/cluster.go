@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // Cluster-run request bounds. A comparison run is a batch job — tens of
@@ -159,7 +160,12 @@ func (s *Service) ClusterRun(ctx context.Context, req ClusterRunRequest) (cluste
 	}
 	regCfg := s.cfg.Registry.withDefaults()
 	env := cluster.NewEnv(regCfg.NIC, sc.Seed, s.reg)
+	// Scheduler telemetry (decision latency, slots scanned) lands in the
+	// server's /metrics; the whole run is the request's predict stage.
+	env.SetObs(s.obs)
+	sp := obs.StartSpan(ctx, "predict")
 	cmp, err := cluster.Run(ctx, env, sc, req.Policies)
+	sp.End()
 	if err != nil {
 		s.errors.Add(1)
 		return cluster.Comparison{}, err

@@ -6,10 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // Handler exposes the service over HTTP/JSON. The resource-oriented,
@@ -40,13 +40,14 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Unknown paths get a structured 404 instead of net/http's plain
 	// text; requestID tags every response for cross-log correlation.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeErrorV2(w, r, http.StatusNotFound, codeNotFound,
 			fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path), nil)
 	})
-	return withRequestID(mux)
+	return s.withObs(mux)
 }
 
 // v1Route registers one /v1 endpoint: the method-bound handler, a
@@ -177,9 +178,12 @@ func errorStatus(err error) int {
 // the response — the /v1 adapter.
 func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
 	var req Req
+	dsp := obs.StartSpan(r.Context(), "decode")
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}
@@ -188,7 +192,9 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 		writeJSON(w, errorStatus(err), errorBody{err.Error()})
 		return
 	}
+	esp := obs.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -198,24 +204,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // requestCounter feeds the per-request IDs; the header lets clients and
-// the /v2 error envelope name a failing request in bug reports.
+// the /v2 error envelope name a failing request in bug reports. The
+// middleware that assigns (or adopts) the ID is withObs in metrics.go —
+// it took over from the old withRequestID when IDs became the trace
+// handle too.
 var requestCounter atomic.Uint64
 
 type ridKey struct{}
-
-// withRequestID assigns every request an ID, exposes it as the
-// X-Request-Id response header and in the request context (the /v2
-// error envelope echoes it).
-func withRequestID(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rid := fmt.Sprintf("req-%06d", requestCounter.Add(1))
-		if hdr := strings.TrimSpace(r.Header.Get("X-Request-Id")); hdr != "" && len(hdr) <= 64 {
-			rid = hdr
-		}
-		w.Header().Set("X-Request-Id", rid)
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, rid)))
-	})
-}
 
 // requestID reads the request's ID back out of the context.
 func requestID(r *http.Request) string {

@@ -11,9 +11,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // The /v2 API is resource-oriented: models are resources named
@@ -87,6 +89,8 @@ func writeServiceErrorV2(w http.ResponseWriter, r *http.Request, err error) {
 // the zero request — custom verbs like :diagnose and :reload are usable
 // without one.
 func decodeV2[Req any](w http.ResponseWriter, r *http.Request, req *Req) bool {
+	sp := obs.StartSpan(r.Context(), "decode")
+	defer sp.End()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 10<<20))
 	if err != nil {
 		writeErrorV2(w, r, http.StatusBadRequest, codeInvalidArgument, "reading request body: "+err.Error(), nil)
@@ -115,7 +119,9 @@ func handleV2[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req
 		writeServiceErrorV2(w, r, err)
 		return
 	}
+	esp := obs.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }
 
 // parseModelID splits a /v2 model resource name "<nf>[@<hw>]".
@@ -193,9 +199,15 @@ type (
 	}
 	// statsV2 wraps the frozen /v1 stats shape with the registered
 	// backend list — additions land here, never on ServiceStats.
+	// UptimeSeconds duplicates the /v1 uptime_sec under the documented
+	// /v2 name; StartTime (Unix seconds) is the monotonic anchor a
+	// gateway aggregates by (min across replicas — uptimes must never
+	// be summed).
 	statsV2 struct {
 		ServiceStats
-		Backends []string `json:"backends"`
+		Backends      []string `json:"backends"`
+		UptimeSeconds float64  `json:"uptime_seconds"`
+		StartTime     int64    `json:"start_time"`
 	}
 	// modelsPageV2 is one page of the model listing.
 	modelsPageV2 struct {
@@ -247,7 +259,12 @@ func (s *Service) registerV2(mux *http.ServeMux) {
 		writeJSON(w, http.StatusOK, ClusterPoliciesResponse{Policies: cluster.Policies()})
 	})
 	v2Route(mux, "GET", "/v2/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsV2{ServiceStats: s.Stats(), Backends: backend.Names()})
+		writeJSON(w, http.StatusOK, statsV2{
+			ServiceStats:  s.Stats(),
+			Backends:      backend.Names(),
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			StartTime:     s.started.Unix(),
+		})
 	})
 }
 
@@ -391,5 +408,7 @@ func (s *Service) handleBatchPredictV2(w http.ResponseWriter, r *http.Request) {
 		writeServiceErrorV2(w, r, err)
 		return
 	}
+	esp := obs.StartSpan(r.Context(), "encode")
 	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }

@@ -3,12 +3,15 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/traffic"
 	"repro/pkg/yalaclient"
@@ -96,6 +99,24 @@ type LoadgenReport struct {
 	// this run (gateway mode only).
 	EdgeHits   uint64 `json:"edge_hits,omitempty"`
 	EdgeMisses uint64 `json:"edge_misses,omitempty"`
+	// Stages is the server-side latency attribution for this run: the
+	// delta of the server's yala_stage_seconds histograms between a
+	// /metrics scrape before and after the workload. Client-observed
+	// percentiles above include the network and queueing; this says
+	// where the server itself spent the time (decode, cache, predict,
+	// encode). Empty when the target predates /metrics.
+	Stages []StageStat `json:"stages,omitempty"`
+}
+
+// StageStat is one request-pipeline stage's server-side latency over a
+// loadgen run.
+type StageStat struct {
+	Stage string `json:"stage"`
+	// Count is how many spans the stage recorded during the run.
+	Count uint64        `json:"count"`
+	Avg   time.Duration `json:"avg"`
+	P50   time.Duration `json:"p50"`
+	P99   time.Duration `json:"p99"`
 }
 
 // ReplicaLoad is one replica's share of a gateway loadgen run.
@@ -114,6 +135,11 @@ func (r LoadgenReport) String() string {
 	fmt.Fprintf(&b, "latency     p50 %v  p90 %v  p99 %v  max %v",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "\nstage       %-8s n=%-7d avg %v  p50 %v  p99 %v",
+			st.Stage, st.Count, st.Avg.Round(time.Microsecond),
+			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	}
 	if len(r.Replicas) > 0 {
 		fmt.Fprintf(&b, "\nedge cache  %d hits, %d misses this run", r.EdgeHits, r.EdgeMisses)
 		for _, rep := range r.Replicas {
@@ -171,6 +197,12 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 			return LoadgenReport{}, fmt.Errorf("serve: loadgen -gateway against %s: %w (is it a yala gateway?)", cfg.URL, err)
 		}
 	}
+	// Scrape /metrics around the run for the server-side stage
+	// breakdown. Best-effort on both sides: a target without /metrics
+	// (or a scrape failing mid-teardown) drops the breakdown, never the
+	// run. Against a gateway the scrape is the fleet-merged exposition,
+	// so the breakdown covers every replica the run touched.
+	metricsBefore, metricsErr := client.Metrics(context.Background())
 	start := time.Now()
 	for wk := 0; wk < cfg.Workers; wk++ {
 		wg.Add(1)
@@ -218,6 +250,11 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 		rep.P90 = percentile(all, 0.90)
 		rep.P99 = percentile(all, 0.99)
 		rep.Max = all[len(all)-1]
+	}
+	if metricsErr == nil {
+		if metricsAfter, err := client.Metrics(context.Background()); err == nil {
+			rep.Stages = stageBreakdown(metricsBefore, metricsAfter)
+		}
 	}
 	if cfg.Gateway {
 		// Distribution deltas are best-effort: the run's own numbers
@@ -304,6 +341,102 @@ func fireOne(client *yalaclient.Client, cfg LoadgenConfig, rng *sim.RNG, profile
 		_, err := client.Predict(ctx, model, "", yalaclient.PredictParams{Profile: prof, Competitors: comps})
 		return 1, err
 	}
+}
+
+// stageSnap is one stage's histogram state in a single scrape.
+type stageSnap struct {
+	buckets map[float64]uint64 // upper bound (+Inf included) → cumulative count
+	sum     float64
+	count   uint64
+}
+
+// collectStages pulls the yala_stage_seconds histogram family out of a
+// parsed /metrics scrape, one entry per stage label.
+func collectStages(snap yalaclient.MetricsSnapshot) map[string]*stageSnap {
+	m := map[string]*stageSnap{}
+	get := func(stage string) *stageSnap {
+		s, ok := m[stage]
+		if !ok {
+			s = &stageSnap{buckets: map[float64]uint64{}}
+			m[stage] = s
+		}
+		return s
+	}
+	for _, p := range snap.Points {
+		stage := p.Label("stage")
+		if stage == "" {
+			continue
+		}
+		switch p.Name {
+		case "yala_stage_seconds_bucket":
+			if le, err := strconv.ParseFloat(p.Label("le"), 64); err == nil {
+				get(stage).buckets[le] = uint64(p.Value)
+			}
+		case "yala_stage_seconds_sum":
+			get(stage).sum = p.Value
+		case "yala_stage_seconds_count":
+			get(stage).count = uint64(p.Value)
+		}
+	}
+	return m
+}
+
+// stageBreakdown turns before/after /metrics scrapes into per-stage
+// latency attribution: the bucket-count deltas form this run's own
+// histogram (the difference of two cumulative histograms is itself a
+// cumulative histogram), quantiles read off it via the shared
+// estimator, and the mean comes from the sum/count deltas. A server
+// restart mid-run makes a delta negative; that stage is dropped rather
+// than reported from garbage.
+func stageBreakdown(before, after yalaclient.MetricsSnapshot) []StageStat {
+	bm, am := collectStages(before), collectStages(after)
+	var out []StageStat
+	for stage, a := range am {
+		b := bm[stage]
+		if b == nil {
+			b = &stageSnap{buckets: map[float64]uint64{}}
+		}
+		if a.count < b.count {
+			continue // counter reset: the delta is meaningless
+		}
+		n := a.count - b.count
+		if n == 0 {
+			continue // stage untouched by this run
+		}
+		uppers := make([]float64, 0, len(a.buckets))
+		for le := range a.buckets {
+			if le < math.Inf(1) {
+				uppers = append(uppers, le)
+			}
+		}
+		sort.Float64s(uppers)
+		cum := make([]uint64, 0, len(uppers)+1)
+		bad := false
+		for _, le := range uppers {
+			if a.buckets[le] < b.buckets[le] {
+				bad = true
+				break
+			}
+			cum = append(cum, a.buckets[le]-b.buckets[le])
+		}
+		if bad || a.buckets[math.Inf(1)] < b.buckets[math.Inf(1)] {
+			continue
+		}
+		cum = append(cum, a.buckets[math.Inf(1)]-b.buckets[math.Inf(1)])
+		st := StageStat{
+			Stage: stage,
+			Count: n,
+			Avg:   time.Duration((a.sum - b.sum) / float64(n) * float64(time.Second)),
+			P50:   time.Duration(obs.BucketQuantile(uppers, cum, 0.50) * float64(time.Second)),
+			P99:   time.Duration(obs.BucketQuantile(uppers, cum, 0.99) * float64(time.Second)),
+		}
+		if st.Avg < 0 {
+			st.Avg = 0
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
 }
 
 // counterDelta is after-before for monotonic counters, degrading to the

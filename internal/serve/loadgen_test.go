@@ -5,6 +5,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"repro/pkg/yalaclient"
 )
 
 // TestPercentile pins the quantile edge cases: the empty slice, exact
@@ -59,6 +61,60 @@ func TestCounterDelta(t *testing.T) {
 		if got := counterDelta(tc.after, tc.before); got != tc.want {
 			t.Errorf("counterDelta(%d, %d) = %d, want %d", tc.after, tc.before, got, tc.want)
 		}
+	}
+}
+
+// TestStageBreakdown: the before/after /metrics delta becomes per-stage
+// attribution — untouched stages vanish, counter resets are dropped
+// instead of reported from garbage, and quantiles come off the delta
+// histogram.
+func TestStageBreakdown(t *testing.T) {
+	scrape := func(text string) yalaclient.MetricsSnapshot { return yalaclient.ScrapeMetrics(text) }
+	before := scrape(`
+yala_stage_seconds_bucket{stage="decode",le="0.001"} 10
+yala_stage_seconds_bucket{stage="decode",le="0.01"} 10
+yala_stage_seconds_bucket{stage="decode",le="+Inf"} 10
+yala_stage_seconds_sum{stage="decode"} 0.005
+yala_stage_seconds_count{stage="decode"} 10
+yala_stage_seconds_bucket{stage="cache",le="0.001"} 5
+yala_stage_seconds_bucket{stage="cache",le="+Inf"} 5
+yala_stage_seconds_sum{stage="cache"} 0.001
+yala_stage_seconds_count{stage="cache"} 5
+yala_stage_seconds_bucket{stage="reset",le="+Inf"} 100
+yala_stage_seconds_count{stage="reset"} 100
+`)
+	after := scrape(`
+yala_stage_seconds_bucket{stage="decode",le="0.001"} 20
+yala_stage_seconds_bucket{stage="decode",le="0.01"} 30
+yala_stage_seconds_bucket{stage="decode",le="+Inf"} 30
+yala_stage_seconds_sum{stage="decode"} 0.105
+yala_stage_seconds_count{stage="decode"} 30
+yala_stage_seconds_bucket{stage="cache",le="0.001"} 5
+yala_stage_seconds_bucket{stage="cache",le="+Inf"} 5
+yala_stage_seconds_sum{stage="cache"} 0.001
+yala_stage_seconds_count{stage="cache"} 5
+yala_stage_seconds_bucket{stage="reset",le="+Inf"} 3
+yala_stage_seconds_count{stage="reset"} 3
+`)
+	stages := stageBreakdown(before, after)
+	if len(stages) != 1 || stages[0].Stage != "decode" {
+		t.Fatalf("stages = %+v, want exactly the decode stage (cache untouched, reset dropped)", stages)
+	}
+	d := stages[0]
+	if d.Count != 20 {
+		t.Fatalf("decode count = %d, want 20", d.Count)
+	}
+	// sum delta 0.1s over 20 spans → 5ms average (within float rounding).
+	if diff := d.Avg - 5*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("decode avg = %v, want ~5ms", d.Avg)
+	}
+	// Delta histogram: 10 spans ≤1ms, 10 more ≤10ms → p50 at the 1ms
+	// boundary, p99 inside the (1ms, 10ms] bucket.
+	if d.P50 != time.Millisecond {
+		t.Fatalf("decode p50 = %v, want 1ms", d.P50)
+	}
+	if d.P99 <= time.Millisecond || d.P99 > 10*time.Millisecond {
+		t.Fatalf("decode p99 = %v, want within (1ms, 10ms]", d.P99)
 	}
 }
 

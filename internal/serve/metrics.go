@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stageNames are the request pipeline stages the span instrumentation
+// records. Their histogram series are pre-registered so /metrics
+// exposes every stage (zero-valued) from the first scrape, before any
+// traffic arrives.
+var stageNames = []string{"decode", "cache", "predict", "encode"}
+
+// initObs builds the service's metric registry. Counters the request
+// paths already maintain as atomics (per-verb totals, errors, cache
+// stats) are exposed through read-at-scrape funcs rather than being
+// double counted into a second atomic; only histograms are new state.
+func (s *Service) initObs() {
+	r := obs.NewRegistry()
+	s.obs = r
+	r.CounterFunc("yala_requests_total", s.predicts.Load, "verb", "predict")
+	r.CounterFunc("yala_requests_total", s.compares.Load, "verb", "compare")
+	r.CounterFunc("yala_requests_total", s.admits.Load, "verb", "admit")
+	r.CounterFunc("yala_requests_total", s.diagnoses.Load, "verb", "diagnose")
+	r.CounterFunc("yala_requests_total", s.clusterRuns.Load, "verb", "cluster_run")
+	r.CounterFunc("yala_request_errors_total", s.errors.Load)
+	r.CounterFunc("yala_cache_hits_total", s.cache.Hits)
+	r.CounterFunc("yala_cache_misses_total", s.cache.Misses)
+	r.CounterFunc("yala_cache_evictions_total", s.cache.Evictions)
+	r.GaugeFunc("yala_cache_entries", func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("yala_queue_depth", func() float64 { return float64(len(s.jobs)) })
+	r.GaugeFunc("yala_workers", func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("yala_uptime_seconds", func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("yala_start_time_seconds", func() float64 { return float64(s.started.Unix()) })
+	s.reqSeconds = r.Histogram("yala_request_seconds", nil)
+	s.stageHist = make(map[string]*obs.Histogram, len(stageNames))
+	for _, st := range stageNames {
+		s.stageHist[st] = r.Histogram("yala_stage_seconds", nil, "stage", st)
+	}
+}
+
+// stageHistogram returns the stage's latency histogram; unknown stage
+// names fall back to a registry get-or-create so a future span name
+// cannot drop observations.
+func (s *Service) stageHistogram(name string) *obs.Histogram {
+	if h, ok := s.stageHist[name]; ok {
+		return h
+	}
+	return s.obs.Histogram("yala_stage_seconds", nil, "stage", name)
+}
+
+// Obs exposes the service's metric registry — the embedding hook for
+// components (the cluster scheduler) that publish into the server's
+// exposition.
+func (s *Service) Obs() *obs.Registry { return s.obs }
+
+// WriteMetrics renders the service's metrics in Prometheus text
+// exposition format.
+func (s *Service) WriteMetrics(w io.Writer) error { return s.obs.WriteProm(w) }
+
+// promContentType is the Prometheus text exposition media type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promContentType)
+	s.obs.WriteProm(w)
+}
+
+// statusRecorder captures the response status for metrics and the
+// access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// withObs is the request middleware: it assigns (or adopts) the
+// X-Request-Id, attaches a stage trace to the context, and on
+// completion feeds the request and per-stage latency histograms plus
+// the optional access log. It subsumes the former withRequestID —
+// requestID(r) still reads the ID out of the context.
+func (s *Service) withObs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := fmt.Sprintf("req-%06d", requestCounter.Add(1))
+		if hdr := strings.TrimSpace(r.Header.Get("X-Request-Id")); hdr != "" && len(hdr) <= 64 {
+			rid = hdr
+		}
+		w.Header().Set("X-Request-Id", rid)
+		tr := obs.NewTrace(rid)
+		ctx := context.WithValue(r.Context(), ridKey{}, rid)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(ctx, tr)))
+		dur := time.Since(start)
+		s.reqSeconds.Observe(dur.Seconds())
+		stages := tr.Stages()
+		for name, d := range stages {
+			s.stageHistogram(name).Observe(d.Seconds())
+		}
+		if s.cfg.AccessLog {
+			log.Printf("serve: rid=%s method=%s path=%s status=%d dur=%s%s",
+				rid, r.Method, r.URL.Path, rec.status, dur.Round(time.Microsecond), renderStages(stages))
+		}
+	})
+}
+
+// renderStages renders a trace's stage totals for one access-log line,
+// sorted for deterministic output; no stages renders as nothing.
+func renderStages(stages map[string]time.Duration) string {
+	if len(stages) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(" stages=")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s", n, stages[n].Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -18,6 +18,12 @@
 //   - Handler exposes the service over HTTP/JSON (yala serve), and
 //     Loadgen replays randomized arrival scenarios against a live server
 //     (yala loadgen), reporting throughput and latency percentiles.
+//   - Telemetry (internal/obs) rides every request: GET /metrics serves
+//     Prometheus-format counters, gauges and latency histograms, each
+//     request carries an X-Request-Id through a trace context, and
+//     per-stage spans (decode, cache, predict, encode) attribute where
+//     server time went — surfaced in /metrics, the optional access log,
+//     and loadgen's server-side stage breakdown.
 package serve
 
 import (

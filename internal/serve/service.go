@@ -16,6 +16,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/nicsim"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
@@ -32,6 +33,10 @@ type ServiceConfig struct {
 	// CacheEntries is the LRU capacity across all shards; default 8192.
 	// Negative disables caching.
 	CacheEntries int
+	// AccessLog emits one log line per HTTP request (request ID, status,
+	// duration, stage breakdown). Off by default: the hot path should not
+	// pay for logging unless an operator asked for it.
+	AccessLog bool
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -88,6 +93,13 @@ type Service struct {
 	diagnoses   atomic.Uint64
 	clusterRuns atomic.Uint64
 	errors      atomic.Uint64
+
+	// obs is the /metrics registry; reqSeconds and stageHist are its
+	// hot-path histograms, held directly so observations never take the
+	// registry lock (see initObs).
+	obs        *obs.Registry
+	reqSeconds *obs.Histogram
+	stageHist  map[string]*obs.Histogram
 }
 
 // NewService starts a service and its worker pool. Call Close to stop it.
@@ -105,6 +117,7 @@ func NewService(cfg ServiceConfig) *Service {
 		clusterSem: make(chan struct{}, 1),
 		started:    time.Now(),
 	}
+	s.initObs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -418,9 +431,14 @@ func (s *Service) PredictOn(ctx context.Context, hw string, req PredictRequest) 
 	// A hit answers inline — a lookup is not compute. A miss (including
 	// the rare eviction race) always goes through the worker pool, so
 	// predictor work stays bounded no matter the HTTP concurrency.
-	if v, ok := s.cache.Get(predictKey(backendName, hw, req.NF, prof, comps)); ok {
+	csp := obs.StartSpan(ctx, "cache")
+	v, ok := s.cache.Get(predictKey(backendName, hw, req.NF, prof, comps))
+	csp.End()
+	if ok {
 		return v.(PredictResponse), nil
 	}
+	psp := obs.StartSpan(ctx, "predict")
+	defer psp.End()
 	return submit(ctx, s, func() (PredictResponse, error) {
 		return s.predictCached(backendName, hw, req.NF, prof, comps)
 	})
@@ -593,6 +611,7 @@ func (s *Service) CompareOn(ctx context.Context, hw string, req CompareRequest) 
 	// Warm fast path: every piece already resident → assemble inline.
 	// Any missing piece (including an eviction race) goes through the
 	// worker pool; assembly itself is not compute.
+	csp := obs.StartSpan(ctx, "cache")
 	vy, okY := s.cache.Get(predictKey(BackendYala, hw, req.NF, prof, comps))
 	vs, okS := s.cache.Get(predictKey(BackendSLOMO, hw, req.NF, prof, comps))
 	truth, okM := 0.0, !req.GroundTruth
@@ -601,9 +620,12 @@ func (s *Service) CompareOn(ctx context.Context, hw string, req CompareRequest) 
 			truth, okM = v.(float64), true
 		}
 	}
+	csp.End()
 	if okY && okS && okM {
 		return assembleCompare(req.NF, hw, prof, vy.(PredictResponse), vs.(PredictResponse), req.GroundTruth, truth), nil
 	}
+	psp := obs.StartSpan(ctx, "predict")
+	defer psp.End()
 	return submit(ctx, s, func() (CompareResponse, error) {
 		yala, err := s.predictCached(BackendYala, hw, req.NF, prof, comps)
 		if err != nil {
@@ -738,9 +760,14 @@ func (s *Service) AdmitOn(ctx context.Context, hw string, req AdmitRequest) (Adm
 		parts[i] = coloKey(r)
 	}
 	key := fmt.Sprintf("admit|%s|%s|%s|cand=%s", backendName, hw, strings.Join(parts, ","), coloKey(req.Candidate))
-	if v, ok := s.cache.Get(key); ok {
+	csp := obs.StartSpan(ctx, "cache")
+	v, ok := s.cache.Get(key)
+	csp.End()
+	if ok {
 		return v.(AdmitResponse), nil
 	}
+	psp := obs.StartSpan(ctx, "predict")
+	defer psp.End()
 	return submit(ctx, s, func() (AdmitResponse, error) {
 		return s.admit(backendName, hw, key, residents, req.Candidate)
 	})
@@ -888,9 +915,14 @@ func (s *Service) DiagnoseOn(ctx context.Context, hw string, req DiagnoseRequest
 	}
 	prof := req.Profile.Profile()
 	comps := canonSpecs(req.Competitors)
-	if v, ok := s.cache.Get(predictKey(BackendYala, hw, req.NF, prof, comps)); ok {
+	csp := obs.StartSpan(ctx, "cache")
+	v, ok := s.cache.Get(predictKey(BackendYala, hw, req.NF, prof, comps))
+	csp.End()
+	if ok {
 		return diagnoseFrom(v.(PredictResponse)), nil
 	}
+	psp := obs.StartSpan(ctx, "predict")
+	defer psp.End()
 	return submit(ctx, s, func() (DiagnoseResponse, error) {
 		pred, err := s.predictCached(BackendYala, hw, req.NF, prof, comps)
 		if err != nil {

@@ -292,6 +292,18 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if rep.Requests != 200 {
 		t.Fatalf("loadgen issued %d requests, want 200", rep.Requests)
 	}
+	// The /metrics scrapes around the run attribute server-side time to
+	// pipeline stages; a run this size must have recorded decode and
+	// cache spans (every request decodes and consults the cache).
+	stages := map[string]StageStat{}
+	for _, st := range rep.Stages {
+		stages[st.Stage] = st
+	}
+	for _, want := range []string{"decode", "cache"} {
+		if stages[want].Count == 0 {
+			t.Fatalf("stage breakdown missing %q spans: %+v", want, rep.Stages)
+		}
+	}
 
 	stats, err := client.Stats(ctx)
 	if err != nil {

@@ -1,0 +1,165 @@
+package yalaclient
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one sample from a Prometheus text exposition:
+// yala_requests_total{verb="predict"} 42 parses to
+// {Name: "yala_requests_total", Labels: `verb="predict"`, Value: 42}.
+type MetricPoint struct {
+	Name   string
+	Labels string // raw label text between the braces, "" when unlabeled
+	Value  float64
+}
+
+// MetricsSnapshot is one parsed scrape of a server's GET /metrics —
+// the serve replicas' yala_* series, or a gateway's gateway_* series
+// plus the fleet-aggregated replica series.
+type MetricsSnapshot struct {
+	Points []MetricPoint
+}
+
+// Value returns the first sample with the given name whose label text
+// contains labelSubstr ("" matches any labeling, including none).
+func (s MetricsSnapshot) Value(name, labelSubstr string) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Name == name && (labelSubstr == "" || strings.Contains(p.Labels, labelSubstr)) {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Label extracts one label's value from a point's raw label text, ""
+// when absent.
+func (p MetricPoint) Label(key string) string {
+	rest := p.Labels
+	for rest != "" {
+		rest = strings.TrimLeft(rest, ", ")
+		eq := strings.Index(rest, `="`)
+		if eq < 0 {
+			return ""
+		}
+		k := strings.TrimSpace(rest[:eq])
+		var val strings.Builder
+		i := eq + 2
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				if rest[i] == 'n' {
+					val.WriteByte('\n')
+					i++
+					continue
+				}
+			}
+			val.WriteByte(rest[i])
+			i++
+		}
+		if i >= len(rest) {
+			return "" // unterminated quote
+		}
+		if k == key {
+			return val.String()
+		}
+		rest = rest[i+1:]
+	}
+	return ""
+}
+
+// ScrapeMetrics parses a Prometheus text exposition (version 0.0.4).
+// The parser is deliberately tolerant: comment and TYPE lines are
+// skipped, malformed lines are dropped, and an optional trailing
+// timestamp is ignored — a scrape should degrade, not fail, when a
+// server adds series this client predates.
+func ScrapeMetrics(data string) MetricsSnapshot {
+	var snap MetricsSnapshot
+	sc := bufio.NewScanner(strings.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, rest, ok := splitMetricLine(line)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			continue
+		}
+		snap.Points = append(snap.Points, MetricPoint{Name: name, Labels: labels, Value: v})
+	}
+	return snap
+}
+
+// splitMetricLine splits `name{labels} value [ts]` or `name value [ts]`
+// into its parts, honoring quotes and escapes inside the label block.
+func splitMetricLine(line string) (name, labels, rest string, ok bool) {
+	if brace := strings.IndexByte(line, '{'); brace >= 0 && brace < strings.IndexByte(line+" ", ' ') {
+		name = line[:brace]
+		inQuote := false
+		for i := brace + 1; i < len(line); i++ {
+			c := line[i]
+			if inQuote {
+				if c == '\\' {
+					i++
+				} else if c == '"' {
+					inQuote = false
+				}
+				continue
+			}
+			switch c {
+			case '"':
+				inQuote = true
+			case '}':
+				return name, line[brace+1 : i], line[i+1:], true
+			}
+		}
+		return "", "", "", false
+	}
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return "", "", "", false
+	}
+	return line[:sp], "", line[sp:], true
+}
+
+// Metrics scrapes and parses the server's GET /metrics. Pointed at a
+// gateway it returns the gateway's own series plus the fleet-merged
+// replica series.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return MetricsSnapshot{}, fmt.Errorf("yalaclient: GET /metrics: status %d", resp.StatusCode)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return MetricsSnapshot{}, err
+	}
+	return ScrapeMetrics(sb.String()), nil
+}

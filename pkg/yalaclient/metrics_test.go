@@ -1,0 +1,80 @@
+package yalaclient
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const sampleExposition = `# HELP yala_requests_total requests by verb
+# TYPE yala_requests_total counter
+yala_requests_total{verb="predict"} 42
+yala_requests_total{verb="compare"} 7
+# TYPE yala_uptime_seconds gauge
+yala_uptime_seconds 123.5
+# TYPE yala_stage_seconds histogram
+yala_stage_seconds_bucket{stage="decode",le="0.001"} 10
+yala_stage_seconds_bucket{stage="decode",le="+Inf"} 12
+yala_stage_seconds_sum{stage="decode"} 0.025
+yala_stage_seconds_count{stage="decode"} 12
+weird{a="br{ce",b="q\"uote"} 1 1700000000000
+malformed line without a value
+`
+
+func TestScrapeMetrics(t *testing.T) {
+	snap := ScrapeMetrics(sampleExposition)
+	if v, ok := snap.Value("yala_requests_total", `verb="predict"`); !ok || v != 42 {
+		t.Fatalf("predict counter = %g (ok=%v), want 42", v, ok)
+	}
+	if v, ok := snap.Value("yala_uptime_seconds", ""); !ok || v != 123.5 {
+		t.Fatalf("uptime = %g (ok=%v), want 123.5", v, ok)
+	}
+	if v, ok := snap.Value("yala_stage_seconds_bucket", `le="+Inf"`); !ok || v != 12 {
+		t.Fatalf("+Inf bucket = %g (ok=%v), want 12", v, ok)
+	}
+	// Label values containing braces, quotes and timestamps still parse.
+	if v, ok := snap.Value("weird", ""); !ok || v != 1 {
+		t.Fatalf("weird = %g (ok=%v), want 1", v, ok)
+	}
+	if _, ok := snap.Value("malformed", ""); ok {
+		t.Fatal("malformed line should have been dropped")
+	}
+	for _, p := range snap.Points {
+		if p.Name == "weird" {
+			if got := p.Label("a"); got != "br{ce" {
+				t.Fatalf("label a = %q, want br{ce", got)
+			}
+			if got := p.Label("b"); got != `q"uote` {
+				t.Fatalf("label b = %q, want q\"uote", got)
+			}
+			if got := p.Label("missing"); got != "" {
+				t.Fatalf("missing label = %q, want empty", got)
+			}
+		}
+	}
+}
+
+func TestClientMetrics(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, sampleExposition)
+	}))
+	defer ts.Close()
+
+	snap, err := New(ts.URL).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("yala_requests_total", `verb="compare"`); !ok || v != 7 {
+		t.Fatalf("compare counter = %g (ok=%v), want 7", v, ok)
+	}
+	if v, ok := snap.Value("yala_stage_seconds_count", `stage="decode"`); !ok || v != 12 {
+		t.Fatalf("decode stage count = %g (ok=%v), want 12", v, ok)
+	}
+}

@@ -235,7 +235,13 @@ type GatewayStats struct {
 
 // Stats is the operator-facing server snapshot.
 type Stats struct {
-	UptimeSec       float64           `json:"uptime_sec"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// UptimeSeconds and StartTime are the /v2 additions: uptime derived
+	// from a monotonic clock, and the Unix start instant. A gateway's
+	// aggregated view reports the oldest replica's uptime and the
+	// earliest start — uptimes never sum across a fleet.
+	UptimeSeconds   float64           `json:"uptime_seconds,omitempty"`
+	StartTime       int64             `json:"start_time,omitempty"`
 	Workers         int               `json:"workers"`
 	Backends        []string          `json:"backends,omitempty"`
 	Requests        map[string]uint64 `json:"requests"`
