@@ -10,9 +10,11 @@
 //	yala predict  -nf FlowMonitor -with NIDS,FlowStats [-flows n] [-pktsize n] [-mtbr f]
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
-//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full] [-pprof] [-accesslog]
-//	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url} [-edgecache n] [-health 500ms] [-accesslog]
+//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full] [-tenants keys.json] [-slo 250ms] [-pprof] [-accesslog]
+//	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url | -min 1 -max 4 -models DIR}
+//	              [-edgecache n] [-health 500ms] [-tenants keys.json] [-slo 250ms] [-accesslog]
 //	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-gateway] [-seed n] [-json path]
+//	              [-tenants n | -tenant-keys k1,k2] [-hot i] [-quietrps r]
 //	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
 //	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
 //	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
@@ -44,6 +46,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/slomo"
+	"repro/internal/tenant"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -304,6 +307,8 @@ func cmdServe(args []string) error {
 	cache := fs.Int("cache", 0, "prediction cache capacity (0 = default 8192, negative disables)")
 	seed := fs.Uint64("seed", 1, "testbed and on-demand training seed")
 	full := fs.Bool("full", false, "use the full offline training protocol for on-demand training (slow; default is the quick serving config)")
+	tenants := fs.String("tenants", "", "tenant key file (JSON); mounts the multi-tenant admission gate")
+	slo := fs.Duration("slo", 0, "admission-gate p99 latency objective (0 = default 250ms); size to the box and workload")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	accessLog := fs.Bool("accesslog", false, "log one line per request (request ID, verb, status, latency, stage timings)")
 	fs.Parse(args)
@@ -311,6 +316,10 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: -models is required")
 	}
 	if err := os.MkdirAll(*models, 0o755); err != nil {
+		return err
+	}
+	gate, err := loadGate(*tenants, *slo)
+	if err != nil {
 		return err
 	}
 
@@ -328,6 +337,7 @@ func cmdServe(args []string) error {
 		Workers:      *workers,
 		CacheEntries: *cache,
 		AccessLog:    *accessLog,
+		Gate:         gate,
 	})
 	defer svc.Close()
 
@@ -375,7 +385,56 @@ func cmdGateway(args []string) error {
 	seed := fs.Uint64("seed", 1, "replica testbed and on-demand training seed")
 	health := fs.Duration("health", 500*time.Millisecond, "replica health-check interval")
 	accessLog := fs.Bool("accesslog", false, "log one line per gateway request (request ID, method, path, status, latency)")
+	tenants := fs.String("tenants", "", "tenant key file (JSON); mounts the multi-tenant admission gate")
+	slo := fs.Duration("slo", 0, "p99 latency objective for the admission gate and the elastic autoscaler (0 = default 250ms)")
+	minReplicas := fs.Int("min", 0, "elastic pool: minimum in-process replicas (use with -max and -models)")
+	maxReplicas := fs.Int("max", 0, "elastic pool: maximum in-process replicas; the pool autoscales between -min and -max")
 	fs.Parse(args)
+
+	gate, err := loadGate(*tenants, *slo)
+	if err != nil {
+		return err
+	}
+
+	// Elastic mode: the gateway owns its replica pool and autoscales it
+	// between -min and -max under queue-depth/latency pressure.
+	if *maxReplicas > 0 {
+		if *models == "" {
+			return fmt.Errorf("gateway: -models is required with -min/-max")
+		}
+		if *replicas > 0 || *backends != "" {
+			return fmt.Errorf("gateway: -min/-max replaces -replicas/-backends")
+		}
+		if err := os.MkdirAll(*models, 0o755); err != nil {
+			return err
+		}
+		gw, as, err := gateway.NewElastic(
+			gateway.Config{
+				HealthInterval:   *health,
+				EdgeCacheEntries: *edge,
+				AccessLog:        *accessLog,
+				Gate:             gate,
+			},
+			serve.ServiceConfig{
+				Registry:     serve.RegistryConfig{Dir: *models, Seed: *seed},
+				Workers:      *workers,
+				CacheEntries: *cache,
+			},
+			gateway.AutoscaleConfig{Min: *minReplicas, Max: *maxReplicas, P99SLO: *slo},
+		)
+		if err != nil {
+			return err
+		}
+		defer gw.Close()
+		defer as.Close()
+		fmt.Printf("yala gateway: listening on %s, elastic pool %d..%d replicas (%d booted)\n",
+			*addr, *minReplicas, *maxReplicas, as.Active())
+		if gate != nil {
+			fmt.Printf("  tenants: admission gate on (%d tenants incl. anonymous)\n", len(gate.Registry().Tenants()))
+		}
+		fmt.Printf("  routing: rendezvous on (nf, hw, backend); reloads fan out; GET /v2/gateway/stats /metrics\n")
+		return http.ListenAndServe(*addr, gw.Handler())
+	}
 
 	var urls []string
 	if *backends != "" {
@@ -416,6 +475,7 @@ func cmdGateway(args []string) error {
 		HealthInterval:   *health,
 		EdgeCacheEntries: *edge,
 		AccessLog:        *accessLog,
+		Gate:             gate,
 	})
 	if err != nil {
 		return err
@@ -425,8 +485,25 @@ func cmdGateway(args []string) error {
 	for i, u := range urls {
 		fmt.Printf("  replica %d: %s\n", i, u)
 	}
+	if gate != nil {
+		fmt.Printf("  tenants: admission gate on (%d tenants incl. anonymous)\n", len(gate.Registry().Tenants()))
+	}
 	fmt.Printf("  routing: rendezvous on (nf, hw, backend); reloads fan out; GET /v2/gateway/stats /metrics\n")
 	return http.ListenAndServe(*addr, gw.Handler())
+}
+
+// loadGate builds the multi-tenant admission gate from a -tenants key
+// file; "" means no gate (the pre-tenancy behavior, no admission
+// control at all). slo overrides the gate's p99 objective when > 0.
+func loadGate(path string, slo time.Duration) (*tenant.Gate, error) {
+	if path == "" {
+		return nil, nil
+	}
+	reg, err := tenant.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return tenant.NewGate(reg, tenant.GateConfig{P99SLO: slo}), nil
 }
 
 // cmdLoadgen replays randomized arrival scenarios against a live server.
@@ -446,6 +523,10 @@ func cmdLoadgen(args []string) error {
 	admit := fs.Float64("admit", 0, "fraction of Admit requests")
 	seed := fs.Uint64("seed", 1, "scenario seed")
 	gw := fs.Bool("gateway", false, "the URL is a yala gateway: report per-replica distribution and edge-cache counters")
+	tenantsN := fs.Int("tenants", 0, "multi-tenant mode: simulate n tenants with keys tenant-0..tenant-(n-1)")
+	tenantKeys := fs.String("tenant-keys", "", "multi-tenant mode: comma-separated explicit API keys (overrides -tenants)")
+	hot := fs.Int("hot", -1, "index of the hostile flooder among the tenants (unpaced; -1 = none)")
+	quietRPS := fs.Float64("quietrps", 20, "paced request rate per non-hot tenant")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path")
 	fs.Parse(args)
 
@@ -461,6 +542,20 @@ func cmdLoadgen(args []string) error {
 		DiagnoseFrac:   *diagnose,
 		AdmitFrac:      *admit,
 		Gateway:        *gw,
+		HotTenant:      *hot,
+		QuietRPS:       *quietRPS,
+	}
+	if *tenantKeys != "" {
+		for _, k := range strings.Split(*tenantKeys, ",") {
+			cfg.TenantKeys = append(cfg.TenantKeys, strings.TrimSpace(k))
+		}
+	} else {
+		for i := 0; i < *tenantsN; i++ {
+			cfg.TenantKeys = append(cfg.TenantKeys, fmt.Sprintf("tenant-%d", i))
+		}
+	}
+	if *hot >= len(cfg.TenantKeys) {
+		return fmt.Errorf("loadgen: -hot %d is out of range for %d tenants", *hot, len(cfg.TenantKeys))
 	}
 	if *nfs != "" {
 		for _, name := range strings.Split(*nfs, ",") {

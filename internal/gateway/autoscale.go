@@ -1,0 +1,330 @@
+package gateway
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// AutoscaleConfig tunes the elastic replica pool behind
+// `yala gateway -min/-max`.
+type AutoscaleConfig struct {
+	// Min and Max bound the pool. Min replicas boot immediately; the
+	// ring is sized for Max so scale-ups never reshuffle key ranges.
+	Min, Max int
+	// Interval is the evaluation tick (default 1s).
+	Interval time.Duration
+	// TargetInflight is the per-replica in-flight request count the
+	// pressure score normalizes against (default 8): at score 1.0 the
+	// fleet is running exactly at target.
+	TargetInflight int
+	// P99SLO is the latency objective; the windowed p99 of the last tick
+	// over it also saturates the pressure score (default 250ms) — the
+	// combined-signal stance: queue depth alone misses a fleet that is
+	// slow but not backlogged.
+	P99SLO time.Duration
+	// UpAfter is how many consecutive ticks at score ≥ 1 trigger a
+	// scale-up (default 3) — hysteresis against one bursty tick.
+	UpAfter int
+	// DownAfter is how many consecutive ticks at score ≤ IdleBelow
+	// trigger a scale-down (default 10): draining is cheap to defer and
+	// expensive to flap.
+	DownAfter int
+	// IdleBelow is the score under which a tick counts as idle
+	// (default 0.25).
+	IdleBelow float64
+	// DrainGrace is how long a detached replica keeps running before its
+	// process closes, letting in-flight requests finish (default 1s).
+	DrainGrace time.Duration
+}
+
+func (c *AutoscaleConfig) fillDefaults() error {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("gateway: autoscale max %d < min %d", c.Max, c.Min)
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.TargetInflight <= 0 {
+		c.TargetInflight = 8
+	}
+	if c.P99SLO <= 0 {
+		c.P99SLO = 250 * time.Millisecond
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 3
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 10
+	}
+	if c.IdleBelow <= 0 {
+		c.IdleBelow = 0.25
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	return nil
+}
+
+// Autoscaler grows and shrinks an in-process replica pool behind a
+// gateway: sustained pressure (in-flight requests over target, or the
+// last tick's p99 over SLO) spawns a replica into a vacant ring slot;
+// sustained idleness detaches the highest slot and closes its replica
+// after a drain grace. Detached slots queue reload fan-outs, so a slot
+// re-attached later replays what it missed and never serves stale.
+type Autoscaler struct {
+	g      *Gateway
+	svcCfg serve.ServiceConfig
+	cfg    AutoscaleConfig
+
+	mu        sync.Mutex
+	pool      map[int]*Replica // slot → live in-process replica
+	upTicks   int
+	downTicks int
+	lastCum   []uint64 // reqSeconds snapshot at the previous tick
+
+	scaleUps   atomic.Uint64
+	scaleDowns atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewElastic boots an elastic serving fleet: cfg.Min in-process
+// replicas (SpawnReplicas over svcCfg), a gateway whose ring is sized
+// for cfg.Max, and the autoscaler loop that moves the pool between the
+// two bounds. gwCfg.Backends and gwCfg.Slots are derived and must be
+// empty/zero. Close the Autoscaler first, then the Gateway.
+func NewElastic(gwCfg Config, svcCfg serve.ServiceConfig, asCfg AutoscaleConfig) (*Gateway, *Autoscaler, error) {
+	if err := asCfg.fillDefaults(); err != nil {
+		return nil, nil, err
+	}
+	if len(gwCfg.Backends) != 0 || gwCfg.Slots != 0 {
+		return nil, nil, fmt.Errorf("gateway: NewElastic derives Backends and Slots; set Min/Max instead")
+	}
+	replicas, err := SpawnReplicas(asCfg.Min, svcCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, rep := range replicas {
+		gwCfg.Backends = append(gwCfg.Backends, rep.URL)
+	}
+	gwCfg.Slots = asCfg.Max
+	g, err := New(gwCfg)
+	if err != nil {
+		CloseReplicas(replicas)
+		return nil, nil, err
+	}
+	as := &Autoscaler{
+		g:      g,
+		svcCfg: svcCfg,
+		cfg:    asCfg,
+		pool:   map[int]*Replica{},
+		stop:   make(chan struct{}),
+	}
+	for i, rep := range replicas {
+		as.pool[i] = rep
+	}
+	if gwCfg.Gate != nil {
+		// Re-wire the gate's queue signal to the autoscaler's own
+		// target, so shedding and scaling read the same pressure.
+		gwCfg.Gate.SetQueueFunc(func() float64 {
+			return as.pressureFromInflight()
+		})
+	}
+	g.obs.GaugeFunc("gateway_autoscale_pool", func() float64 { return float64(as.Active()) })
+	g.obs.CounterFunc("gateway_autoscale_up_total", as.scaleUps.Load)
+	g.obs.CounterFunc("gateway_autoscale_down_total", as.scaleDowns.Load)
+	as.wg.Add(1)
+	go as.loop()
+	return g, as, nil
+}
+
+// Close stops the autoscaler loop and every replica it owns.
+func (as *Autoscaler) Close() {
+	as.stopOnce.Do(func() { close(as.stop) })
+	as.wg.Wait()
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for slot, rep := range as.pool {
+		rep.Close()
+		delete(as.pool, slot)
+	}
+}
+
+// Active returns the current pool size.
+func (as *Autoscaler) Active() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return len(as.pool)
+}
+
+// ScaleUps and ScaleDowns count lifecycle events (tests, metrics).
+func (as *Autoscaler) ScaleUps() uint64   { return as.scaleUps.Load() }
+func (as *Autoscaler) ScaleDowns() uint64 { return as.scaleDowns.Load() }
+
+func (as *Autoscaler) loop() {
+	defer as.wg.Done()
+	ticker := time.NewTicker(as.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-as.stop:
+			return
+		case <-ticker.C:
+			as.tick()
+		}
+	}
+}
+
+// pressureFromInflight is the queue-occupancy signal: gateway in-flight
+// requests against the pool's aggregate target.
+func (as *Autoscaler) pressureFromInflight() float64 {
+	active := as.Active()
+	if active == 0 {
+		return 1
+	}
+	return float64(as.g.inflight.Load()) / float64(active*as.cfg.TargetInflight)
+}
+
+// tick evaluates one interval and applies at most one scaling action.
+func (as *Autoscaler) tick() {
+	score := as.evaluate()
+	as.mu.Lock()
+	active := len(as.pool)
+	var action func()
+	switch {
+	case score >= 1:
+		as.downTicks = 0
+		as.upTicks++
+		if as.upTicks >= as.cfg.UpAfter && active < as.cfg.Max {
+			as.upTicks = 0
+			action = as.scaleUpLocked()
+		}
+	case score <= as.cfg.IdleBelow:
+		as.upTicks = 0
+		as.downTicks++
+		if as.downTicks >= as.cfg.DownAfter && active > as.cfg.Min {
+			as.downTicks = 0
+			action = as.scaleDownLocked()
+		}
+	default:
+		as.upTicks, as.downTicks = 0, 0
+	}
+	as.mu.Unlock()
+	if action != nil {
+		action()
+	}
+}
+
+// evaluate computes the pressure score for the tick that just ended:
+// the maximum of in-flight occupancy and the tick's windowed p99 over
+// SLO. Windowing subtracts the previous reqSeconds snapshot, so an old
+// latency spike cannot hold the score up forever.
+func (as *Autoscaler) evaluate() float64 {
+	uppers, cum := as.g.reqSeconds.CumulativeBuckets()
+	as.mu.Lock()
+	var delta []uint64
+	if len(as.lastCum) == len(cum) {
+		delta = make([]uint64, len(cum))
+		for i := range cum {
+			delta[i] = cum[i] - as.lastCum[i]
+		}
+	} else {
+		delta = cum
+	}
+	as.lastCum = cum
+	as.mu.Unlock()
+
+	score := as.pressureFromInflight()
+	if total := delta[len(delta)-1]; total >= 4 {
+		// Too few samples and the p99 is one request's noise.
+		p99 := obs.BucketQuantile(uppers, delta, 0.99)
+		if s := p99 / as.cfg.P99SLO.Seconds(); s > score {
+			score = s
+		}
+	}
+	return score
+}
+
+// scaleUpLocked (as.mu held) picks the first vacant slot and returns
+// the action — spawn, attach, adopt — to run unlocked: attaching
+// probes and drains over the network and must not block Active().
+func (as *Autoscaler) scaleUpLocked() func() {
+	slot := -1
+	for s := 0; s < as.cfg.Max; s++ {
+		if _, occupied := as.pool[s]; !occupied {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		return nil
+	}
+	// Reserve the slot so a concurrent evaluation cannot double-fill it.
+	as.pool[slot] = nil
+	return func() {
+		reps, err := SpawnReplicas(1, as.svcCfg)
+		if err == nil {
+			err = as.g.Attach(slot, reps[0].URL)
+			if err != nil {
+				CloseReplicas(reps)
+			}
+		}
+		as.mu.Lock()
+		if err != nil {
+			delete(as.pool, slot)
+			as.mu.Unlock()
+			log.Printf("gateway: autoscale up failed: %v", err)
+			return
+		}
+		as.pool[slot] = reps[0]
+		as.mu.Unlock()
+		as.scaleUps.Add(1)
+		log.Printf("gateway: autoscale up: slot %d -> %s (pool %d)", slot, reps[0].URL, as.Active())
+	}
+}
+
+// scaleDownLocked (as.mu held) removes the highest occupied slot from
+// the pool and returns the action that detaches it and closes the
+// replica after the drain grace.
+func (as *Autoscaler) scaleDownLocked() func() {
+	slot := -1
+	for s := range as.pool {
+		if s > slot && as.pool[s] != nil {
+			slot = s
+		}
+	}
+	if slot < 0 {
+		return nil
+	}
+	rep := as.pool[slot]
+	delete(as.pool, slot)
+	return func() {
+		if _, err := as.g.Detach(slot); err != nil {
+			log.Printf("gateway: autoscale down: detach slot %d: %v", slot, err)
+		}
+		as.scaleDowns.Add(1)
+		log.Printf("gateway: autoscale down: slot %d (pool %d)", slot, as.Active())
+		// New traffic stopped at Detach; give in-flight proxies the
+		// grace to finish before the process goes away.
+		as.wg.Add(1)
+		go func() {
+			defer as.wg.Done()
+			select {
+			case <-time.After(as.cfg.DrainGrace):
+			case <-as.stop:
+			}
+			rep.Close()
+		}()
+	}
+}

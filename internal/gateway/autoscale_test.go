@@ -1,0 +1,215 @@
+package gateway
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/yalaclient"
+)
+
+// TestDetachReattachReplaysReload is the non-stale-rejoin proof behind
+// elastic scale-down: a reload fanned out while a slot is vacant queues
+// on the slot, and whatever replica attaches there next replays it
+// before taking traffic.
+func TestDetachReattachReplaysReload(t *testing.T) {
+	a, b := newStubReplica(t, "a"), newStubReplica(t, "b")
+	g, ts := testGateway(t, -1, a, b)
+
+	url, err := g.Detach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if url != b.url() {
+		t.Fatalf("detached %q, want %q", url, b.url())
+	}
+
+	// Fan out while slot 1 is vacant: only the attached replica dials.
+	status, body := post(t, ts.URL+"/v2/models/FlowStats/yala:reload", ``)
+	if status != 200 {
+		t.Fatalf("reload with a vacant slot: %d %s", status, body)
+	}
+	if _, ra := a.counts(); ra != 1 {
+		t.Fatalf("attached replica reloads = %d, want 1", ra)
+	}
+	if _, rb := b.counts(); rb != 0 {
+		t.Fatalf("detached replica dialed anyway (%d reloads)", rb)
+	}
+
+	// A fresh replica fills the slot and must replay the missed reload
+	// during Attach, before any routed traffic can reach it stale.
+	c := newStubReplica(t, "c")
+	if err := g.Attach(1, c.url()); err != nil {
+		t.Fatal(err)
+	}
+	if _, rc := c.counts(); rc != 1 {
+		t.Fatalf("rejoining replica replayed %d reloads, want 1", rc)
+	}
+
+	st, err := yalaclient.New(ts.URL).GatewayStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Replicas) != 2 || st.Slots != 2 {
+		t.Fatalf("stats after reattach: %+v", st)
+	}
+	for _, r := range st.Replicas {
+		if r.PendingReloads != 0 {
+			t.Fatalf("replica %s still holds pending reloads after replay", r.URL)
+		}
+		if r.URL == b.url() {
+			t.Fatal("detached replica still listed in stats")
+		}
+	}
+}
+
+// TestAutoscalerSignals drives evaluate/tick directly with fabricated
+// signals: in-flight pressure, windowed p99 pressure (and its reset
+// once the window moves on), and the consecutive-tick hysteresis.
+func TestAutoscalerSignals(t *testing.T) {
+	a := newStubReplica(t, "a")
+	g, _ := testGateway(t, -1, a)
+	as := &Autoscaler{
+		g:    g,
+		cfg:  AutoscaleConfig{Min: 1, Max: 1, UpAfter: 3, DownAfter: 3},
+		pool: map[int]*Replica{0: nil},
+		stop: make(chan struct{}),
+	}
+	if err := as.cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+
+	if score := as.evaluate(); score != 0 {
+		t.Fatalf("idle score = %g, want 0", score)
+	}
+
+	// Queue signal: 16 in flight against 1 replica × target 8 → 2.0.
+	g.inflight.Store(16)
+	if score := as.evaluate(); score != 2 {
+		t.Fatalf("inflight score = %g, want 2", score)
+	}
+	g.inflight.Store(0)
+
+	// Latency signal: a burst of 1s requests against a 250ms SLO.
+	for i := 0; i < 20; i++ {
+		g.reqSeconds.Observe(1.0)
+	}
+	if score := as.evaluate(); score < 2 {
+		t.Fatalf("p99 score = %g, want >= 2 (1s observed vs 250ms SLO)", score)
+	}
+	// The window moved on: the old spike must not pin the score high.
+	if score := as.evaluate(); score != 0 {
+		t.Fatalf("score after quiet window = %g, want 0 (stale p99 retained)", score)
+	}
+
+	// Hysteresis: with Max == active the up branch can't act, so the
+	// counters are observable. One busy tick then one idle tick must
+	// not accumulate toward a scale-up.
+	g.inflight.Store(16)
+	as.tick()
+	if as.upTicks != 1 {
+		t.Fatalf("upTicks = %d after one busy tick, want 1", as.upTicks)
+	}
+	g.inflight.Store(0)
+	as.tick()
+	if as.upTicks != 0 || as.downTicks != 1 {
+		t.Fatalf("ticks = up %d / down %d after idle tick, want 0/1", as.upTicks, as.downTicks)
+	}
+	g.inflight.Store(4) // mid-band: neither busy nor idle
+	as.tick()
+	if as.upTicks != 0 || as.downTicks != 0 {
+		t.Fatalf("mid-band tick kept counters: up %d / down %d", as.upTicks, as.downTicks)
+	}
+}
+
+// TestElasticScaleUpAndDown is the acceptance run: a -min 1 -max 3
+// fleet of real replicas scales up under sustained concurrent load and
+// back down to min when idle, with zero client-visible errors across
+// both transitions.
+func TestElasticScaleUpAndDown(t *testing.T) {
+	g, as, err := NewElastic(
+		Config{HealthInterval: 20 * time.Millisecond, EdgeCacheEntries: -1},
+		quickServiceConfig(t.TempDir()),
+		AutoscaleConfig{
+			Min:            1,
+			Max:            3,
+			Interval:       25 * time.Millisecond,
+			TargetInflight: 1,
+			UpAfter:        2,
+			DownAfter:      4,
+			DrainGrace:     50 * time.Millisecond,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { as.Close(); g.Close() })
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+
+	if got := as.Active(); got != 1 {
+		t.Fatalf("boot pool = %d, want min 1", got)
+	}
+
+	// Sustained concurrent load: 8 workers keep gateway in-flight well
+	// over the pool's aggregate target.
+	stop := make(chan struct{})
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	models := []string{"FlowStats", "ACL"}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := yalaclient.New(ts.URL)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := models[(w+i)%len(models)]
+				if _, err := client.Predict(context.Background(), yalaclient.ModelID{NF: m}, "", yalaclient.PredictParams{}); err != nil {
+					failures.Add(1)
+					t.Logf("predict %s: %v", m, err)
+				}
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for as.Active() < 2 {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("pool never scaled up under load (active=%d)", as.Active())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Idle: the pool must drain back to min.
+	deadline = time.Now().Add(30 * time.Second)
+	for as.Active() > 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never scaled down when idle (active=%d)", as.Active())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d client errors across scale transitions, want 0", n)
+	}
+	if as.ScaleUps() == 0 || as.ScaleDowns() == 0 {
+		t.Fatalf("lifecycle counters up=%d down=%d, want both > 0", as.ScaleUps(), as.ScaleDowns())
+	}
+
+	// The fleet still answers after the churn, from the min-size pool.
+	if _, err := yalaclient.New(ts.URL).Predict(context.Background(), yalaclient.ModelID{NF: "FlowStats"}, "", yalaclient.PredictParams{}); err != nil {
+		t.Fatalf("predict after scale-down: %v", err)
+	}
+}

@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/tenant"
 	"repro/pkg/yalaclient"
 )
 
@@ -69,6 +70,16 @@ const (
 type Config struct {
 	// Backends are the replica base URLs traffic shards across.
 	Backends []string
+	// Slots sizes the hash ring: len(Backends) (the default) for a
+	// static fleet, larger to leave vacant slots an autoscaler can
+	// Attach replicas into later. Keys hash against slot indices, so a
+	// ring sized for the maximum fleet keeps key→slot assignment stable
+	// as replicas come and go.
+	Slots int
+	// Gate, when set, mounts the multi-tenant admission gate on the
+	// gateway surface: API-key auth, per-tenant rate limits, and load
+	// shedding before any fan-out (see internal/tenant).
+	Gate *tenant.Gate
 	// HealthInterval is the active probe period (default 500ms);
 	// HealthTimeout bounds one probe or pending-reload replay (default
 	// 2s).
@@ -105,26 +116,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// replica is one backend the gateway routes to.
+// replica is one slot in the gateway's hash ring. The slot is the
+// stable identity keys hash against; which backend (if any) currently
+// occupies it lives in the atomically-swapped endpoint (membership.go),
+// so an autoscaler can attach and detach backends without reshuffling
+// any other slot's key range.
 type replica struct {
-	url    string
-	slot   int                // position in Config.Backends — the hash identity
-	client *yalaclient.Client // health probes and pending-reload replay
+	slot int // ring position — the hash identity
 
-	healthy  atomic.Bool
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	fanouts  atomic.Uint64
+	// ep is the current attachment; nil marks the slot vacant (skipped
+	// by routing, fan-outs queue on pending instead of dialing).
+	ep atomic.Pointer[endpoint]
 
-	// upstream records proxied round-trip latency to this replica
-	// (gateway_upstream_seconds{replica=url}).
-	upstream *obs.Histogram
+	healthy atomic.Bool
 
-	// pending holds reload fan-outs this replica missed while down,
-	// keyed "backend|nf"; the health loop replays them on recovery so
-	// the replica never rejoins serving a stale model. The seq guards
-	// replay-vs-new-failure races: a drain only clears the entry it
-	// actually replayed.
+	// pending holds reload fan-outs this slot missed while its backend
+	// was down or the slot vacant, keyed "backend|nf"; the health loop
+	// (or the next Attach) replays them so a rejoining replica never
+	// serves a stale model. The seq guards replay-vs-new-failure races:
+	// a drain only clears the entry it actually replayed.
 	mu      sync.Mutex
 	pending map[string]pendingReload
 }
@@ -146,6 +156,7 @@ type Gateway struct {
 	fanouts    atomic.Uint64
 	pendingSeq atomic.Uint64
 	ridCounter atomic.Uint64
+	inflight   atomic.Int64
 
 	obs        *obs.Registry
 	reqSeconds *obs.Histogram
@@ -172,34 +183,62 @@ func New(cfg Config) (*Gateway, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("gateway: need at least one replica backend URL")
 	}
+	if cfg.Slots < len(cfg.Backends) {
+		cfg.Slots = len(cfg.Backends)
+	}
 	g := &Gateway{
 		cfg:   cfg,
 		httpc: cfg.Client,
 		edge:  serve.NewCache(cfg.EdgeCacheEntries),
 		stop:  make(chan struct{}),
 	}
+	eps := make([]*endpoint, len(cfg.Backends))
 	for i, u := range cfg.Backends {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
-			// A phantom empty-URL replica would boot optimistically
-			// healthy and then fail every send and probe forever —
-			// reject the typo (e.g. a trailing comma) at construction.
-			return nil, fmt.Errorf("gateway: backend %d has an empty URL", i)
+		// A phantom empty-URL replica would boot optimistically healthy
+		// and then fail every send and probe forever — reject the typo
+		// (e.g. a trailing comma) at construction.
+		ep, err := newEndpoint(u)
+		if err != nil {
+			return nil, fmt.Errorf("gateway: backend %d: %w", i, err)
 		}
-		rep := &replica{
-			url:     u,
-			slot:    i,
-			client:  yalaclient.New(u),
-			pending: map[string]pendingReload{},
+		eps[i] = ep
+	}
+	for slot := 0; slot < cfg.Slots; slot++ {
+		rep := &replica{slot: slot, pending: map[string]pendingReload{}}
+		if slot < len(eps) {
+			rep.ep.Store(eps[slot])
+			rep.healthy.Store(true)
 		}
-		rep.healthy.Store(true)
 		g.replicas = append(g.replicas, rep)
 	}
 	g.initObs()
+	for _, rep := range g.replicas {
+		if ep := rep.ep.Load(); ep != nil {
+			g.registerEndpointObs(rep, ep)
+		}
+	}
+	if cfg.Gate != nil {
+		// The gate's queue-pressure signal is the gateway's in-flight
+		// request count against the attached fleet's nominal capacity;
+		// an autoscaler may re-wire this with its own target.
+		cfg.Gate.SetQueueFunc(func() float64 {
+			active := g.attachedCount()
+			if active == 0 {
+				return 1
+			}
+			return float64(g.inflight.Load()) / float64(active*defaultInflightTarget)
+		})
+		cfg.Gate.SetObs(g.obs)
+	}
 	g.wg.Add(1)
 	go g.healthLoop()
 	return g, nil
 }
+
+// defaultInflightTarget is the per-replica in-flight request count the
+// gate's queue signal normalizes against when no autoscaler overrides
+// it.
+const defaultInflightTarget = 32
 
 // Close stops the health loop. In-flight proxied requests finish on
 // their own contexts.
@@ -208,11 +247,13 @@ func (g *Gateway) Close() {
 	g.wg.Wait()
 }
 
-// Replicas lists the replica base URLs in slot order.
+// Replicas lists the attached replica base URLs in slot order.
 func (g *Gateway) Replicas() []string {
-	urls := make([]string, len(g.replicas))
-	for i, rep := range g.replicas {
-		urls[i] = rep.url
+	var urls []string
+	for _, rep := range g.replicas {
+		if ep := rep.ep.Load(); ep != nil {
+			urls = append(urls, ep.url)
+		}
 	}
 	return urls
 }
@@ -237,18 +278,22 @@ func (g *Gateway) healthLoop() {
 func (g *Gateway) probeAll() {
 	var wg sync.WaitGroup
 	for _, rep := range g.replicas {
+		ep := rep.ep.Load()
+		if ep == nil {
+			continue // vacant slot: nothing to probe
+		}
 		wg.Add(1)
-		go func(rep *replica) {
+		go func(rep *replica, ep *endpoint) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
 			defer cancel()
-			if err := rep.client.Health(ctx); err != nil {
+			if err := ep.client.Health(ctx); err != nil {
 				rep.healthy.Store(false)
 				return
 			}
 			g.drainPending(rep)
 			rep.healthy.Store(true)
-		}(rep)
+		}(rep, ep)
 	}
 	wg.Wait()
 }
@@ -258,6 +303,10 @@ func (g *Gateway) probeAll() {
 // duplicate replay is harmless; an entry clears on success or on a 4xx
 // (the reload was invalid everywhere — nothing to catch up on).
 func (g *Gateway) drainPending(rep *replica) {
+	ep := rep.ep.Load()
+	if ep == nil {
+		return
+	}
 	rep.mu.Lock()
 	missed := make([]pendingReload, 0, len(rep.pending))
 	for _, p := range rep.pending {
@@ -266,7 +315,7 @@ func (g *Gateway) drainPending(rep *replica) {
 	rep.mu.Unlock()
 	for _, p := range missed {
 		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
-		err := rep.client.Reload(ctx, yalaclient.ModelID{NF: p.nf}, p.backend)
+		err := ep.client.Reload(ctx, yalaclient.ModelID{NF: p.nf}, p.backend)
 		cancel()
 		var apiErr *yalaclient.APIError
 		if err == nil || (errors.As(err, &apiErr) && apiErr.StatusCode < 500) {
@@ -302,20 +351,32 @@ func hashSlot(key string, slot int) uint64 {
 	return h.Sum64()
 }
 
-// rank orders replicas for a routing key: healthy replicas in
+// rankedReplica pairs a slot with the endpoint snapshot routing will
+// dial — snapshotted once so a concurrent Detach cannot nil it mid-use.
+type rankedReplica struct {
+	rep *replica
+	ep  *endpoint
+}
+
+// rank orders the attached replicas for a routing key: healthy ones in
 // rendezvous order (highest score first), then unhealthy ones as a last
 // resort — trying a probably-dead replica beats failing outright when
-// passive marking lags a recovery. Health is snapshotted once so a
+// passive marking lags a recovery. Vacant slots never rank: there is
+// nothing to dial. Health and endpoint are snapshotted once so a
 // concurrent flip cannot drop a replica from the ordering.
-func (g *Gateway) rank(key string) []*replica {
+func (g *Gateway) rank(key string) []rankedReplica {
 	type scored struct {
-		rep     *replica
+		rankedReplica
 		healthy bool
 		h       uint64
 	}
-	all := make([]scored, len(g.replicas))
-	for i, rep := range g.replicas {
-		all[i] = scored{rep, rep.healthy.Load(), hashSlot(key, rep.slot)}
+	all := make([]scored, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		ep := rep.ep.Load()
+		if ep == nil {
+			continue
+		}
+		all = append(all, scored{rankedReplica{rep, ep}, rep.healthy.Load(), hashSlot(key, rep.slot)})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].healthy != all[j].healthy {
@@ -323,9 +384,9 @@ func (g *Gateway) rank(key string) []*replica {
 		}
 		return all[i].h > all[j].h
 	})
-	out := make([]*replica, len(all))
+	out := make([]rankedReplica, len(all))
 	for i, s := range all {
-		out[i] = s.rep
+		out[i] = s.rankedReplica
 	}
 	return out
 }
@@ -410,7 +471,14 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/stats", g.handleAggregateStats)
 	mux.HandleFunc("POST /v2/models:batchPredict", g.handleBatchScatter)
 	mux.HandleFunc("/", g.handleProxy)
-	return g.withObs(mux)
+	var h http.Handler = mux
+	if g.cfg.Gate != nil {
+		// The admission gate sits inside withObs — its 429/401 envelopes
+		// carry the request ID the trace middleware minted — and outside
+		// the routing mux, so shed requests never consume a replica.
+		h = g.cfg.Gate.Middleware(h)
+	}
+	return g.withObs(h)
 }
 
 // handleHealthz reports gateway liveness: up while at least one replica
@@ -418,7 +486,7 @@ func (g *Gateway) Handler() http.Handler {
 // means "can route".
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, rep := range g.replicas {
-		if rep.healthy.Load() {
+		if rep.ep.Load() != nil && rep.healthy.Load() {
 			w.Write([]byte("ok\n"))
 			return
 		}
@@ -467,7 +535,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	gen := g.reloadGen.Load()
-	rep, status, hdr, respBody, err := g.sendWithFailover(r.Context(), rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	ep, status, hdr, respBody, err := g.sendWithFailover(r.Context(), rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
 	if err != nil {
 		if r.Context().Err() != nil {
 			g.writeError(w, http.StatusServiceUnavailable, "unavailable", "client canceled: "+err.Error())
@@ -488,7 +556,7 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	copyResponseHeaders(w, hdr)
-	w.Header().Set("X-Gateway-Replica", rep.url)
+	w.Header().Set("X-Gateway-Replica", ep.url)
 	w.WriteHeader(status)
 	w.Write(respBody)
 }
@@ -508,26 +576,30 @@ func copyResponseHeaders(w http.ResponseWriter, hdr http.Header) {
 // is idempotent (predictions are deterministic; reloads fan out
 // elsewhere), so a retry after an ambiguous failure is safe. HTTP error
 // statuses are replica answers, not failures: they proxy back as-is.
-func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, contentType string, body []byte) (*replica, int, http.Header, []byte, error) {
+func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, contentType string, body []byte) (*endpoint, int, http.Header, []byte, error) {
+	ranked := g.rank(key)
+	if len(ranked) == 0 {
+		return nil, 0, nil, nil, fmt.Errorf("no replica attached")
+	}
 	var lastErr error
-	for i, rep := range g.rank(key) {
+	for i, rr := range ranked {
 		if i > 0 {
 			g.retries.Add(1)
 		}
-		status, hdr, respBody, err := g.send(ctx, rep, method, uri, contentType, body)
+		status, hdr, respBody, err := g.send(ctx, rr.ep, method, uri, contentType, body)
 		if err != nil {
 			lastErr = err
-			rep.errors.Add(1)
+			rr.ep.errors.Add(1)
 			if ctx.Err() != nil {
 				// The client gave up; stop burning replicas (and do not
 				// mark them down for our caller's impatience).
 				return nil, 0, nil, nil, lastErr
 			}
-			rep.healthy.Store(false)
+			rr.rep.healthy.Store(false)
 			continue
 		}
-		rep.requests.Add(1)
-		return rep, status, hdr, respBody, nil
+		rr.ep.requests.Add(1)
+		return rr.ep, status, hdr, respBody, nil
 	}
 	return nil, 0, nil, nil, lastErr
 }
@@ -536,12 +608,12 @@ func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, conten
 // request ID the gateway middleware attached travels upstream as
 // X-Request-Id — the replica adopts it into its own envelope and
 // metrics log line, so one ID names the request end to end.
-func (g *Gateway) send(ctx context.Context, rep *replica, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
+func (g *Gateway) send(ctx context.Context, ep *endpoint, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if len(body) > 0 {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, rep.url+uri, rd)
+	req, err := http.NewRequestWithContext(ctx, method, ep.url+uri, rd)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -553,8 +625,8 @@ func (g *Gateway) send(ctx context.Context, rep *replica, method, uri, contentTy
 	}
 	start := time.Now()
 	resp, err := g.httpc.Do(req)
-	if rep.upstream != nil {
-		rep.upstream.Observe(time.Since(start).Seconds())
+	if ep.upstream != nil {
+		ep.upstream.Observe(time.Since(start).Seconds())
 	}
 	if err != nil {
 		return 0, nil, nil, err
@@ -596,26 +668,36 @@ func (g *Gateway) fanoutReload(w http.ResponseWriter, r *http.Request, rt route,
 
 	type result struct {
 		rep    *replica
+		ep     *endpoint // nil: slot was vacant, nothing dialed
 		status int
 		hdr    http.Header
 		body   []byte
 		err    error
 	}
 	results := make([]result, len(g.replicas))
+	dialed := 0
 	var wg sync.WaitGroup
 	for i, rep := range g.replicas {
+		ep := rep.ep.Load()
+		results[i] = result{rep: rep, ep: ep}
+		if ep == nil {
+			// Vacant slot: a future occupant catches up via the pending
+			// queue the post-processing below fills.
+			continue
+		}
+		dialed++
 		wg.Add(1)
-		go func(i int, rep *replica) {
+		go func(i int, rep *replica, ep *endpoint) {
 			defer wg.Done()
-			status, hdr, respBody, err := g.send(r.Context(), rep, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
-			results[i] = result{rep, status, hdr, respBody, err}
+			status, hdr, respBody, err := g.send(r.Context(), ep, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+			results[i] = result{rep, ep, status, hdr, respBody, err}
 			if err == nil {
-				rep.requests.Add(1)
+				ep.requests.Add(1)
 				if status < 400 {
-					rep.fanouts.Add(1)
+					ep.fanouts.Add(1)
 				}
 			}
-		}(i, rep)
+		}(i, rep, ep)
 	}
 	wg.Wait()
 
@@ -624,27 +706,28 @@ func (g *Gateway) fanoutReload(w http.ResponseWriter, r *http.Request, rt route,
 	for i := range results {
 		res := &results[i]
 		switch {
-		case res.err == nil && res.status < 400:
+		case res.ep != nil && res.err == nil && res.status < 400:
 			applied++
 			if success == nil {
 				success = res
 			}
-		case res.err == nil && res.status < 500:
+		case res.ep != nil && res.err == nil && res.status < 500:
 			if clientErr == nil {
 				clientErr = res
 			}
 		}
 	}
 	// Queue catch-up reloads for replicas that missed an applied (or
-	// ambiguously applied) fan-out; a pure client error applied nowhere
-	// and needs no catch-up.
+	// ambiguously applied) fan-out — including vacant slots, whose next
+	// occupant must not serve the pre-reload model; a pure client error
+	// applied nowhere and needs no catch-up.
 	if clientErr == nil && nfName != "" {
 		for i := range results {
 			res := &results[i]
-			if res.err != nil || res.status >= 500 {
-				if res.err != nil && r.Context().Err() == nil {
+			if res.ep == nil || res.err != nil || res.status >= 500 {
+				if res.ep != nil && res.err != nil && r.Context().Err() == nil {
 					res.rep.healthy.Store(false)
-					res.rep.errors.Add(1)
+					res.ep.errors.Add(1)
 				}
 				g.addPending(res.rep, backendName, nfName)
 			}
@@ -661,7 +744,7 @@ func (g *Gateway) fanoutReload(w http.ResponseWriter, r *http.Request, rt route,
 		w.Write(clientErr.body)
 	case applied > 0:
 		copyResponseHeaders(w, success.hdr)
-		w.Header().Set("X-Gateway-Fanout", fmt.Sprintf("%d/%d", applied, len(results)))
+		w.Header().Set("X-Gateway-Fanout", fmt.Sprintf("%d/%d", applied, dialed))
 		w.WriteHeader(success.status)
 		w.Write(success.body)
 	default:
@@ -709,37 +792,60 @@ func (g *Gateway) handleGatewayStats(w http.ResponseWriter, r *http.Request) {
 	es := g.edge.Stats()
 	out.EdgeHits, out.EdgeMisses, out.EdgeEntries = es.Hits, es.Misses, es.Entries
 
+	eps := make([]*endpoint, len(g.replicas))
 	entries := make([]int, len(g.replicas))
 	var wg sync.WaitGroup
 	for i, rep := range g.replicas {
 		entries[i] = -1
-		if !rep.healthy.Load() {
+		eps[i] = rep.ep.Load()
+		if eps[i] == nil || !rep.healthy.Load() {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, rep *replica) {
+		go func(i int, ep *endpoint) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
 			defer cancel()
-			if st, err := rep.client.Stats(ctx); err == nil {
+			if st, err := ep.client.Stats(ctx); err == nil {
 				entries[i] = st.Cache.Entries
 			}
-		}(i, rep)
+		}(i, eps[i])
 	}
 	wg.Wait()
 	for i, rep := range g.replicas {
+		ep := eps[i]
+		if ep == nil {
+			continue // vacant slot: nothing an operator can dial
+		}
 		rep.mu.Lock()
 		npending := len(rep.pending)
 		rep.mu.Unlock()
 		out.Replicas = append(out.Replicas, yalaclient.GatewayReplicaStats{
-			URL:            rep.url,
+			URL:            ep.url,
+			Slot:           rep.slot,
 			Healthy:        rep.healthy.Load(),
-			Requests:       rep.requests.Load(),
-			Errors:         rep.errors.Load(),
-			Fanouts:        rep.fanouts.Load(),
+			Requests:       ep.requests.Load(),
+			Errors:         ep.errors.Load(),
+			Fanouts:        ep.fanouts.Load(),
 			CacheEntries:   entries[i],
 			PendingReloads: npending,
 		})
+	}
+	out.Slots = len(g.replicas)
+	if g.cfg.Gate != nil {
+		for _, snap := range g.cfg.Gate.Snapshots() {
+			out.Tenants = append(out.Tenants, yalaclient.GatewayTenantStats{
+				Tenant:      snap.Tenant,
+				Limited:     snap.Limited,
+				Requests:    snap.Requests,
+				Interactive: snap.Interactive,
+				Bulk:        snap.Bulk,
+				Shed:        snap.Shed,
+				RateLimited: snap.RateLimited,
+				Overloaded:  snap.Overloaded,
+				Errors:      snap.Errors,
+			})
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -758,16 +864,17 @@ func (g *Gateway) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
 	var wg sync.WaitGroup
 	for i, rep := range g.replicas {
 		results[i].err = fmt.Errorf("unhealthy")
-		if !rep.healthy.Load() {
+		ep := rep.ep.Load()
+		if ep == nil || !rep.healthy.Load() {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, rep *replica) {
+		go func(i int, ep *endpoint) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), g.cfg.HealthTimeout)
 			defer cancel()
-			results[i].st, results[i].err = rep.client.Stats(ctx)
-		}(i, rep)
+			results[i].st, results[i].err = ep.client.Stats(ctx)
+		}(i, ep)
 	}
 	wg.Wait()
 
@@ -890,7 +997,12 @@ func (g *Gateway) handleBatchScatter(w http.ResponseWriter, r *http.Request) {
 		_ = json.Unmarshal(raw, &e)
 		nf, hw := splitModelID(e.Model)
 		key := modelKey(nf, hw, e.Backend)
-		home := g.rank(key)[0]
+		ranked := g.rank(key)
+		if len(ranked) == 0 {
+			g.writeError(w, http.StatusServiceUnavailable, "unavailable", "no replica attached")
+			return
+		}
+		home := ranked[0].rep
 		sub, ok := byReplica[home]
 		if !ok {
 			sub = &subBatch{key: key}

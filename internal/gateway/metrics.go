@@ -13,8 +13,8 @@ import (
 
 // initObs builds the gateway's own metric registry: routing counters
 // the proxy paths already maintain as atomics, edge-cache state, and
-// per-replica health/traffic/latency series. Replica labels use the
-// replica URL — the operator-facing identity — not the slot index.
+// fleet-size gauges. Per-replica series register per attachment
+// (registerEndpointObs) since the fleet is dynamic.
 func (g *Gateway) initObs() {
 	r := obs.NewRegistry()
 	g.obs = r
@@ -25,19 +25,27 @@ func (g *Gateway) initObs() {
 	r.CounterFunc("gateway_edge_misses_total", g.edge.Misses)
 	r.CounterFunc("gateway_edge_evictions_total", g.edge.Evictions)
 	r.GaugeFunc("gateway_edge_entries", func() float64 { return float64(g.edge.Len()) })
+	r.GaugeFunc("gateway_replicas_attached", func() float64 { return float64(g.attachedCount()) })
+	r.GaugeFunc("gateway_inflight_requests", func() float64 { return float64(g.inflight.Load()) })
 	g.reqSeconds = r.Histogram("gateway_request_seconds", nil)
-	for _, rep := range g.replicas {
-		r.GaugeFunc("gateway_replica_up", func() float64 {
-			if rep.healthy.Load() {
-				return 1
-			}
-			return 0
-		}, "replica", rep.url)
-		r.CounterFunc("gateway_replica_requests_total", rep.requests.Load, "replica", rep.url)
-		r.CounterFunc("gateway_replica_errors_total", rep.errors.Load, "replica", rep.url)
-		r.CounterFunc("gateway_replica_fanouts_total", rep.fanouts.Load, "replica", rep.url)
-		rep.upstream = r.Histogram("gateway_upstream_seconds", nil, "replica", rep.url)
-	}
+}
+
+// registerEndpointObs exposes one attachment's series, labeled by the
+// replica URL — the operator-facing identity. The up gauge reports 0
+// once the endpoint is detached (its slot moved on), so a superseded
+// URL reads as a down target rather than mirroring its successor.
+func (g *Gateway) registerEndpointObs(rep *replica, ep *endpoint) {
+	r := g.obs
+	r.GaugeFunc("gateway_replica_up", func() float64 {
+		if rep.ep.Load() == ep && rep.healthy.Load() {
+			return 1
+		}
+		return 0
+	}, "replica", ep.url)
+	r.CounterFunc("gateway_replica_requests_total", ep.requests.Load, "replica", ep.url)
+	r.CounterFunc("gateway_replica_errors_total", ep.errors.Load, "replica", ep.url)
+	r.CounterFunc("gateway_replica_fanouts_total", ep.fanouts.Load, "replica", ep.url)
+	ep.upstream = r.Histogram("gateway_upstream_seconds", nil, "replica", ep.url)
 }
 
 // Obs exposes the gateway's metric registry.
@@ -78,15 +86,16 @@ func (g *Gateway) scrapeReplicas(ctx context.Context) []*obs.Exposition {
 	exps := make([]*obs.Exposition, len(g.replicas))
 	var wg sync.WaitGroup
 	for i, rep := range g.replicas {
-		if !rep.healthy.Load() {
+		ep := rep.ep.Load()
+		if ep == nil || !rep.healthy.Load() {
 			continue
 		}
 		wg.Add(1)
-		go func(i int, rep *replica) {
+		go func(i int, ep *endpoint) {
 			defer wg.Done()
 			sctx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
 			defer cancel()
-			req, err := http.NewRequestWithContext(sctx, http.MethodGet, rep.url+"/metrics", nil)
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, ep.url+"/metrics", nil)
 			if err != nil {
 				return
 			}
@@ -103,7 +112,7 @@ func (g *Gateway) scrapeReplicas(ctx context.Context) []*obs.Exposition {
 				return
 			}
 			exps[i] = exp
-		}(i, rep)
+		}(i, ep)
 	}
 	wg.Wait()
 	return exps
@@ -134,9 +143,11 @@ func (g *Gateway) withObs(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-Id", rid)
 		tr := obs.NewTrace(rid)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		g.inflight.Add(1)
 		start := time.Now()
 		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
 		dur := time.Since(start)
+		g.inflight.Add(-1)
 		g.reqSeconds.Observe(dur.Seconds())
 		if g.cfg.AccessLog {
 			log.Printf("gateway: rid=%s method=%s path=%s status=%d dur=%s",

@@ -73,6 +73,15 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// CumulativeBuckets returns the histogram's finite bucket upper bounds
+// and a cumulative count snapshot whose final element is the +Inf
+// bucket (== total count). Callers that window a histogram — an
+// autoscaler computing the p99 of the last tick — subtract two
+// snapshots elementwise and feed the delta to BucketQuantile.
+func (h *Histogram) CumulativeBuckets() ([]float64, []uint64) {
+	return h.uppers, h.snapshotCumulative()
+}
+
 // snapshotCumulative returns the cumulative per-bucket counts,
 // including the +Inf bucket as the final element.
 func (h *Histogram) snapshotCumulative() []uint64 {

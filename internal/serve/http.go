@@ -47,7 +47,14 @@ func (s *Service) Handler() http.Handler {
 		writeErrorV2(w, r, http.StatusNotFound, codeNotFound,
 			fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path), nil)
 	})
-	return s.withObs(mux)
+	var h http.Handler = mux
+	if s.cfg.Gate != nil {
+		// The admission gate sits inside withObs — its 429/401 envelopes
+		// carry the request ID the trace middleware minted — and outside
+		// the business mux, so shed requests never reach a worker.
+		h = s.cfg.Gate.Middleware(h)
+	}
+	return s.withObs(h)
 }
 
 // v1Route registers one /v1 endpoint: the method-bound handler, a

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -49,6 +50,18 @@ type LoadgenConfig struct {
 	// request distribution and edge-cache counters alongside the
 	// aggregate latencies.
 	Gateway bool
+	// TenantKeys switches the run to multi-tenant mode: one simulated
+	// tenant per API key (an empty string is the anonymous tenant), with
+	// Workers and Requests split evenly across them. 429 refusals count
+	// as shed traffic, not errors — they are the server doing its job.
+	TenantKeys []string
+	// HotTenant is the index into TenantKeys of one hostile flooder that
+	// sends unpaced, as fast as its workers can; every other tenant
+	// paces itself to QuietRPS. Negative = no flooder.
+	HotTenant int
+	// QuietRPS is each non-hot tenant's paced request rate
+	// (default 20 rps per tenant).
+	QuietRPS float64
 }
 
 func (c LoadgenConfig) withDefaults() LoadgenConfig {
@@ -99,6 +112,12 @@ type LoadgenReport struct {
 	// this run (gateway mode only).
 	EdgeHits   uint64 `json:"edge_hits,omitempty"`
 	EdgeMisses uint64 `json:"edge_misses,omitempty"`
+	// Shed counts 429 refusals across the run (tenant mode). Shed
+	// round trips are neither successes nor errors: the quiet-tenant
+	// isolation claim is "Errors 0 AND Shed 0 for quiet rows".
+	Shed int `json:"shed,omitempty"`
+	// Tenants is the per-tenant breakdown (tenant mode only).
+	Tenants []TenantLoad `json:"tenants,omitempty"`
 	// Stages is the server-side latency attribution for this run: the
 	// delta of the server's yala_stage_seconds histograms between a
 	// /metrics scrape before and after the workload. Client-observed
@@ -117,6 +136,21 @@ type StageStat struct {
 	Avg   time.Duration `json:"avg"`
 	P50   time.Duration `json:"p50"`
 	P99   time.Duration `json:"p99"`
+}
+
+// TenantLoad is one simulated tenant's outcome in a multi-tenant run.
+// Latency percentiles cover only served requests — a shed request's
+// fast rejection would otherwise flatter the numbers.
+type TenantLoad struct {
+	Key      string        `json:"key"`
+	Hot      bool          `json:"hot,omitempty"`
+	Requests int           `json:"requests"`
+	OK       int           `json:"ok"`
+	Shed     int           `json:"shed"`
+	Errors   int           `json:"errors"`
+	RPS      float64       `json:"rps"` // achieved (served) rps
+	P50      time.Duration `json:"p50"`
+	P99      time.Duration `json:"p99"`
 }
 
 // ReplicaLoad is one replica's share of a gateway loadgen run.
@@ -139,6 +173,18 @@ func (r LoadgenReport) String() string {
 		fmt.Fprintf(&b, "\nstage       %-8s n=%-7d avg %v  p50 %v  p99 %v",
 			st.Stage, st.Count, st.Avg.Round(time.Microsecond),
 			st.P50.Round(time.Microsecond), st.P99.Round(time.Microsecond))
+	}
+	for _, tn := range r.Tenants {
+		name := tn.Key
+		if name == "" {
+			name = "(anonymous)"
+		}
+		if tn.Hot {
+			name += " [hot]"
+		}
+		fmt.Fprintf(&b, "\ntenant      %-20s %6d reqs  ok %-6d shed %-6d errs %-4d %7.1f rps  p50 %v  p99 %v",
+			name, tn.Requests, tn.OK, tn.Shed, tn.Errors, tn.RPS,
+			tn.P50.Round(time.Microsecond), tn.P99.Round(time.Microsecond))
 	}
 	if len(r.Replicas) > 0 {
 		fmt.Fprintf(&b, "\nedge cache  %d hits, %d misses this run", r.EdgeHits, r.EdgeMisses)
@@ -170,14 +216,11 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	if cfg.URL == "" {
 		return LoadgenReport{}, fmt.Errorf("serve: loadgen needs a server URL")
 	}
-
-	// Pre-generate the profile pool: the default profile plus random
-	// draws, shared by every worker.
-	rng := sim.NewRNG(cfg.Seed)
-	profiles := []yalaclient.ProfileSpec{clientSpec(traffic.Default)}
-	for len(profiles) < cfg.Profiles {
-		profiles = append(profiles, clientSpec(traffic.Random(rng)))
+	if len(cfg.TenantKeys) > 0 {
+		return loadgenTenants(cfg)
 	}
+
+	profiles := profilePool(cfg)
 
 	var (
 		issued      atomic.Int64
@@ -274,6 +317,146 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 			rep.EdgeHits = counterDelta(after.EdgeHits, gwBefore.EdgeHits)
 			rep.EdgeMisses = counterDelta(after.EdgeMisses, gwBefore.EdgeMisses)
 		}
+	}
+	if ep := firstErr.Load(); ep != nil && rep.Errors > 0 {
+		return rep, fmt.Errorf("serve: loadgen: %d/%d requests failed (first: %w)", rep.Errors, rep.Requests, *ep)
+	}
+	return rep, nil
+}
+
+// profilePool pre-generates the traffic-profile pool every worker
+// draws from: the default profile plus random draws.
+func profilePool(cfg LoadgenConfig) []yalaclient.ProfileSpec {
+	rng := sim.NewRNG(cfg.Seed)
+	profiles := []yalaclient.ProfileSpec{clientSpec(traffic.Default)}
+	for len(profiles) < cfg.Profiles {
+		profiles = append(profiles, clientSpec(traffic.Random(rng)))
+	}
+	return profiles
+}
+
+// loadgenTenants is the multi-tenant run: each key gets its own
+// authenticated client, an even share of the worker pool and request
+// budget, and — unless it is the hostile flooder — pacing to QuietRPS.
+// A 429 is recorded as shed, never as an error: the whole point of the
+// scenario is watching the server refuse the flooder while the quiet
+// tenants ride undisturbed.
+func loadgenTenants(cfg LoadgenConfig) (LoadgenReport, error) {
+	nt := len(cfg.TenantKeys)
+	workersPer := cfg.Workers / nt
+	if workersPer < 1 {
+		workersPer = 1
+	}
+	reqsPer := cfg.Requests / nt
+	if reqsPer < 1 {
+		reqsPer = 1
+	}
+	quiet := cfg.QuietRPS
+	if quiet <= 0 {
+		quiet = 20
+	}
+	profiles := profilePool(cfg)
+
+	type tenantState struct {
+		key            string
+		hot            bool
+		client         *yalaclient.Client
+		issued         atomic.Int64
+		ok, shed, errs atomic.Int64
+		preds          atomic.Int64
+		mu             sync.Mutex
+		lats           []time.Duration // served requests only
+	}
+	states := make([]*tenantState, nt)
+	for i, key := range cfg.TenantKeys {
+		states[i] = &tenantState{
+			key:    key,
+			hot:    i == cfg.HotTenant,
+			client: yalaclient.New(cfg.URL, yalaclient.WithAPIKey(key)),
+		}
+	}
+
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ti, st := range states {
+		// Pacing spreads the tenant's target rate across its workers;
+		// the hot tenant gets none and floods.
+		var pace time.Duration
+		if !st.hot {
+			pace = time.Duration(float64(workersPer) / quiet * float64(time.Second))
+		}
+		for wk := 0; wk < workersPer; wk++ {
+			wg.Add(1)
+			go func(ti, wk int, st *tenantState) {
+				defer wg.Done()
+				wrng := sim.NewRNG(cfg.Seed + uint64(ti)*0x1000193 + uint64(wk)*0x9e3779b9 + 1)
+				for {
+					n := st.issued.Add(1)
+					if n > int64(reqsPer) {
+						return
+					}
+					t0 := time.Now()
+					preds, err := fireOne(st.client, cfg, wrng, profiles)
+					d := time.Since(t0)
+					var rle *yalaclient.RateLimitError
+					switch {
+					case err == nil:
+						st.ok.Add(1)
+						st.preds.Add(int64(preds))
+						st.mu.Lock()
+						st.lats = append(st.lats, d)
+						st.mu.Unlock()
+					case errors.As(err, &rle):
+						st.shed.Add(1)
+					default:
+						st.errs.Add(1)
+						firstErr.CompareAndSwap(nil, &err)
+					}
+					if d < pace {
+						time.Sleep(pace - d)
+					}
+				}
+			}(ti, wk, st)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := LoadgenReport{Duration: elapsed}
+	var all []time.Duration
+	for _, st := range states {
+		sort.Slice(st.lats, func(i, j int) bool { return st.lats[i] < st.lats[j] })
+		row := TenantLoad{
+			Key:      st.key,
+			Hot:      st.hot,
+			Requests: int(st.ok.Load() + st.shed.Load() + st.errs.Load()),
+			OK:       int(st.ok.Load()),
+			Shed:     int(st.shed.Load()),
+			Errors:   int(st.errs.Load()),
+			P50:      percentile(st.lats, 0.50),
+			P99:      percentile(st.lats, 0.99),
+		}
+		if elapsed > 0 {
+			row.RPS = float64(row.OK) / elapsed.Seconds()
+		}
+		rep.Tenants = append(rep.Tenants, row)
+		rep.Requests += row.Requests
+		rep.Predictions += int(st.preds.Load())
+		rep.Shed += row.Shed
+		rep.Errors += row.Errors
+		all = append(all, st.lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / elapsed.Seconds()
+		rep.PPS = float64(rep.Predictions) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = percentile(all, 0.50)
+		rep.P90 = percentile(all, 0.90)
+		rep.P99 = percentile(all, 0.99)
+		rep.Max = all[len(all)-1]
 	}
 	if ep := firstErr.Load(); ep != nil && rep.Errors > 0 {
 		return rep, fmt.Errorf("serve: loadgen: %d/%d requests failed (first: %w)", rep.Errors, rep.Requests, *ep)

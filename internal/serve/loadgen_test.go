@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -133,6 +135,78 @@ func TestLoadgenReportsServerErrors(t *testing.T) {
 	}
 	if rep.Errors != 10 || rep.Requests != 10 {
 		t.Fatalf("errors/requests = %d/%d, want 10/10", rep.Errors, rep.Requests)
+	}
+}
+
+// TestLoadgenTenantMode: the hostile flooder's 429s land in the shed
+// column of its own row — never in Errors, never in the quiet tenant's
+// row — and the run as a whole still exits clean.
+func TestLoadgenTenantMode(t *testing.T) {
+	// A server that admits the hot tenant twice, then sheds it; every
+	// other key is always served.
+	var hotCalls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") == "Bearer k-hot" && hotCalls.Add(1) > 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"resource_exhausted","message":"shed"}}`))
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+
+	rep, err := Loadgen(LoadgenConfig{
+		URL:        ts.URL,
+		Workers:    4,
+		Requests:   40,
+		TenantKeys: []string{"k-quiet", "k-hot"},
+		HotTenant:  1,
+		QuietRPS:   200,
+	})
+	if err != nil {
+		t.Fatalf("tenant-mode run with only 429s must not error: %v", err)
+	}
+	if rep.Requests != 40 || rep.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want 40/0", rep.Requests, rep.Errors)
+	}
+	if rep.Shed != 18 {
+		t.Fatalf("shed = %d, want 18 (20 hot requests minus 2 admitted)", rep.Shed)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant rows: %+v", rep.Tenants)
+	}
+	q, h := rep.Tenants[0], rep.Tenants[1]
+	if q.Key != "k-quiet" || q.Hot || q.OK != 20 || q.Shed != 0 || q.Errors != 0 {
+		t.Fatalf("quiet row %+v", q)
+	}
+	if q.RPS <= 0 || q.P99 <= 0 {
+		t.Fatalf("quiet row missing achieved rps/p99: %+v", q)
+	}
+	if h.Key != "k-hot" || !h.Hot || h.OK != 2 || h.Shed != 18 {
+		t.Fatalf("hot row %+v", h)
+	}
+}
+
+// TestLoadgenTenantModeRealErrors: non-429 failures still fail the run.
+func TestLoadgenTenantModeRealErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	rep, err := Loadgen(LoadgenConfig{
+		URL:        ts.URL,
+		Workers:    2,
+		Requests:   8,
+		TenantKeys: []string{"a", "b"},
+		HotTenant:  -1,
+		QuietRPS:   1000,
+	})
+	if err == nil {
+		t.Fatal("tenant-mode run against an erroring server returned nil error")
+	}
+	if rep.Errors != 8 || rep.Shed != 0 {
+		t.Fatalf("errors/shed = %d/%d, want 8/0", rep.Errors, rep.Shed)
 	}
 }
 

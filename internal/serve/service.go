@@ -18,6 +18,7 @@ import (
 	"repro/internal/nicsim"
 	"repro/internal/obs"
 	"repro/internal/placement"
+	"repro/internal/tenant"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
 )
@@ -37,6 +38,11 @@ type ServiceConfig struct {
 	// duration, stage breakdown). Off by default: the hot path should not
 	// pay for logging unless an operator asked for it.
 	AccessLog bool
+	// Gate, when set, mounts the multi-tenant admission gate on the HTTP
+	// surface: API-key auth, per-tenant rate limits, and load shedding
+	// (see internal/tenant). Nil serves every request unconditionally,
+	// the pre-tenancy behavior.
+	Gate *tenant.Gate
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -118,6 +124,14 @@ func NewService(cfg ServiceConfig) *Service {
 		started:    time.Now(),
 	}
 	s.initObs()
+	if cfg.Gate != nil {
+		// The gate's queue-pressure signal is this service's own job
+		// backlog; its yala_tenant_* series land in this /metrics registry.
+		cfg.Gate.SetQueueFunc(func() float64 {
+			return float64(len(s.jobs)) / float64(cap(s.jobs))
+		})
+		cfg.Gate.SetObs(s.obs)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {

@@ -52,10 +52,19 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("yalaclient: HTTP %d: %s", e.StatusCode, msg)
 }
 
+// RateLimitError is the typed form of a 429 refusal from a
+// multi-tenant server or gateway: the structured envelope plus the
+// parsed Retry-After hint. RetryAfter is 0 when the server sent none.
+type RateLimitError struct {
+	APIError
+	RetryAfter time.Duration
+}
+
 // Client is a typed client for the yala serve /v2 HTTP API.
 type Client struct {
 	base    string
 	httpc   *http.Client
+	apiKey  string
 	timeout time.Duration
 	retries int
 	backoff time.Duration
@@ -68,6 +77,15 @@ type Option func(*Client)
 // transport, proxies, instrumentation).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.httpc = h }
+}
+
+// WithAPIKey authenticates every request as a tenant: the key is sent
+// as an Authorization: Bearer header, which a multi-tenant server or
+// gateway resolves to the tenant's rate limits and accounting. Without
+// a key, requests run as the server's anonymous tenant (or are refused
+// with 401 where a key is required).
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = strings.TrimSpace(key) }
 }
 
 // WithTimeout bounds each request round trip. The default is no
@@ -155,7 +173,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ide
 	backoff := c.backoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		data, status, err := c.roundTrip(ctx, method, path, body)
+		data, status, hdr, err := c.roundTrip(ctx, method, path, body)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -176,6 +194,35 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, ide
 				// does not prove the mutation was not applied.
 				return lastErr
 			}
+		case status == http.StatusTooManyRequests:
+			// A 429 proves the request was refused before any work — the
+			// admission gate sheds ahead of the handler — so retrying is
+			// safe even for Reload. The wait honors the server's
+			// Retry-After (capped), falling back to the backoff schedule,
+			// and fails fast when the caller's deadline cannot cover it:
+			// sleeping into a guaranteed DeadlineExceeded would discard
+			// the structured refusal the caller can actually act on.
+			rle := rateLimitError(status, data, hdr)
+			if attempt >= c.retries {
+				return rle
+			}
+			wait := rle.RetryAfter
+			if wait <= 0 {
+				wait = backoff
+			}
+			if wait > maxRetryAfterWait {
+				wait = maxRetryAfterWait
+			}
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) < wait {
+				return rle
+			}
+			select {
+			case <-time.After(wait):
+				backoff *= 2
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
 		case status >= 400:
 			return apiError(status, data)
 		default:
@@ -207,29 +254,37 @@ func dialError(err error) bool {
 	return errors.As(err, &op) && op.Op == "dial"
 }
 
+// maxRetryAfterWait caps how long the retry loop honors a server's
+// Retry-After hint — a hostile or misconfigured server must not be able
+// to park a client for minutes with one header.
+const maxRetryAfterWait = 10 * time.Second
+
 // roundTrip performs one HTTP exchange and slurps the response.
-func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return data, resp.StatusCode, nil
+	return data, resp.StatusCode, resp.Header, nil
 }
 
 // apiError decodes the /v2 error envelope (falling back to the flat /v1
@@ -252,6 +307,38 @@ func apiError(status int, data []byte) error {
 		return &APIError{StatusCode: status, Message: v1.Error}
 	}
 	return &APIError{StatusCode: status}
+}
+
+// rateLimitError builds the typed 429 error, parsing the Retry-After
+// header (delta-seconds or HTTP-date; unparseable or absent → 0).
+func rateLimitError(status int, data []byte, hdr http.Header) *RateLimitError {
+	e := &RateLimitError{RetryAfter: parseRetryAfter(hdr.Get("Retry-After"))}
+	var base *APIError
+	if errors.As(apiError(status, data), &base) {
+		e.APIError = *base
+	}
+	return e
+}
+
+// parseRetryAfter decodes a Retry-After header value. Both RFC 9110
+// forms are accepted; negatives clamp to 0.
+func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // modelPath renders a backend-scoped custom-method path.

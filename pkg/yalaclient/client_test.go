@@ -249,6 +249,138 @@ func TestRetryHonorsContext(t *testing.T) {
 	}
 }
 
+// TestWithAPIKeyHeader: the key rides every request as a Bearer token.
+func TestWithAPIKeyHeader(t *testing.T) {
+	var auth atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		auth.Store(r.Header.Get("Authorization"))
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithAPIKey(" k-team-a "))
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := auth.Load().(string); got != "Bearer k-team-a" {
+		t.Fatalf("Authorization = %q, want trimmed bearer token", got)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms and the junk cases.
+func TestParseRetryAfter(t *testing.T) {
+	if got := parseRetryAfter("3"); got != 3*time.Second {
+		t.Fatalf("delta-seconds: %v", got)
+	}
+	if got := parseRetryAfter("-2"); got != 0 {
+		t.Fatalf("negative: %v", got)
+	}
+	if got := parseRetryAfter(""); got != 0 {
+		t.Fatalf("absent: %v", got)
+	}
+	if got := parseRetryAfter("soon"); got != 0 {
+		t.Fatalf("garbage: %v", got)
+	}
+	date := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(date); got <= 25*time.Second || got > 30*time.Second {
+		t.Fatalf("http-date: %v", got)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(past); got != 0 {
+		t.Fatalf("past http-date: %v", got)
+	}
+}
+
+// TestRateLimitErrorTyped: a 429 surfaces as *RateLimitError carrying
+// the envelope fields and the parsed Retry-After.
+func TestRateLimitErrorTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"resource_exhausted","message":"tenant over limit","request_id":"req-000007"}}`))
+	}))
+	defer ts.Close()
+	_, err := New(ts.URL).Stats(context.Background())
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("429 decoded as %T: %v", err, err)
+	}
+	if rle.StatusCode != http.StatusTooManyRequests || rle.Code != "resource_exhausted" ||
+		rle.RequestID != "req-000007" || rle.RetryAfter != 2*time.Second {
+		t.Fatalf("rate-limit error fields: %+v", rle)
+	}
+}
+
+// TestRateLimitRetryHonorsRetryAfter: with retry budget, the loop waits
+// out the server's hint and then succeeds — including for the
+// non-idempotent reload, since a 429 proves the request was shed before
+// any work.
+func TestRateLimitRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"resource_exhausted","message":"slow down"}}`))
+			return
+		}
+		fmt.Fprint(w, `{}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(1), WithRetryBackoff(time.Millisecond))
+
+	start := time.Now()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats through a 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry waited %v, want ~1s per Retry-After (not the 1ms backoff)", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("made %d attempts, want 2", got)
+	}
+
+	calls.Store(0)
+	if err := c.Reload(context.Background(), ModelID{NF: "ACL"}, "yala"); err != nil {
+		t.Fatalf("reload through a 429: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("reload made %d attempts through a 429, want 2", got)
+	}
+}
+
+// TestRateLimitFailsFastOnShortDeadline: when the caller's deadline
+// cannot cover the advertised wait, the loop returns the structured
+// refusal immediately instead of sleeping into DeadlineExceeded.
+func TestRateLimitFailsFastOnShortDeadline(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "5")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"resource_exhausted","message":"slow down"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(5), WithRetryBackoff(time.Millisecond))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	var rle *RateLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("short-deadline 429 returned %v, want *RateLimitError", err)
+	}
+	if rle.RetryAfter != 5*time.Second {
+		t.Fatalf("Retry-After %v, want 5s", rle.RetryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Fatalf("fail-fast took %v — the loop slept on a hopeless wait", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("made %d attempts, want 1 (deadline cannot cover any retry)", got)
+	}
+}
+
 // TestRequestShapes pins the wire paths and bodies the SDK emits.
 func TestRequestShapes(t *testing.T) {
 	type seen struct {

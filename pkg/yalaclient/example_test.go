@@ -2,6 +2,7 @@ package yalaclient_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/profiling"
 	"repro/internal/serve"
+	"repro/internal/tenant"
 	"repro/pkg/yalaclient"
 )
 
@@ -64,4 +66,59 @@ func Example() {
 	// FlowStats via yala: predicted throughput positive: true
 	// admit with loose SLA: true
 	// models served: 2
+}
+
+// ExampleWithAPIKey authenticates against a multi-tenant server and
+// shows the typed 429 a tenant sees once its token bucket empties. In
+// production the tenant set comes from `yala serve -tenants keys.json`.
+func ExampleWithAPIKey() {
+	reg, err := tenant.NewRegistry(tenant.File{
+		Tenants: []tenant.Spec{{Name: "team-a", Key: "k-team-a", RPS: 1, Burst: 1}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := core.DefaultTrainConfig()
+	train.Seed = 1
+	train.Plan = profiling.Random(12, 1)
+	train.PatternProbes = 1
+	train.GBR = ml.GBRConfig{Trees: 25, LearningRate: 0.15, MaxDepth: 3, MinLeaf: 2, Subsample: 1, Seed: 1}
+	svc := serve.NewService(serve.ServiceConfig{
+		Registry: serve.RegistryConfig{Seed: 1, Train: train},
+		Workers:  2,
+		Gate:     tenant.NewGate(reg, tenant.GateConfig{}),
+	})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+
+	// Warm the model as the (unlimited) anonymous tenant so team-a's
+	// requests below are back-to-back — a cold first predict trains the
+	// model and would quietly refill the 1 rps bucket meanwhile.
+	if _, err := yalaclient.New(srv.URL).Predict(ctx, yalaclient.ModelID{NF: "FlowStats"}, "", yalaclient.PredictParams{}); err != nil {
+		log.Fatal(err)
+	}
+
+	client := yalaclient.New(srv.URL, yalaclient.WithAPIKey("k-team-a"))
+
+	// The burst token admits the first request.
+	if _, err := client.Predict(ctx, yalaclient.ModelID{NF: "FlowStats"}, "", yalaclient.PredictParams{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first predict: ok")
+
+	// The second is shed with a structured, typed refusal. A client
+	// built WithRetries would instead wait out RetryAfter automatically
+	// (unless its context deadline cannot cover the wait).
+	_, err = client.Predict(ctx, yalaclient.ModelID{NF: "FlowStats"}, "", yalaclient.PredictParams{})
+	var rle *yalaclient.RateLimitError
+	if errors.As(err, &rle) {
+		fmt.Printf("second predict: %s, retry after %s\n", rle.Code, rle.RetryAfter)
+	}
+
+	// Output:
+	// first predict: ok
+	// second predict: resource_exhausted, retry after 1s
 }

@@ -213,6 +213,7 @@ type CacheStats struct {
 // (CacheEntries is -1 when the replica could not be asked).
 type GatewayReplicaStats struct {
 	URL            string `json:"url"`
+	Slot           int    `json:"slot,omitempty"`
 	Healthy        bool   `json:"healthy"`
 	Requests       uint64 `json:"requests"`
 	Errors         uint64 `json:"errors"`
@@ -221,10 +222,29 @@ type GatewayReplicaStats struct {
 	PendingReloads int    `json:"pending_reloads,omitempty"`
 }
 
+// GatewayTenantStats is one tenant's accounting row on a gateway with
+// the multi-tenant admission gate mounted: admitted traffic by priority
+// class, sheds by reason, and server errors attributed to the tenant.
+type GatewayTenantStats struct {
+	Tenant      string `json:"tenant"`
+	Limited     bool   `json:"limited"`
+	Requests    uint64 `json:"requests"`
+	Interactive uint64 `json:"interactive"`
+	Bulk        uint64 `json:"bulk"`
+	Shed        uint64 `json:"shed"`
+	RateLimited uint64 `json:"rate_limited"`
+	Overloaded  uint64 `json:"overloaded"`
+	Errors      uint64 `json:"errors"`
+}
+
 // GatewayStats is the gateway's operator snapshot: per-replica state
-// plus the gateway's own routing and edge-cache counters.
+// plus the gateway's own routing and edge-cache counters. Slots is the
+// hash-ring size; an elastic gateway may have fewer replicas attached
+// than slots. Tenants is present when the admission gate is mounted.
 type GatewayStats struct {
 	Replicas    []GatewayReplicaStats `json:"replicas"`
+	Slots       int                   `json:"slots,omitempty"`
+	Tenants     []GatewayTenantStats  `json:"tenants,omitempty"`
 	Requests    uint64                `json:"requests"`
 	Retries     uint64                `json:"retries"`
 	Fanouts     uint64                `json:"fanouts"`
