@@ -10,11 +10,11 @@
 //	yala predict  -nf FlowMonitor -with NIDS,FlowStats [-flows n] [-pktsize n] [-mtbr f]
 //	yala diagnose -nf FlowMonitor [-mtbr f]
 //	yala place    -arrivals 60 [-seed n]
-//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full] [-tenants keys.json] [-slo 250ms] [-pprof] [-accesslog]
+//	yala serve    -addr :8844 -models DIR [-workers n] [-cache n] [-seed n] [-full] [-tenants keys.json] [-slo 250ms] [-pprof] [-accesslog] [-wire :8845]
 //	yala gateway  -addr :8860 {-replicas N -models DIR | -backends url,url | -min 1 -max 4 -models DIR}
 //	              [-edgecache n] [-health 500ms] [-tenants keys.json] [-slo 250ms] [-accesslog]
 //	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-gateway] [-seed n] [-json path]
-//	              [-tenants n | -tenant-keys k1,k2] [-hot i] [-quietrps r]
+//	              [-tenants n | -tenant-keys k1,k2] [-hot i] [-quietrps r] [-wire host:port [-wirefloor]]
 //	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
 //	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
 //	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -311,6 +312,7 @@ func cmdServe(args []string) error {
 	slo := fs.Duration("slo", 0, "admission-gate p99 latency objective (0 = default 250ms); size to the box and workload")
 	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	accessLog := fs.Bool("accesslog", false, "log one line per request (request ID, verb, status, latency, stage timings)")
+	wireAddr := fs.String("wire", "", "also listen for the yalawire binary protocol on this address (e.g. :8845)")
 	fs.Parse(args)
 	if *models == "" {
 		return fmt.Errorf("serve: -models is required")
@@ -344,7 +346,19 @@ func cmdServe(args []string) error {
 	// The service handler owns "/" (including GET /metrics); pprof, when
 	// asked for, mounts on an outer mux so nothing ever reaches the
 	// side-effect-registered http.DefaultServeMux.
-	handler := http.Handler(svc.Handler())
+	serveHandler := svc.Handler()
+	handler := http.Handler(serveHandler)
+	if *wireAddr != "" {
+		wlis, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return fmt.Errorf("serve: wire listener: %w", err)
+		}
+		// TypeCall tunneling goes through the bare service handler, not
+		// the pprof-wrapped outer mux — the wire path never exposes
+		// debug endpoints.
+		ws := svc.ServeWire(wlis, serveHandler)
+		defer ws.Close()
+	}
 	if *pprofOn {
 		outer := http.NewServeMux()
 		outer.Handle("/", handler)
@@ -361,6 +375,9 @@ func cmdServe(args []string) error {
 	fmt.Printf("  POST /v2/models:batchPredict /v2/models/{nf[@hw]}/{backend}:predict|:admit|:reload\n")
 	fmt.Printf("       /v2/models/{nf[@hw]}:compare|:diagnose /v2/cluster/runs\n")
 	fmt.Printf("  /v1 endpoints remain available (deprecated; Deprecation header set)\n")
+	if wa := svc.WireAddr(); wa != "" {
+		fmt.Printf("  wire: yalawire binary listener on %s (advertised via /v2/stats wire_addr)\n", wa)
+	}
 	if *pprofOn {
 		fmt.Printf("  pprof: /debug/pprof/ enabled\n")
 	}
@@ -527,8 +544,33 @@ func cmdLoadgen(args []string) error {
 	tenantKeys := fs.String("tenant-keys", "", "multi-tenant mode: comma-separated explicit API keys (overrides -tenants)")
 	hot := fs.Int("hot", -1, "index of the hostile flooder among the tenants (unpaced; -1 = none)")
 	quietRPS := fs.Float64("quietrps", 20, "paced request rate per non-hot tenant")
+	wireAddr := fs.String("wire", "", "server's yalawire address: route Predict/PredictBatch over the binary protocol")
+	wireFloor := fs.Bool("wirefloor", false, "measure the raw yalawire echo floor instead of a serving run (requires -wire; uses -n/-c)")
 	jsonPath := fs.String("json", "", "write the machine-readable report to this path")
 	fs.Parse(args)
+
+	// -wirefloor is a pure transport measurement: TypeEcho frames with a
+	// predict-request-sized payload, no gate, cache, or prediction in the
+	// path. It bounds what any serving run over the same transport can do.
+	if *wireFloor {
+		if *wireAddr == "" {
+			return fmt.Errorf("loadgen: -wirefloor requires -wire")
+		}
+		rep, err := serve.WireEchoFloor(*wireAddr, *c, *n, 256)
+		if rep.Frames > 0 {
+			fmt.Println(rep)
+		}
+		if *jsonPath != "" {
+			bench := struct {
+				Kind   string                `json:"kind"`
+				Report serve.WireFloorReport `json:"report"`
+			}{Kind: "wirefloor", Report: rep}
+			if werr := writeJSONFile(*jsonPath, bench); werr != nil {
+				return werr
+			}
+		}
+		return err
+	}
 
 	cfg := serve.LoadgenConfig{
 		URL:            *url,
@@ -544,6 +586,7 @@ func cmdLoadgen(args []string) error {
 		Gateway:        *gw,
 		HotTenant:      *hot,
 		QuietRPS:       *quietRPS,
+		WireAddr:       *wireAddr,
 	}
 	if *tenantKeys != "" {
 		for _, k := range strings.Split(*tenantKeys, ",") {

@@ -56,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/tenant"
+	"repro/internal/wire"
 	"repro/pkg/yalaclient"
 )
 
@@ -154,9 +155,19 @@ type Gateway struct {
 	requests   atomic.Uint64
 	retries    atomic.Uint64
 	fanouts    atomic.Uint64
+	coalesced  atomic.Uint64
+	canceled   atomic.Uint64
 	pendingSeq atomic.Uint64
 	ridCounter atomic.Uint64
 	inflight   atomic.Int64
+
+	// flight coalesces concurrent identical cacheable requests: while one
+	// leader proxies (method, URI, body) upstream, followers with the same
+	// tuple wait for its answer instead of dialing the replica themselves.
+	// The deterministic verbs this applies to make sharing safe, and the
+	// edge cache only helps after a response lands — coalescing is what
+	// keeps a thundering herd on a cold key down to one upstream call.
+	flight serve.FlightGroup[string, proxyResult]
 
 	obs        *obs.Registry
 	reqSeconds *obs.Histogram
@@ -240,11 +251,16 @@ func New(cfg Config) (*Gateway, error) {
 // it.
 const defaultInflightTarget = 32
 
-// Close stops the health loop. In-flight proxied requests finish on
-// their own contexts.
+// Close stops the health loop and drops the wire upstream pools.
+// In-flight proxied requests finish on their own contexts.
 func (g *Gateway) Close() {
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
+	for _, rep := range g.replicas {
+		if ep := rep.ep.Load(); ep != nil {
+			ep.closeWire()
+		}
+	}
 }
 
 // Replicas lists the attached replica base URLs in slot order.
@@ -292,10 +308,31 @@ func (g *Gateway) probeAll() {
 				return
 			}
 			g.drainPending(rep)
+			g.discoverWire(ctx, ep)
 			rep.healthy.Store(true)
 		}(rep, ep)
 	}
 	wg.Wait()
+}
+
+// discoverWire asks a healthy replica (once per attachment, re-armed
+// by dropWire) whether it advertises a yalawire listener, and builds
+// the binary upstream pool when it does. A replica without one simply
+// stays on HTTP; a failed stats probe re-arms so a later probe
+// retries.
+func (g *Gateway) discoverWire(ctx context.Context, ep *endpoint) {
+	if ep.wireProbed.Swap(true) {
+		return
+	}
+	st, err := ep.client.Stats(ctx)
+	if err != nil {
+		ep.wireProbed.Store(false)
+		return
+	}
+	if st.WireAddr == "" {
+		return
+	}
+	ep.wire.Store(wire.NewPool(st.WireAddr, "", 8))
 }
 
 // drainPending replays the reload fan-outs a replica missed while down.
@@ -506,9 +543,19 @@ func edgeKey(uri string, body []byte) string {
 	return uri + "\x00" + string(body)
 }
 
+// proxyResult is one upstream answer, shaped for sharing across
+// coalesced requests.
+type proxyResult struct {
+	replicaURL string
+	status     int
+	hdr        http.Header
+	body       []byte
+}
+
 // handleProxy routes one request: fan-outs go everywhere, cacheable
-// verbs consult the edge cache, everything else forwards to the ranked
-// replica with transparent failover.
+// verbs consult the edge cache and coalesce concurrent identical
+// misses down to one upstream call, everything else forwards to the
+// ranked replica with transparent failover.
 func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -533,18 +580,59 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 			w.Write(e.body)
 			return
 		}
-	}
-	gen := g.reloadGen.Load()
-	ep, status, hdr, respBody, err := g.sendWithFailover(r.Context(), rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
-	if err != nil {
-		if r.Context().Err() != nil {
-			g.writeError(w, http.StatusServiceUnavailable, "unavailable", "client canceled: "+err.Error())
+		res, shared, err := g.flight.Coalesce(r.Method+"\x00"+ekey, func() (proxyResult, error) {
+			// The leader computes on behalf of every coalesced waiter, so
+			// its lifetime must not be bound to its own client: a leader
+			// whose client hangs up mid-flight still owes the followers an
+			// answer. The upstream round trip is bounded by the replica,
+			// not the departed caller.
+			return g.proxyOnce(context.WithoutCancel(r.Context()), rt, r, body)
+		})
+		if err != nil {
+			g.writeProxyError(w, r, err)
 			return
 		}
-		g.writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Sprintf("no replica answered: %v", err))
+		if shared {
+			g.coalesced.Add(1)
+			// Followers reuse the leader's response bytes but keep their
+			// own X-Request-Id (already set by withObs) — the leader's rid
+			// names the one upstream call, not every waiter.
+			if ct := res.hdr.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.Header().Set("X-Gateway-Coalesced", "hit")
+			w.Header().Set("X-Gateway-Replica", res.replicaURL)
+			w.WriteHeader(res.status)
+			w.Write(res.body)
+			return
+		}
+		copyResponseHeaders(w, res.hdr)
+		w.Header().Set("X-Gateway-Replica", res.replicaURL)
+		w.WriteHeader(res.status)
+		w.Write(res.body)
 		return
 	}
-	if ekey != "" && status == http.StatusOK && len(respBody) <= maxEdgeEntryBytes {
+	ep, status, hdr, respBody, err := g.sendWithFailover(r.Context(), rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		g.writeProxyError(w, r, err)
+		return
+	}
+	copyResponseHeaders(w, hdr)
+	w.Header().Set("X-Gateway-Replica", ep.url)
+	w.WriteHeader(status)
+	w.Write(respBody)
+}
+
+// proxyOnce performs one cacheable upstream round trip and memoizes a
+// 200 at the edge. It runs once per coalesced group, on the leader.
+func (g *Gateway) proxyOnce(ctx context.Context, rt route, r *http.Request, body []byte) (proxyResult, error) {
+	ekey := edgeKey(r.URL.RequestURI(), body)
+	gen := g.reloadGen.Load()
+	ep, status, hdr, respBody, err := g.sendWithFailover(ctx, rt.key, r.Method, r.URL.RequestURI(), r.Header.Get("Content-Type"), body)
+	if err != nil {
+		return proxyResult{}, err
+	}
+	if status == http.StatusOK && len(respBody) <= maxEdgeEntryBytes {
 		g.edge.Put(ekey, edgeEntry{contentType: hdr.Get("Content-Type"), body: respBody})
 		// A reload fan-out may have swept the cache while this response
 		// was in flight — the response could predate the reload. The
@@ -555,10 +643,20 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 			g.edge.EvictMatching(func(k string) bool { return k == ekey })
 		}
 	}
-	copyResponseHeaders(w, hdr)
-	w.Header().Set("X-Gateway-Replica", ep.url)
-	w.WriteHeader(status)
-	w.Write(respBody)
+	return proxyResult{replicaURL: ep.url, status: status, hdr: hdr, body: respBody}, nil
+}
+
+// writeProxyError renders an upstream failure. A request whose own
+// client already gave up answers 499 (client closed request) instead
+// of 503: the failure is the caller's departure, not fleet overload,
+// and the tenant gate's shed signal must not see a canceled flood as
+// server errors (the 499 is excluded from its windowed error rate).
+func (g *Gateway) writeProxyError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		g.writeError(w, tenant.StatusClientClosedRequest, "canceled", "client canceled request: "+err.Error())
+		return
+	}
+	g.writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Sprintf("no replica answered: %v", err))
 }
 
 // copyResponseHeaders forwards the replica headers clients key on; hop
@@ -604,11 +702,38 @@ func (g *Gateway) sendWithFailover(ctx context.Context, key, method, uri, conten
 	return nil, 0, nil, nil, lastErr
 }
 
-// send performs one proxied exchange and slurps the response. The
-// request ID the gateway middleware attached travels upstream as
-// X-Request-Id — the replica adopts it into its own envelope and
-// metrics log line, so one ID names the request end to end.
+// errUpstreamTooLarge reports a replica response that exceeded the
+// gateway's buffering cap. It surfaces as a transport-class failure —
+// the replica is misbehaving, so failover marks it down and moves on —
+// rather than proxying an unbounded body through the gateway's memory.
+var errUpstreamTooLarge = fmt.Errorf("gateway: upstream response exceeds %d-byte cap", maxBodyBytes)
+
+// send performs one proxied exchange and slurps the response, bounded
+// by maxBodyBytes (mirroring the request-side cap — a replica must not
+// be able to balloon the gateway's memory with one response). When the
+// endpoint advertised a wire listener the exchange rides a persistent
+// binary frame; any wire transport failure drops the pool and falls
+// back to HTTP for this and subsequent calls until a probe
+// rediscovers it. The request ID the gateway middleware attached
+// travels upstream as X-Request-Id — the replica adopts it into its
+// own envelope and metrics log line, so one ID names the request end
+// to end.
 func (g *Gateway) send(ctx context.Context, ep *endpoint, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
+	if wp := ep.wire.Load(); wp != nil {
+		status, hdr, data, err := g.sendWire(ctx, ep, wp, method, uri, contentType, body)
+		if err == nil {
+			return status, hdr, data, nil
+		}
+		if !errors.Is(err, wire.ErrTransport) {
+			return 0, nil, nil, err
+		}
+		if ctx.Err() != nil {
+			// The caller gave up mid-exchange; the wire path is not at
+			// fault, so keep the pool.
+			return 0, nil, nil, err
+		}
+		ep.dropWire(wp)
+	}
 	var rd io.Reader
 	if len(body) > 0 {
 		rd = bytes.NewReader(body)
@@ -632,11 +757,60 @@ func (g *Gateway) send(ctx context.Context, ep *endpoint, method, uri, contentTy
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	if len(data) > maxBodyBytes {
+		return 0, nil, nil, errUpstreamTooLarge
+	}
 	return resp.StatusCode, resp.Header, data, nil
+}
+
+// sendWire tunnels one proxied exchange over the endpoint's wire pool
+// as a Call/CallResp frame pair. The replica runs the identical HTTP
+// handler behind the frame, so semantics (auth, caching, envelopes)
+// match the HTTP path exactly; only the transport differs.
+func (g *Gateway) sendWire(ctx context.Context, ep *endpoint, wp *wire.Pool, method, uri, contentType string, body []byte) (int, http.Header, []byte, error) {
+	call := wire.Call{
+		Method:      method,
+		URI:         uri,
+		ContentType: contentType,
+		RequestID:   requestIDFrom(ctx),
+		Body:        body,
+	}
+	buf := wire.AppendCall(wire.GetBuf(), &call)
+	var status int
+	var hdr http.Header
+	var data []byte
+	start := time.Now()
+	err := wp.Do(ctx, wire.TypeCall, buf, func(f wire.Frame) error {
+		if f.Type != wire.TypeCallResp {
+			return fmt.Errorf("%w: unexpected frame type %d", wire.ErrTransport, f.Type)
+		}
+		resp, derr := wire.DecodeCallResp(f.Payload)
+		if derr != nil {
+			return fmt.Errorf("%w: %v", wire.ErrTransport, derr)
+		}
+		if len(resp.Body) > maxBodyBytes {
+			return errUpstreamTooLarge
+		}
+		status = resp.Status
+		hdr = make(http.Header, len(resp.Headers))
+		for _, kv := range resp.Headers {
+			hdr.Set(kv.Key, kv.Value)
+		}
+		data = resp.Body
+		return nil
+	})
+	wire.PutBuf(buf)
+	if ep.upstream != nil {
+		ep.upstream.Observe(time.Since(start).Seconds())
+	}
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return status, hdr, data, nil
 }
 
 // fanoutReload forwards a mutating reload to every replica — healthy or
@@ -748,7 +922,7 @@ func (g *Gateway) fanoutReload(w http.ResponseWriter, r *http.Request, rt route,
 		w.WriteHeader(success.status)
 		w.Write(success.body)
 	default:
-		g.writeError(w, http.StatusServiceUnavailable, "unavailable", "reload fan-out reached no replica")
+		g.writeProxyError(w, r, fmt.Errorf("reload fan-out reached no replica"))
 	}
 }
 
@@ -785,9 +959,11 @@ func (g *Gateway) writeError(w http.ResponseWriter, status int, code, message st
 // watch a reload fan-out land everywhere.
 func (g *Gateway) handleGatewayStats(w http.ResponseWriter, r *http.Request) {
 	out := yalaclient.GatewayStats{
-		Requests: g.requests.Load(),
-		Retries:  g.retries.Load(),
-		Fanouts:  g.fanouts.Load(),
+		Requests:  g.requests.Load(),
+		Retries:   g.retries.Load(),
+		Fanouts:   g.fanouts.Load(),
+		Coalesced: g.coalesced.Load(),
+		Canceled:  g.canceled.Load(),
 	}
 	es := g.edge.Stats()
 	out.EdgeHits, out.EdgeMisses, out.EdgeEntries = es.Hits, es.Misses, es.Entries
@@ -1036,7 +1212,7 @@ func (g *Gateway) handleBatchScatter(w http.ResponseWriter, r *http.Request) {
 	anyErr := false
 	for _, sub := range subs {
 		if sub.err != nil {
-			g.writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Sprintf("sub-batch failed on every replica: %v", sub.err))
+			g.writeProxyError(w, r, fmt.Errorf("sub-batch failed on every replica: %w", sub.err))
 			return
 		}
 		if sub.status != http.StatusOK {

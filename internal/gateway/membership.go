@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 	"repro/pkg/yalaclient"
 )
 
@@ -25,9 +26,33 @@ type endpoint struct {
 	errors   atomic.Uint64
 	fanouts  atomic.Uint64
 
+	// wire is the discovered binary-transport pool toward this
+	// attachment, nil until a health probe finds a wire_addr advertised
+	// in the replica's /v2/stats. A wire transport failure mid-proxy
+	// clears it (dropWire) and re-arms discovery, so the gateway rides
+	// HTTP until the next probe proves the wire listener back.
+	wire       atomic.Pointer[wire.Pool]
+	wireProbed atomic.Bool
+
 	// upstream records proxied round-trip latency to this attachment
 	// (gateway_upstream_seconds{replica=url}).
 	upstream *obs.Histogram
+}
+
+// dropWire retires a failed wire pool: only the exact pool the caller
+// used is cleared, so a concurrent rediscovery's fresh pool survives.
+func (ep *endpoint) dropWire(wp *wire.Pool) {
+	if ep.wire.CompareAndSwap(wp, nil) {
+		wp.Close()
+		ep.wireProbed.Store(false)
+	}
+}
+
+// closeWire drops whatever pool the endpoint holds (detach, shutdown).
+func (ep *endpoint) closeWire() {
+	if wp := ep.wire.Swap(nil); wp != nil {
+		wp.Close()
+	}
 }
 
 // newEndpoint dials nothing; it just binds the trimmed URL.
@@ -90,6 +115,7 @@ func (g *Gateway) Detach(slot int) (string, error) {
 	}
 	rep.healthy.Store(false)
 	rep.ep.Store(nil)
+	ep.closeWire()
 	return ep.url, nil
 }
 

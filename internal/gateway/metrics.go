@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // initObs builds the gateway's own metric registry: routing counters
@@ -21,6 +22,11 @@ func (g *Gateway) initObs() {
 	r.CounterFunc("gateway_requests_total", g.requests.Load)
 	r.CounterFunc("gateway_retries_total", g.retries.Load)
 	r.CounterFunc("gateway_fanouts_total", g.fanouts.Load)
+	r.CounterFunc("gateway_coalesced_total", g.coalesced.Load)
+	// gateway_-prefixed (not yala_) so the family never collides with
+	// the replicas' own yala_client_canceled_total in the merged
+	// exposition below.
+	r.CounterFunc("gateway_client_canceled_total", g.canceled.Load)
 	r.CounterFunc("gateway_edge_hits_total", g.edge.Hits)
 	r.CounterFunc("gateway_edge_misses_total", g.edge.Misses)
 	r.CounterFunc("gateway_edge_evictions_total", g.edge.Evictions)
@@ -148,6 +154,9 @@ func (g *Gateway) withObs(next http.Handler) http.Handler {
 		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
 		dur := time.Since(start)
 		g.inflight.Add(-1)
+		if rec.status == tenant.StatusClientClosedRequest {
+			g.canceled.Add(1)
+		}
 		g.reqSeconds.Observe(dur.Seconds())
 		if g.cfg.AccessLog {
 			log.Printf("gateway: rid=%s method=%s path=%s status=%d dur=%s",

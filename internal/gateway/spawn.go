@@ -9,23 +9,30 @@ import (
 )
 
 // Replica is one in-process serve instance bound to a loopback
-// listener — the unit `yala gateway -replicas` scales out.
+// listener — the unit `yala gateway -replicas` scales out. Each
+// replica also mounts a yalawire listener, advertised via /v2/stats,
+// so the gateway's health loop upgrades its upstream hops to the
+// binary transport automatically.
 type Replica struct {
 	// URL is the replica's base URL (http://127.0.0.1:<port>).
 	URL string
 
-	svc *serve.Service
-	srv *http.Server
+	svc  *serve.Service
+	srv  *http.Server
+	wsrv *serve.WireServer
 }
 
 // Service exposes the replica's underlying serve.Service (tests,
 // direct inspection).
 func (r *Replica) Service() *serve.Service { return r.svc }
 
-// Close stops the replica: the listener closes first (in-flight
+// Close stops the replica: the listeners close first (in-flight
 // requests fail over at the gateway), then the service drains.
 func (r *Replica) Close() {
 	r.srv.Close()
+	if r.wsrv != nil {
+		r.wsrv.Close()
+	}
 	r.svc.Close()
 }
 
@@ -49,10 +56,17 @@ func SpawnReplicas(n int, cfg serve.ServiceConfig) ([]*Replica, error) {
 			return nil, fmt.Errorf("gateway: replica %d listener: %w", i, err)
 		}
 		svc := serve.NewService(cfg)
+		handler := svc.Handler()
 		rep := &Replica{
 			URL: "http://" + lis.Addr().String(),
 			svc: svc,
-			srv: &http.Server{Handler: svc.Handler()},
+			srv: &http.Server{Handler: handler},
+		}
+		// The wire listener is best-effort: a replica that cannot bind a
+		// second loopback port still serves HTTP, it just never advertises
+		// wire_addr and the gateway stays on JSON toward it.
+		if wlis, err := net.Listen("tcp", "127.0.0.1:0"); err == nil {
+			rep.wsrv = svc.ServeWire(wlis, handler)
 		}
 		go rep.srv.Serve(lis)
 		replicas = append(replicas, rep)

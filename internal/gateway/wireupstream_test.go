@@ -1,0 +1,76 @@
+package gateway
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/pkg/yalaclient"
+)
+
+var wireCountRe = regexp.MustCompile(`yala_requests_total\{transport="wire"\} (\d+)`)
+
+// TestGatewayWireUpstreamDiscovery proves the gateway's wire-first
+// upstream path end to end against a real replica: the health loop
+// discovers the wire_addr advertised in /v2/stats, proxied predicts
+// then ride binary frames (the replica's own transport="wire" counter
+// moves), and the answers are indistinguishable from HTTP proxying.
+func TestGatewayWireUpstreamDiscovery(t *testing.T) {
+	reps, err := SpawnReplicas(1, quickServiceConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { CloseReplicas(reps) })
+	g, err := New(Config{Backends: []string{reps[0].URL}, HealthInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+
+	// Discovery is asynchronous: a health probe has to read the
+	// replica's stats and build the pool.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ep := g.replicas[0].ep.Load(); ep != nil && ep.wire.Load() != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ep := g.replicas[0].ep.Load()
+	if ep == nil || ep.wire.Load() == nil {
+		t.Fatal("gateway never discovered the replica's wire listener")
+	}
+
+	client := yalaclient.New(ts.URL)
+	res, err := client.Predict(context.Background(), yalaclient.ModelID{NF: "FlowStats"}, "", yalaclient.PredictParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NF != "FlowStats" || res.PredictedPPS <= 0 {
+		t.Fatalf("proxied-over-wire predict looks wrong: %+v", res)
+	}
+
+	// The replica's own exposition is the ground truth for which
+	// transport served it. Health probes ride HTTP, so only count the
+	// wire series.
+	resp, err := http.Get(reps[0].URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	m := wireCountRe.FindSubmatch(raw)
+	if m == nil {
+		t.Fatalf("replica exposition has no transport=\"wire\" series:\n%s", raw)
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n == 0 {
+		t.Fatal("gateway proxied over HTTP despite a discovered wire pool")
+	}
+}

@@ -167,7 +167,10 @@ func (s *Service) ClusterRun(ctx context.Context, req ClusterRunRequest) (cluste
 	cmp, err := cluster.Run(ctx, env, sc, req.Policies)
 	sp.End()
 	if err != nil {
-		s.errors.Add(1)
+		// A run abandoned by its own caller is a 499, not a server error.
+		if !callerCanceled(ctx, err) {
+			s.errors.Add(1)
+		}
 		return cluster.Comparison{}, err
 	}
 	return cmp, nil

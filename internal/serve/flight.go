@@ -2,12 +2,14 @@ package serve
 
 import "sync"
 
-// flightGroup memoizes successful results per key with duplicate-call
+// FlightGroup memoizes successful results per key with duplicate-call
 // suppression: the first caller for a key computes while concurrent
 // callers wait on the same attempt; failed attempts are evicted so a
 // later call retries. It is the one implementation of the idiom the
-// model registry and the solo-measurement memo both need.
-type flightGroup[K comparable, V any] struct {
+// model registry, the solo-measurement memo and the gateway's request
+// coalescing all need — exported so other packages generalize over it
+// instead of growing a second singleflight.
+type FlightGroup[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*flight[V]
 }
@@ -19,11 +21,11 @@ type flight[V any] struct {
 	err   error
 }
 
-// do returns the memoized value for key, computing it with fn on first
+// Do returns the memoized value for key, computing it with fn on first
 // use. A positive maxEntries bounds the memo: resolved entries are
 // evicted (oldest-iteration-order) to stay under it — only correct when
 // fn is deterministic, so eviction merely costs recomputation.
-func (g *flightGroup[K, V]) do(key K, maxEntries int, fn func() (V, error)) (V, error) {
+func (g *FlightGroup[K, V]) Do(key K, maxEntries int, fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if g.entries == nil {
 		g.entries = map[K]*flight[V]{}
@@ -52,9 +54,44 @@ func (g *flightGroup[K, V]) do(key K, maxEntries int, fn func() (V, error)) (V, 
 	return e.val, e.err
 }
 
+// Coalesce is the do-and-forget mode: concurrent callers for one key
+// share a single computation, but the result is dropped the moment it
+// resolves — the next call recomputes. It returns shared=true for
+// callers that rode an already-in-flight attempt (they never ran fn).
+// This is request coalescing, not memoization: correct for any
+// idempotent fn, because two calls only ever share a result when they
+// overlap in time.
+func (g *FlightGroup[K, V]) Coalesce(key K, fn func() (V, error)) (val V, shared bool, err error) {
+	g.mu.Lock()
+	if g.entries == nil {
+		g.entries = map[K]*flight[V]{}
+	}
+	e, ok := g.entries[key]
+	if !ok {
+		e = &flight[V]{ready: make(chan struct{})}
+		g.entries[key] = e
+	}
+	g.mu.Unlock()
+	if !ok {
+		e.val, e.err = fn()
+		// Leader drops the entry before resolving: success or failure,
+		// nothing outlives the flight. A Do-mode entry for the same key
+		// is left alone (distinguished by pointer identity).
+		g.mu.Lock()
+		if g.entries[key] == e {
+			delete(g.entries, key)
+		}
+		g.mu.Unlock()
+		close(e.ready)
+		return e.val, false, e.err
+	}
+	<-e.ready
+	return e.val, true, e.err
+}
+
 // evictResolvedLocked drops resolved entries until under max; in-flight
 // attempts are never dropped. Caller holds g.mu.
-func (g *flightGroup[K, V]) evictResolvedLocked(max int) {
+func (g *FlightGroup[K, V]) evictResolvedLocked(max int) {
 	for k, e := range g.entries {
 		select {
 		case <-e.ready:
@@ -67,17 +104,17 @@ func (g *flightGroup[K, V]) evictResolvedLocked(max int) {
 	}
 }
 
-// forget drops the key so the next do recomputes (operator reloads).
-func (g *flightGroup[K, V]) forget(key K) {
+// Forget drops the key so the next Do recomputes (operator reloads).
+func (g *FlightGroup[K, V]) Forget(key K) {
 	g.mu.Lock()
 	delete(g.entries, key)
 	g.mu.Unlock()
 }
 
-// forgetMatching drops every key the predicate selects — the multi-key
-// form of forget, for reloads that span derived keys (e.g. one NF's
+// ForgetMatching drops every key the predicate selects — the multi-key
+// form of Forget, for reloads that span derived keys (e.g. one NF's
 // models across every hardware class).
-func (g *flightGroup[K, V]) forgetMatching(match func(K) bool) {
+func (g *FlightGroup[K, V]) ForgetMatching(match func(K) bool) {
 	g.mu.Lock()
 	for k := range g.entries {
 		if match(k) {
@@ -87,8 +124,8 @@ func (g *flightGroup[K, V]) forgetMatching(match func(K) bool) {
 	g.mu.Unlock()
 }
 
-// resolved lists keys whose attempts completed successfully.
-func (g *flightGroup[K, V]) resolved() []K {
+// Resolved lists keys whose attempts completed successfully.
+func (g *FlightGroup[K, V]) Resolved() []K {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	keys := make([]K, 0, len(g.entries))

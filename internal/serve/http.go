@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // Handler exposes the service over HTTP/JSON. The resource-oriented,
@@ -181,6 +182,19 @@ func errorStatus(err error) int {
 	return http.StatusUnprocessableEntity
 }
 
+// errorStatusReq is errorStatus with the caller's request in hand: a
+// cancellation error whose origin is the *request's own context* means
+// the client went away, which is 499 (client closed request), not a
+// 503 — a 5xx here would feed the tenant gate's windowed error rate
+// and let a burst of client disconnects shed healthy traffic.
+func errorStatusReq(r *http.Request, err error) int {
+	if r.Context().Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return tenant.StatusClientClosedRequest
+	}
+	return errorStatus(err)
+}
+
 // handleJSON decodes one request type, runs the service call and encodes
 // the response — the /v1 adapter.
 func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
@@ -196,7 +210,7 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(R
 	}
 	resp, err := fn(req)
 	if err != nil {
-		writeJSON(w, errorStatus(err), errorBody{err.Error()})
+		writeJSON(w, errorStatusReq(r, err), errorBody{err.Error()})
 		return
 	}
 	esp := obs.StartSpan(r.Context(), "encode")

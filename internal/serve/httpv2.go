@@ -16,6 +16,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // The /v2 API is resource-oriented: models are resources named
@@ -80,9 +81,22 @@ func writeErrorV2(w http.ResponseWriter, r *http.Request, status int, code, mess
 	}})
 }
 
-// writeServiceErrorV2 renders a service-layer error in the envelope.
+// codeCanceled marks a request the client abandoned (499); it is not
+// in the regular code table because only the request's own context can
+// produce it.
+const codeCanceled = "canceled"
+
+// writeServiceErrorV2 renders a service-layer error in the envelope. A
+// cancellation caused by the request's own context maps to 499/
+// "canceled" rather than 503/"unavailable" so client disconnects never
+// read as server errors (see errorStatusReq).
 func writeServiceErrorV2(w http.ResponseWriter, r *http.Request, err error) {
-	writeErrorV2(w, r, errorStatus(err), errorCode(err), err.Error(), nil)
+	status := errorStatusReq(r, err)
+	code := errorCode(err)
+	if status == tenant.StatusClientClosedRequest {
+		code = codeCanceled
+	}
+	writeErrorV2(w, r, status, code, err.Error(), nil)
 }
 
 // decodeV2 reads a /v2 request body strictly. An empty body decodes to
@@ -208,6 +222,10 @@ type (
 		Backends      []string `json:"backends"`
 		UptimeSeconds float64  `json:"uptime_seconds"`
 		StartTime     int64    `json:"start_time"`
+		// WireAddr advertises the yalawire listener (host:port) when one
+		// is mounted — the discovery hook gateways use to upgrade their
+		// upstream transport.
+		WireAddr string `json:"wire_addr,omitempty"`
 	}
 	// modelsPageV2 is one page of the model listing.
 	modelsPageV2 struct {
@@ -264,6 +282,7 @@ func (s *Service) registerV2(mux *http.ServeMux) {
 			Backends:      backend.Names(),
 			UptimeSeconds: time.Since(s.started).Seconds(),
 			StartTime:     s.started.Unix(),
+			WireAddr:      s.WireAddr(),
 		})
 	})
 }

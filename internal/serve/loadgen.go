@@ -45,6 +45,12 @@ type LoadgenConfig struct {
 	// batch endpoint (1 = single-scenario requests). Batching only
 	// applies to the Predict share of the mix.
 	Batch int
+	// WireAddr, when set, routes the Predict/PredictBatch share of the
+	// mix over the server's yalawire binary listener at this address
+	// (yalaclient.WithWire); everything else stays on HTTP/JSON. The
+	// report then measures the binary hot path with the JSON floor
+	// removed.
+	WireAddr string `json:",omitempty"`
 	// Gateway marks the URL as a scale-out gateway: the run snapshots
 	// /v2/gateway/stats around the workload and reports the per-replica
 	// request distribution and edge-cache counters alongside the
@@ -232,7 +238,8 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	)
 	// Workers share one client (one connection pool), as a real
 	// high-fan-in front end would.
-	client := yalaclient.New(cfg.URL)
+	client := yalaclient.New(cfg.URL, clientOpts(cfg)...)
+	defer client.Close()
 	var gwBefore yalaclient.GatewayStats
 	if cfg.Gateway {
 		var err error
@@ -324,6 +331,16 @@ func Loadgen(cfg LoadgenConfig) (LoadgenReport, error) {
 	return rep, nil
 }
 
+// clientOpts builds the SDK options a loadgen client shares across
+// modes.
+func clientOpts(cfg LoadgenConfig) []yalaclient.Option {
+	var opts []yalaclient.Option
+	if cfg.WireAddr != "" {
+		opts = append(opts, yalaclient.WithWire(cfg.WireAddr))
+	}
+	return opts
+}
+
 // profilePool pre-generates the traffic-profile pool every worker
 // draws from: the default profile plus random draws.
 func profilePool(cfg LoadgenConfig) []yalaclient.ProfileSpec {
@@ -372,8 +389,9 @@ func loadgenTenants(cfg LoadgenConfig) (LoadgenReport, error) {
 		states[i] = &tenantState{
 			key:    key,
 			hot:    i == cfg.HotTenant,
-			client: yalaclient.New(cfg.URL, yalaclient.WithAPIKey(key)),
+			client: yalaclient.New(cfg.URL, append(clientOpts(cfg), yalaclient.WithAPIKey(key))...),
 		}
+		defer states[i].client.Close()
 	}
 
 	var firstErr atomic.Pointer[error]

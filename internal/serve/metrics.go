@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // stageNames are the request pipeline stages the span instrumentation
@@ -31,7 +32,10 @@ func (s *Service) initObs() {
 	r.CounterFunc("yala_requests_total", s.admits.Load, "verb", "admit")
 	r.CounterFunc("yala_requests_total", s.diagnoses.Load, "verb", "diagnose")
 	r.CounterFunc("yala_requests_total", s.clusterRuns.Load, "verb", "cluster_run")
+	r.CounterFunc("yala_requests_total", s.httpRequests.Load, "transport", "http")
+	r.CounterFunc("yala_requests_total", s.wireRequests.Load, "transport", "wire")
 	r.CounterFunc("yala_request_errors_total", s.errors.Load)
+	r.CounterFunc("yala_client_canceled_total", s.canceled.Load)
 	r.CounterFunc("yala_cache_hits_total", s.cache.Hits)
 	r.CounterFunc("yala_cache_misses_total", s.cache.Misses)
 	r.CounterFunc("yala_cache_evictions_total", s.cache.Evictions)
@@ -104,6 +108,17 @@ func (s *Service) withObs(next http.Handler) http.Handler {
 		start := time.Now()
 		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(ctx, tr)))
 		dur := time.Since(start)
+		// Requests tunneled off the wire listener (TypeCall dispatch)
+		// carry a context marker so the transport split stays honest
+		// even though they run the same HTTP handler.
+		if r.Context().Value(wireTransportKey{}) != nil {
+			s.wireRequests.Add(1)
+		} else {
+			s.httpRequests.Add(1)
+		}
+		if rec.status == tenant.StatusClientClosedRequest {
+			s.canceled.Add(1)
+		}
 		s.reqSeconds.Observe(dur.Seconds())
 		stages := tr.Stages()
 		for name, d := range stages {

@@ -96,7 +96,7 @@ type entryKey struct {
 type ModelRegistry struct {
 	cfg RegistryConfig
 
-	models flightGroup[entryKey, backend.Model]
+	models FlightGroup[entryKey, backend.Model]
 
 	// hwMu guards hwConfigs, the NIC preset recorded per hardware key so
 	// Models() and retries agree on what a key means.
@@ -210,7 +210,7 @@ func (r *ModelRegistry) ModelOn(backendName, hw string, nic nicsim.Config, name 
 	if err != nil {
 		return nil, err
 	}
-	return r.models.do(entryKey{backendName, hw, name}, 0, func() (backend.Model, error) {
+	return r.models.Do(entryKey{backendName, hw, name}, 0, func() (backend.Model, error) {
 		return r.load(b, entryKey{backendName, hw, name}, cfg)
 	})
 }
@@ -220,7 +220,7 @@ func (r *ModelRegistry) ModelOn(backendName, hw string, nic nicsim.Config, name 
 // responses computed with the old model must flush those too —
 // Service.Reload does both.
 func (r *ModelRegistry) Reload(backendName, name string) {
-	r.models.forgetMatching(func(k entryKey) bool {
+	r.models.ForgetMatching(func(k entryKey) bool {
 		return k.backend == backendName && k.name == name
 	})
 }
@@ -339,7 +339,7 @@ func (r *ModelRegistry) Models() []ModelInfo {
 			}
 		}
 	}
-	for _, key := range r.models.resolved() {
+	for _, key := range r.models.Resolved() {
 		if info, ok := infos[key]; ok {
 			info.Loaded = true
 		} else {

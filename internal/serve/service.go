@@ -79,7 +79,7 @@ type Service struct {
 	reg   *ModelRegistry
 	cache *Cache
 
-	solo flightGroup[soloKey, nicsim.Measurement]
+	solo FlightGroup[soloKey, nicsim.Measurement]
 
 	jobs    chan func()
 	wg      sync.WaitGroup
@@ -99,6 +99,20 @@ type Service struct {
 	diagnoses   atomic.Uint64
 	clusterRuns atomic.Uint64
 	errors      atomic.Uint64
+
+	// Transport split of the same request stream: httpRequests counts
+	// requests arriving through the HTTP front door, wireRequests those
+	// through the yalawire listener; canceled counts requests whose
+	// client went away before the response (not server errors — see the
+	// tenant gate's shed-signal handling of status 499).
+	httpRequests atomic.Uint64
+	wireRequests atomic.Uint64
+	canceled     atomic.Uint64
+
+	// wireAddr is the yalawire listener's address when one is mounted
+	// ("" otherwise); /v2/stats advertises it so gateways can discover
+	// and upgrade to wire upstream transport.
+	wireAddr atomic.Pointer[string]
 
 	// obs is the /metrics registry; reqSeconds and stageHist are its
 	// hot-path histograms, held directly so observations never take the
@@ -298,10 +312,21 @@ func submit[T any](ctx context.Context, s *Service, fn func() (T, error)) (T, er
 		return zero, err
 	}
 	o := <-ch
-	if o.err != nil {
+	if o.err != nil && !callerCanceled(ctx, o.err) {
 		s.errors.Add(1)
 	}
 	return o.v, o.err
+}
+
+// callerCanceled reports a failure whose cause is the caller's own
+// departure: the request context is dead and the error is its
+// cancellation. Such outcomes answer 499 and stay out of the error
+// counter — a flood of canceled clients says nothing about server
+// health, and counting it would poison the shed signal the tenant gate
+// and the autoscaler act on.
+func callerCanceled(ctx context.Context, err error) bool {
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // hwNIC resolves a request's hardware qualifier to a NIC preset: the
@@ -349,7 +374,7 @@ const maxSoloEntries = 4096
 // concurrent requests. The cap is safe because measurements are
 // deterministic — eviction only costs a re-measurement.
 func (s *Service) soloMeasurement(hw, name string, prof traffic.Profile) (nicsim.Measurement, error) {
-	return s.solo.do(soloKey{hw, name, prof}, maxSoloEntries, func() (nicsim.Measurement, error) {
+	return s.solo.Do(soloKey{hw, name, prof}, maxSoloEntries, func() (nicsim.Measurement, error) {
 		tb, err := s.freshTestbed(hw)
 		if err != nil {
 			return nicsim.Measurement{}, err

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// WireFloorReport is the raw-transport ceiling measurement `yala
+// loadgen -wirefloor` produces: TypeEcho frames carry no gate, no
+// cache and no prediction, so frames/s here is what the framing,
+// socket and scheduler cost alone allows. Comparing it against a wire
+// predict run separates "the transport is the bottleneck" from "the
+// serving stack is".
+type WireFloorReport struct {
+	Frames   int           `json:"frames"`
+	Payload  int           `json:"payload_bytes"`
+	Workers  int           `json:"workers"`
+	Errors   int           `json:"errors"`
+	Duration time.Duration `json:"duration"`
+	FPS      float64       `json:"fps"`
+	P50      time.Duration `json:"p50"`
+	P99      time.Duration `json:"p99"`
+}
+
+// String renders the report for the CLI.
+func (r WireFloorReport) String() string {
+	return fmt.Sprintf("wire floor  %d echo frames (%d B payload, %d workers, %d errors)\nduration    %v\nthroughput  %.0f frames/s\nlatency     p50 %v  p99 %v",
+		r.Frames, r.Payload, r.Workers, r.Errors,
+		r.Duration.Round(time.Millisecond), r.FPS,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// WireEchoFloor measures the yalawire transport floor against a live
+// wire listener: workers persistent connections exchanging frames
+// round trips of TypeEcho frames carrying payloadBytes of opaque data.
+func WireEchoFloor(addr string, workers, frames, payloadBytes int) (WireFloorReport, error) {
+	if workers <= 0 {
+		workers = 8
+	}
+	if frames <= 0 {
+		frames = 100000
+	}
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	pool := wire.NewPool(addr, "", workers)
+	defer pool.Close()
+	payload := bytes.Repeat([]byte{0xab}, payloadBytes)
+
+	var (
+		issued    atomic.Int64
+		errs      atomic.Int64
+		firstErr  atomic.Pointer[error]
+		latencies = make([][]time.Duration, workers)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				if issued.Add(1) > int64(frames) {
+					return
+				}
+				t0 := time.Now()
+				err := pool.Do(context.Background(), wire.TypeEcho, payload, func(f wire.Frame) error {
+					if f.Type != wire.TypeEchoAck {
+						return fmt.Errorf("serve: echo answered with frame type %d", f.Type)
+					}
+					return nil
+				})
+				latencies[wk] = append(latencies[wk], time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := WireFloorReport{
+		Frames:   len(all),
+		Payload:  payloadBytes,
+		Workers:  workers,
+		Errors:   int(errs.Load()),
+		Duration: elapsed,
+	}
+	if elapsed > 0 {
+		rep.FPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		rep.P50 = percentile(all, 0.50)
+		rep.P99 = percentile(all, 0.99)
+	}
+	if ep := firstErr.Load(); ep != nil && rep.Errors > 0 {
+		return rep, fmt.Errorf("serve: wire floor: %d/%d frames failed (first: %w)", rep.Errors, rep.Frames, *ep)
+	}
+	return rep, nil
+}

@@ -11,6 +11,15 @@ import (
 	"repro/internal/obs"
 )
 
+// StatusClientClosedRequest is the non-standard 499 status (the nginx
+// convention) a handler writes when the *client* abandoned the request
+// — its context was canceled before a response could be sent. It is
+// neither a success nor a server error; the gate's Middleware excludes
+// it from SLO accounting entirely, because a burst of client
+// disconnects says nothing about server health and must not push the
+// windowed error-rate/latency pressure toward shedding live traffic.
+const StatusClientClosedRequest = 499
+
 // KeyFromRequest extracts the API key: `Authorization: Bearer <key>`
 // wins, then `X-API-Key`; "" means anonymous.
 func KeyFromRequest(r *http.Request) string {
@@ -85,6 +94,12 @@ func (g *Gate) Middleware(next http.Handler) http.Handler {
 		rec := &gateRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
+		if rec.status == StatusClientClosedRequest {
+			// The client hung up: not an error, and not a latency sample
+			// either — how long an abandoned request lingered measures the
+			// client's impatience, not the server's SLO.
+			return
+		}
 		g.Observe(d, time.Since(start), rec.status >= http.StatusInternalServerError)
 	})
 }

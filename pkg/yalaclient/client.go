@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -68,6 +69,14 @@ type Client struct {
 	timeout time.Duration
 	retries int
 	backoff time.Duration
+
+	// Wire transport state (WithWire): the binary fast path for Predict
+	// and PredictBatch, with transparent HTTP fallback. wireRetryAt
+	// parks the wire path for a grace period after a transport failure
+	// so a dead listener costs one failed dial, not one per request.
+	wireAddr    string
+	wire        *wirePool
+	wireRetryAt atomic.Int64
 }
 
 // Option configures a Client.
@@ -113,6 +122,19 @@ func WithRetryBackoff(d time.Duration) Option {
 	return func(c *Client) { c.backoff = d }
 }
 
+// WithWire routes Predict and PredictBatch over the server's yalawire
+// binary listener at addr (host:port — the address `yala serve -wire`
+// printed, advertised as wire_addr in /v2/stats). The wire path keeps
+// the client's typed errors (*APIError, *RateLimitError) and retry
+// rules: a transport failure — dial refused, connection dropped,
+// protocol damage — falls back to HTTP transparently for that call,
+// and a retryable wire refusal (5xx, 429) with a WithRetries budget
+// re-issues over HTTP so the standard backoff/Retry-After schedule
+// applies. All other calls use HTTP regardless.
+func WithWire(addr string) Option {
+	return func(c *Client) { c.wireAddr = strings.TrimSpace(addr) }
+}
+
 // New returns a client for a server base URL (e.g.
 // "http://localhost:8844"). The default transport keeps enough idle
 // connections per host for load-generation fan-out — net/http's default
@@ -136,7 +158,20 @@ func New(base string, opts ...Option) *Client {
 		hc.Timeout = c.timeout
 		c.httpc = &hc
 	}
+	if c.wireAddr != "" {
+		// Built after all options resolve so the pool handshakes with
+		// the final API key regardless of option order.
+		c.wire = newWirePool(c.wireAddr, c.apiKey)
+	}
 	return c
+}
+
+// Close releases the wire transport's pooled connections. A client
+// built without WithWire holds nothing that needs closing.
+func (c *Client) Close() {
+	if c.wire != nil {
+		c.wire.Close()
+	}
 }
 
 // do round-trips one idempotent call: marshal, retry loop, envelope
@@ -259,7 +294,18 @@ func dialError(err error) bool {
 // to park a client for minutes with one header.
 const maxRetryAfterWait = 10 * time.Second
 
-// roundTrip performs one HTTP exchange and slurps the response.
+// maxResponseBytes caps how much of a response body the client will
+// buffer, mirroring the server's request-side cap: a misbehaving or
+// hostile endpoint must not be able to OOM the SDK with one response.
+const maxResponseBytes = 10 << 20
+
+// ErrResponseTooLarge reports a response body that exceeded
+// maxResponseBytes. The read stops at the cap; nothing oversized is
+// retained.
+var ErrResponseTooLarge = fmt.Errorf("yalaclient: response body exceeds %d-byte cap", maxResponseBytes)
+
+// roundTrip performs one HTTP exchange and reads the response, bounded
+// by maxResponseBytes.
 func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte) ([]byte, int, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
@@ -280,9 +326,12 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte
 		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
 	if err != nil {
 		return nil, 0, nil, err
+	}
+	if len(data) > maxResponseBytes {
+		return nil, 0, nil, ErrResponseTooLarge
 	}
 	return data, resp.StatusCode, resp.Header, nil
 }
@@ -350,15 +399,35 @@ func modelPath(m ModelID, backendName, verb string) string {
 }
 
 // Predict estimates the model's throughput for one scenario via the
-// named backend ("" = DefaultBackend).
+// named backend ("" = DefaultBackend). With WithWire configured the
+// exchange runs over the binary wire transport, falling back to HTTP
+// transparently on any transport failure.
 func (c *Client) Predict(ctx context.Context, m ModelID, backendName string, p PredictParams) (PredictResult, error) {
+	if c.wireReady() {
+		out, err := c.wirePredict(ctx, m, backendName, p)
+		if !c.wireFallback(err) {
+			return out, err
+		}
+	}
 	var out PredictResult
 	err := c.do(ctx, http.MethodPost, modelPath(m, backendName, "predict"), p, &out)
 	return out, err
 }
 
-// PredictBatch evaluates many scenarios in one round trip.
+// PredictBatch evaluates many scenarios in one round trip. Like
+// Predict, it prefers the wire transport when WithWire is configured.
 func (c *Client) PredictBatch(ctx context.Context, items []BatchItem) (BatchResult, error) {
+	if c.wireReady() {
+		out, err := c.wirePredictBatch(ctx, items)
+		if !c.wireFallback(err) {
+			return out, err
+		}
+	}
+	return c.httpPredictBatch(ctx, items)
+}
+
+// httpPredictBatch is the JSON round trip behind PredictBatch.
+func (c *Client) httpPredictBatch(ctx context.Context, items []BatchItem) (BatchResult, error) {
 	wire := struct {
 		Requests []batchItemWire `json:"requests"`
 	}{Requests: make([]batchItemWire, len(items))}

@@ -30,6 +30,33 @@
 //	var apiErr *yalaclient.APIError
 //	if errors.As(err, &apiErr) && apiErr.Code == "invalid_argument" { ... }
 //
+// # Wire transport
+//
+// WithWire(addr) routes Predict and PredictBatch over the server's
+// yalawire binary listener (internal/wire) instead of HTTP — same
+// results, same typed errors, no JSON or HTTP parsing on the hot path:
+//
+//	client := yalaclient.New("http://localhost:8844",
+//		yalaclient.WithWire("localhost:8845"))
+//	defer client.Close() // releases pooled wire connections
+//
+// The wire path is an additive fast lane, never a second contract: a
+// transport failure falls back to HTTP transparently and parks the
+// wire path for a grace window so a dead listener costs one failed
+// dial, not one per request; WireActive reports whether the next call
+// will attempt it. Caller cancellation surfaces as ctx.Err() and never
+// parks the path. Every other method always rides HTTP.
+//
+// # Safety bounds
+//
+// Response bodies are read through a hard 10 MiB cap on both
+// transports; anything larger fails with ErrResponseTooLarge instead
+// of buffering without bound (mirroring the server's own request-body
+// cap). Retry sleeps honor the server's Retry-After hint but are
+// clamped to an internal ceiling (maxRetryAfterWait, 10s) so a
+// misconfigured server cannot pin a retrying client indefinitely; the
+// caller's context deadline always wins over any backoff schedule.
+//
 // The package depends only on the standard library, so external tools
 // can vendor it without pulling in the simulator tree. See
 // Example (package example) for an end-to-end walkthrough against an

@@ -242,15 +242,21 @@ type GatewayTenantStats struct {
 // hash-ring size; an elastic gateway may have fewer replicas attached
 // than slots. Tenants is present when the admission gate is mounted.
 type GatewayStats struct {
-	Replicas    []GatewayReplicaStats `json:"replicas"`
-	Slots       int                   `json:"slots,omitempty"`
-	Tenants     []GatewayTenantStats  `json:"tenants,omitempty"`
-	Requests    uint64                `json:"requests"`
-	Retries     uint64                `json:"retries"`
-	Fanouts     uint64                `json:"fanouts"`
-	EdgeHits    uint64                `json:"edge_hits"`
-	EdgeMisses  uint64                `json:"edge_misses"`
-	EdgeEntries int                   `json:"edge_entries"`
+	Replicas []GatewayReplicaStats `json:"replicas"`
+	Slots    int                   `json:"slots,omitempty"`
+	Tenants  []GatewayTenantStats  `json:"tenants,omitempty"`
+	Requests uint64                `json:"requests"`
+	Retries  uint64                `json:"retries"`
+	Fanouts  uint64                `json:"fanouts"`
+	// Coalesced counts requests answered by sharing a concurrent
+	// identical in-flight upstream call instead of dialing a replica;
+	// Canceled counts requests whose client hung up before an upstream
+	// answered (499s, excluded from the shed signal).
+	Coalesced   uint64 `json:"coalesced,omitempty"`
+	Canceled    uint64 `json:"canceled,omitempty"`
+	EdgeHits    uint64 `json:"edge_hits"`
+	EdgeMisses  uint64 `json:"edge_misses"`
+	EdgeEntries int    `json:"edge_entries"`
 }
 
 // Stats is the operator-facing server snapshot.
@@ -270,4 +276,9 @@ type Stats struct {
 	Models          []ModelInfo       `json:"models"`
 	PersistFailures uint64            `json:"persist_failures,omitempty"`
 	LastPersistErr  string            `json:"last_persist_error,omitempty"`
+	// WireAddr is the server's yalawire binary listener (host:port),
+	// empty when the server runs without one. Clients and gateways use
+	// it to discover the wire transport (WithWire) without extra
+	// configuration.
+	WireAddr string `json:"wire_addr,omitempty"`
 }

@@ -1,0 +1,217 @@
+package yalaclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// wireParkDuration is how long the client stops attempting the wire
+// path after a transport failure. Within the grace window every call
+// goes straight to HTTP, so a dead listener costs one failed dial, not
+// one failed dial per request.
+const wireParkDuration = 5 * time.Second
+
+// wirePool is the client's handle on the binary transport: a small
+// pool of persistent, handshaken connections toward one wire listener.
+type wirePool struct {
+	*wire.Pool
+}
+
+// newWirePool sizes the pool for load-generation fan-out, mirroring
+// the HTTP transport's generous idle-connection budget in spirit (wire
+// connections are serial per exchange, so the pool is the concurrency
+// ceiling for retained connections; extras dial-and-discard).
+func newWirePool(addr, apiKey string) *wirePool {
+	return &wirePool{wire.NewPool(addr, apiKey, 16)}
+}
+
+// wireReady reports whether the wire path should be attempted: it is
+// configured and not parked by a recent transport failure.
+func (c *Client) wireReady() bool {
+	return c.wire != nil && time.Now().UnixNano() >= c.wireRetryAt.Load()
+}
+
+// WireActive reports whether the binary wire transport is currently in
+// use for Predict/PredictBatch: WithWire was configured and the path is
+// not parked by a recent transport failure. It exists for operational
+// visibility (loadgen reports, tests); callers never need to branch on
+// it for correctness — fallback to HTTP is automatic.
+func (c *Client) WireActive() bool { return c.wireReady() }
+
+// wireFallback decides what to do with a wire-path error: true means
+// "re-issue this call over HTTP", false means "return (out, err) to
+// the caller as-is". A transport failure parks the wire path and falls
+// back; a retryable application refusal (5xx, 429) falls back only
+// when the caller opted into WithRetries, so the standard HTTP
+// backoff/Retry-After schedule applies; every other outcome — success,
+// 4xx, caller cancellation — is final.
+func (c *Client) wireFallback(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, wire.ErrTransport) {
+		c.wireRetryAt.Store(time.Now().Add(wireParkDuration).UnixNano())
+		return true
+	}
+	if c.retries <= 0 {
+		return false
+	}
+	var rle *RateLimitError
+	if errors.As(err, &rle) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode >= 500
+}
+
+// wirePredict runs one Predict exchange over the wire transport.
+func (c *Client) wirePredict(ctx context.Context, m ModelID, backendName string, p PredictParams) (PredictResult, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	if backendName == "" {
+		backendName = DefaultBackend
+	}
+	req := wire.PredictRequest{
+		NF:          m.NF,
+		HW:          m.HW,
+		Backend:     backendName,
+		Profile:     toWireProfile(p.Profile),
+		Competitors: toWireCompetitors(p.Competitors),
+	}
+	buf := wire.AppendPredictRequest(wire.GetBuf(), &req)
+	var out PredictResult
+	err := c.wire.Do(ctx, wire.TypePredict, buf, func(f wire.Frame) error {
+		switch f.Type {
+		case wire.TypePredictResp:
+			resp, derr := wire.DecodePredictResponse(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("%w: %v", wire.ErrTransport, derr)
+			}
+			out = fromWireResponse(resp)
+			return nil
+		case wire.TypeError:
+			return wireError(f.Payload)
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d", wire.ErrTransport, f.Type)
+		}
+	})
+	wire.PutBuf(buf)
+	if err != nil && ctx.Err() != nil {
+		// The exchange died because the caller gave up; surface that,
+		// not a transport-flavored wrapper (and never park the wire
+		// path over it).
+		return out, ctx.Err()
+	}
+	return out, err
+}
+
+// wirePredictBatch runs one PredictBatch exchange over the wire
+// transport.
+func (c *Client) wirePredictBatch(ctx context.Context, items []BatchItem) (BatchResult, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	req := wire.BatchRequest{Requests: make([]wire.PredictRequest, len(items))}
+	for i, it := range items {
+		req.Requests[i] = wire.PredictRequest{
+			NF:          it.Model.NF,
+			HW:          it.Model.HW,
+			Backend:     it.Backend,
+			Profile:     toWireProfile(it.Profile),
+			Competitors: toWireCompetitors(it.Competitors),
+		}
+	}
+	buf := wire.AppendBatchRequest(wire.GetBuf(), &req)
+	var out BatchResult
+	err := c.wire.Do(ctx, wire.TypeBatch, buf, func(f wire.Frame) error {
+		switch f.Type {
+		case wire.TypeBatchResp:
+			resp, derr := wire.DecodeBatchResponse(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("%w: %v", wire.ErrTransport, derr)
+			}
+			out.Responses = make([]PredictResult, len(resp.Responses))
+			for i := range resp.Responses {
+				out.Responses[i] = fromWireResponse(resp.Responses[i])
+			}
+			out.Errors = resp.Errors
+			return nil
+		case wire.TypeError:
+			return wireError(f.Payload)
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d", wire.ErrTransport, f.Type)
+		}
+	})
+	wire.PutBuf(buf)
+	if err != nil && ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	return out, err
+}
+
+// wireError decodes a TypeError payload into the same typed errors the
+// HTTP path produces, so callers branch on *APIError/*RateLimitError
+// without caring which transport answered.
+func wireError(payload []byte) error {
+	ef, err := wire.DecodeError(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", wire.ErrTransport, err)
+	}
+	ae := APIError{
+		StatusCode: ef.Status,
+		Code:       ef.Code,
+		Message:    ef.Message,
+		RequestID:  ef.RequestID,
+	}
+	if ef.Status == http.StatusTooManyRequests {
+		return &RateLimitError{
+			APIError:   ae,
+			RetryAfter: time.Duration(ef.RetryAfterSec * float64(time.Second)),
+		}
+	}
+	return &ae
+}
+
+func toWireProfile(p ProfileSpec) wire.Profile {
+	return wire.Profile{Flows: p.Flows, PktSize: p.PktSize, MTBR: p.MTBR}
+}
+
+func toWireCompetitors(cs []Competitor) []wire.Competitor {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := make([]wire.Competitor, len(cs))
+	for i, cp := range cs {
+		out[i] = wire.Competitor{Name: cp.Name, Profile: toWireProfile(cp.Profile)}
+	}
+	return out
+}
+
+func fromWireResponse(r wire.PredictResponse) PredictResult {
+	out := PredictResult{
+		NF:           r.NF,
+		HW:           r.HW,
+		Backend:      r.Backend,
+		Profile:      ProfileSpec{Flows: r.Profile.Flows, PktSize: r.Profile.PktSize, MTBR: r.Profile.MTBR},
+		SoloPPS:      r.SoloPPS,
+		PredictedPPS: r.PredictedPPS,
+		Bottleneck:   r.Bottleneck,
+	}
+	if len(r.PerResource) > 0 {
+		out.PerResourcePPS = make(map[string]float64, len(r.PerResource))
+		for _, rp := range r.PerResource {
+			out.PerResourcePPS[rp.Resource] = rp.PPS
+		}
+	}
+	return out
+}

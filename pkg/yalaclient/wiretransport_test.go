@@ -1,0 +1,84 @@
+package yalaclient
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// deadWireAddr returns a loopback address nothing is listening on.
+func deadWireAddr(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+// TestWireFallbackToHTTP: a client configured with a wire address that
+// stops answering must serve every Predict over HTTP transparently —
+// same result, no error — and park the wire path so subsequent calls
+// skip the dead dial entirely.
+func TestWireFallbackToHTTP(t *testing.T) {
+	var httpPredicts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpPredicts.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"nf":"ACL","backend":"analytic","predicted_pps":123.0,"solo_pps":456.0}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithWire(deadWireAddr(t)))
+	defer c.Close()
+	if !c.WireActive() {
+		t.Fatal("wire path not active before the first dial")
+	}
+	res, err := c.Predict(context.Background(), ModelID{NF: "ACL"}, "", PredictParams{})
+	if err != nil {
+		t.Fatalf("predict with dead wire listener: %v", err)
+	}
+	if res.PredictedPPS != 123.0 {
+		t.Fatalf("fallback answer wrong: %+v", res)
+	}
+	if httpPredicts.Load() != 1 {
+		t.Fatalf("HTTP saw %d predicts, want 1", httpPredicts.Load())
+	}
+	// The transport failure parks the wire path: the next call goes
+	// straight to HTTP without re-dialing the dead listener.
+	if c.WireActive() {
+		t.Fatal("dead wire listener did not park the wire path")
+	}
+	if _, err := c.Predict(context.Background(), ModelID{NF: "ACL"}, "", PredictParams{}); err != nil {
+		t.Fatalf("second predict while parked: %v", err)
+	}
+	if httpPredicts.Load() != 2 {
+		t.Fatalf("HTTP saw %d predicts after park, want 2", httpPredicts.Load())
+	}
+}
+
+// TestResponseTooLarge: a server answering more than maxResponseBytes
+// must produce ErrResponseTooLarge, not an unbounded buffer.
+func TestResponseTooLarge(t *testing.T) {
+	chunk := make([]byte, 1<<20)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		for i := 0; i < 11; i++ { // 11 MiB > the 10 MiB cap
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Predict(context.Background(), ModelID{NF: "ACL"}, "", PredictParams{})
+	if !errors.Is(err, ErrResponseTooLarge) {
+		t.Fatalf("oversized response produced %v, want ErrResponseTooLarge", err)
+	}
+}
