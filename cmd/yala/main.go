@@ -16,7 +16,7 @@
 //	yala loadgen  -url http://localhost:8844 [-n 20000] [-c 8] [-profiles 4] [-gateway] [-seed n] [-json path]
 //	              [-tenants n | -tenant-keys k1,k2] [-hot i] [-quietrps r] [-wire host:port [-wirefloor]]
 //	yala cluster  -nics 16 -arrivals 120 [-classes bluefield2:12,pensando:4] [-workload churn|diurnal|flashcrowd|heavytail]
-//	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path]
+//	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path] [-shiftat t -shiftscale f] [-online]
 //	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
 //	yala trace replay -in scenario.trace [-policies ...] [-models DIR] [-json path]
 //	yala list
@@ -463,6 +463,7 @@ func cmdGateway(args []string) error {
 			}
 		}
 	}
+	var reps []*gateway.Replica
 	if *replicas > 0 {
 		if *models == "" {
 			return fmt.Errorf("gateway: -models is required with -replicas")
@@ -470,7 +471,8 @@ func cmdGateway(args []string) error {
 		if err := os.MkdirAll(*models, 0o755); err != nil {
 			return err
 		}
-		reps, err := gateway.SpawnReplicas(*replicas, serve.ServiceConfig{
+		var err error
+		reps, err = gateway.SpawnReplicas(*replicas, serve.ServiceConfig{
 			Registry:     serve.RegistryConfig{Dir: *models, Seed: *seed},
 			Workers:      *workers,
 			CacheEntries: *cache,
@@ -498,6 +500,12 @@ func cmdGateway(args []string) error {
 		return err
 	}
 	defer gw.Close()
+	// In-process replicas promote shadow models on their own drift
+	// gates; fan each promotion out so peers reload and the edge cache
+	// sheds stale responses.
+	for _, rep := range reps {
+		gw.WirePromote(rep)
+	}
 	fmt.Printf("yala gateway: listening on %s, %d replicas\n", *addr, len(urls))
 	for i, u := range urls {
 		fmt.Printf("  replica %d: %s\n", i, u)
@@ -538,6 +546,8 @@ func cmdLoadgen(args []string) error {
 	compare := fs.Float64("compare", 0, "fraction of Compare requests")
 	diagnose := fs.Float64("diagnose", 0, "fraction of Diagnose requests")
 	admit := fs.Float64("admit", 0, "fraction of Admit requests")
+	ingest := fs.Float64("ingest", 0, "fraction of requests that predict solo and Ingest the result back as a ground-truth measurement")
+	ingestShift := fs.Float64("ingestshift", 1, "scale ingested measurements by this factor (a sustained shift away from 1 trips the server's drift gate)")
 	seed := fs.Uint64("seed", 1, "scenario seed")
 	gw := fs.Bool("gateway", false, "the URL is a yala gateway: report per-replica distribution and edge-cache counters")
 	tenantsN := fs.Int("tenants", 0, "multi-tenant mode: simulate n tenants with keys tenant-0..tenant-(n-1)")
@@ -583,6 +593,8 @@ func cmdLoadgen(args []string) error {
 		CompareFrac:    *compare,
 		DiagnoseFrac:   *diagnose,
 		AdmitFrac:      *admit,
+		IngestFrac:     *ingest,
+		IngestShift:    *ingestShift,
 		Gateway:        *gw,
 		HotTenant:      *hot,
 		QuietRPS:       *quietRPS,
@@ -661,6 +673,9 @@ func scenarioFlags(fs *flag.FlagSet) func() (cluster.Scenario, error) {
 	meanlife := fs.Float64("meanlife", 40, "mean tenant lifetime (s)")
 	slaLo := fs.Float64("slalo", 0.05, "SLA lower bound (max tolerated throughput drop)")
 	slaHi := fs.Float64("slahi", 0.2, "SLA upper bound")
+	shiftAt := fs.Float64("shiftat", 0, "apply a mid-run hardware shift at this time (0: none)")
+	shiftScale := fs.Float64("shiftscale", 0, "frequency scale of the mid-run shift (requires -shiftat)")
+	online := fs.Bool("online", false, "close the feedback loop: drift-gate enforcement measurements, retrain and promote mid-run")
 	return func() (cluster.Scenario, error) {
 		sc := cluster.Scenario{
 			NICs:         *nics,
@@ -673,6 +688,9 @@ func scenarioFlags(fs *flag.FlagSet) func() (cluster.Scenario, error) {
 			DriftProb:    *drift,
 			SLALo:        *slaLo,
 			SLAHi:        *slaHi,
+			ShiftAt:      *shiftAt,
+			ShiftScale:   *shiftScale,
+			Online:       *online,
 		}
 		if *classes != "" {
 			specs, err := parseClasses(*classes)
@@ -785,6 +803,9 @@ func clusterRemote(url string, sc cluster.Scenario, policies []string, jsonPath 
 		DriftProb:    &sc.DriftProb,
 		SLALo:        sc.SLALo,
 		SLAHi:        sc.SLAHi,
+		ShiftAt:      sc.ShiftAt,
+		ShiftScale:   sc.ShiftScale,
+		Online:       sc.Online,
 	}
 	for _, cs := range sc.Classes {
 		params.Classes = append(params.Classes, yalaclient.ClassSpec{Class: cs.Class, Count: cs.Count, Cores: cs.Cores})

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/feedback"
 	"repro/internal/nicsim"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -238,9 +239,24 @@ type Env struct {
 	Sim    *placement.Simulator
 	Models ModelSource
 
+	// Feedback optionally tunes the online loop's drift gate (window
+	// size, warmup floor, promotion evidence). Train, Promote and
+	// Synchronous are owned by the orchestrator and overwritten; nil
+	// selects cluster-scale defaults.
+	Feedback *feedback.Config
+	// TrainOptions optionally supplies backend-specific training options
+	// for online-mode retraining (nil selects each backend's quick
+	// default). Tests and benches pass minimal-cost configurations here.
+	TrainOptions func(backendName string) any
+
 	base  nicsim.Config
 	seed  uint64
 	class map[classKey]*classEnv
+	// shift caches the post-shift ground-truth environments: one
+	// frequency-scaled simulator per (class, scale), shared by every
+	// policy run on this Env so shifted co-run measurements are taken
+	// once.
+	shift map[shiftKey]*classEnv
 
 	// obsReg, when installed via SetObs, receives scheduler telemetry:
 	// per-policy decision-latency histograms and candidate-slot counters
@@ -259,6 +275,7 @@ func NewEnv(cfg nicsim.Config, seed uint64, models ModelSource) *Env {
 		base:   cfg,
 		seed:   seed,
 		class:  map[classKey]*classEnv{},
+		shift:  map[shiftKey]*classEnv{},
 	}
 	base := &classEnv{
 		key: classKey{},
@@ -330,6 +347,56 @@ func (e *Env) simFor(n *NIC) *placement.Simulator {
 		return ce.sim
 	}
 	return e.Sim
+}
+
+// shiftKey identifies one post-shift ground-truth environment: the
+// class it shifted from plus the frequency factor applied.
+type shiftKey struct {
+	class classKey
+	scale float64
+}
+
+// shiftedEnv resolves (building on first use) the post-shift
+// ground-truth environment for one class: the class's hardware preset
+// under a DVFS governor at scale times its nominal frequency, with its
+// own solo/co-run caches. Enforcement consults it after the scenario's
+// shift time; the prediction-side class simulator is untouched — that
+// gap is exactly what the online feedback loop has to close.
+func (e *Env) shiftedEnv(key classKey, scale float64) *classEnv {
+	sk := shiftKey{class: key, scale: scale}
+	if ce, ok := e.shift[sk]; ok {
+		return ce
+	}
+	base, ok := e.class[key]
+	if !ok {
+		base = e.class[classKey{}]
+	}
+	f := base.cfg.FreqScale
+	if f <= 0 {
+		f = 1
+	}
+	cfg := base.cfg.WithFrequencyScale(f * scale)
+	sim := placement.NewSimulator(testbed.New(cfg, e.seed))
+	sim.NICCores = base.sim.NICCores
+	sim.NFCores = base.sim.NFCores
+	ce := &classEnv{key: key, cfg: cfg, sim: sim}
+	e.shift[sk] = ce
+	return ce
+}
+
+// fresh clones the environment's immutable configuration into a new Env
+// with empty caches and model sets. Online-mode runs mutate per-class
+// model sets and solo baselines (that is the point of promotion), so a
+// comparison gives each policy a fresh clone rather than sharing one
+// contaminated environment.
+func (e *Env) fresh() *Env {
+	ne := NewEnv(e.base, e.seed, e.Models)
+	ne.Sim.NFCores = e.Sim.NFCores
+	ne.Sim.NICCores = e.Sim.NICCores
+	ne.Feedback = e.Feedback
+	ne.TrainOptions = e.TrainOptions
+	ne.obsReg = e.obsReg
+	return ne
 }
 
 // ensureModels pulls the named NFs' models for the strategy's backend

@@ -41,16 +41,29 @@ func RunStream(ctx context.Context, env *Env, sc Scenario, stream []TenantSpec, 
 	if len(policies) == 0 {
 		policies = Policies()
 	}
-	if err := env.Prewarm(ctx, sc, policies); err != nil {
-		return Comparison{}, err
+	if !sc.Online {
+		if err := env.Prewarm(ctx, sc, policies); err != nil {
+			return Comparison{}, err
+		}
 	}
 	cmp := Comparison{Scenario: sc}
 	for _, p := range policies {
-		sched, err := NewScheduler(p, env, sc.Seed)
+		penv := env
+		if sc.Online {
+			// Online runs mutate per-class model sets and solo baselines
+			// (promotion is the point), so each policy gets a fresh clone
+			// of the environment instead of inheriting a prior policy's
+			// recalibrated state. Model loads still share the ModelSource.
+			penv = env.fresh()
+			if err := penv.Prewarm(ctx, sc, []string{p}); err != nil {
+				return Comparison{}, err
+			}
+		}
+		sched, err := NewScheduler(p, penv, sc.Seed)
 		if err != nil {
 			return Comparison{}, err
 		}
-		res, err := env.RunPolicyStream(ctx, sc, stream, sched)
+		res, err := penv.RunPolicyStream(ctx, sc, stream, sched)
 		if err != nil {
 			return Comparison{}, fmt.Errorf("cluster: policy %s: %w", p, err)
 		}

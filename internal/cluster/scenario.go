@@ -110,6 +110,25 @@ type Scenario struct {
 	// throughput drop relative to solo).
 	SLALo float64 `json:"sla_lo"`
 	SLAHi float64 `json:"sla_hi"`
+	// ShiftAt, when positive, is the time at which the fleet's
+	// ground-truth hardware behavior shifts: from then on every class's
+	// NICs run at ShiftScale times nominal core frequency (a DVFS-style
+	// governor change). Models trained before the shift describe
+	// hardware that no longer exists, so prediction-guided admission
+	// goes stale mid-run — the scenario the online feedback loop is for.
+	ShiftAt float64 `json:"shift_at,omitempty"`
+	// ShiftScale is the post-shift frequency factor; required positive
+	// when ShiftAt is set.
+	ShiftScale float64 `json:"shift_scale,omitempty"`
+	// Online closes the feedback loop during the run: every enforcement
+	// probe's ground-truth measurements are scored against the live
+	// model's predictions by a drift gate; a trip retrains a candidate
+	// through the backend (calibrated by the gate's measured/predicted
+	// ratio), the candidate shadow-scores on subsequent measurements,
+	// and promotion installs it into the prediction-side model set once
+	// it beats the live model. Only prediction-guided policies are
+	// affected; model-free baselines have nothing to retrain.
+	Online bool `json:"online,omitempty"`
 }
 
 // WithDefaults fills unset scenario fields with the standard churn
@@ -174,6 +193,15 @@ func (sc Scenario) Validate() error {
 	case "", WorkloadChurn, WorkloadDiurnal, WorkloadFlashCrowd, WorkloadHeavyTail:
 	default:
 		return fmt.Errorf("cluster: unknown workload %q (have %v)", sc.Workload, Workloads())
+	}
+	if sc.ShiftAt < 0 {
+		return fmt.Errorf("cluster: shift time %g must not be negative", sc.ShiftAt)
+	}
+	if sc.ShiftAt > 0 && sc.ShiftScale <= 0 {
+		return fmt.Errorf("cluster: shift at %g needs a positive shift scale (got %g)", sc.ShiftAt, sc.ShiftScale)
+	}
+	if sc.ShiftScale != 0 && sc.ShiftAt <= 0 {
+		return fmt.Errorf("cluster: shift scale %g set without a shift time", sc.ShiftScale)
 	}
 	for i, cs := range sc.Classes {
 		if _, err := ClassConfig(cs.Class); err != nil {

@@ -133,6 +133,7 @@ func NewElastic(gwCfg Config, svcCfg serve.ServiceConfig, asCfg AutoscaleConfig)
 	}
 	for i, rep := range replicas {
 		as.pool[i] = rep
+		g.WirePromote(rep)
 	}
 	if gwCfg.Gate != nil {
 		// Re-wire the gate's queue signal to the autoscaler's own
@@ -275,6 +276,7 @@ func (as *Autoscaler) scaleUpLocked() func() {
 	return func() {
 		reps, err := SpawnReplicas(1, as.svcCfg)
 		if err == nil {
+			as.g.WirePromote(reps[0])
 			err = as.g.Attach(slot, reps[0].URL)
 			if err != nil {
 				CloseReplicas(reps)

@@ -507,6 +507,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v2/gateway/stats", g.handleGatewayStats)
 	mux.HandleFunc("GET /v2/stats", g.handleAggregateStats)
 	mux.HandleFunc("POST /v2/models:batchPredict", g.handleBatchScatter)
+	mux.HandleFunc("POST /v2/ingest", g.handleIngestScatter)
 	mux.HandleFunc("/", g.handleProxy)
 	var h http.Handler = mux
 	if g.cfg.Gate != nil {
@@ -1089,6 +1090,21 @@ func (g *Gateway) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
 		if st.LastPersistErr != "" {
 			agg.LastPersistErr = st.LastPersistErr
 		}
+		if st.Drift != nil {
+			if agg.Drift == nil {
+				agg.Drift = &yalaclient.DriftStats{}
+			}
+			agg.Drift.Observations += st.Drift.Observations
+			agg.Drift.Quarantined += st.Drift.Quarantined
+			agg.Drift.Holds += st.Drift.Holds
+			agg.Drift.Trips += st.Drift.Trips
+			agg.Drift.Retrains += st.Drift.Retrains
+			agg.Drift.TrainFailures += st.Drift.TrainFailures
+			agg.Drift.ShadowSamples += st.Drift.ShadowSamples
+			agg.Drift.ShadowCompares += st.Drift.ShadowCompares
+			agg.Drift.ShadowAborts += st.Drift.ShadowAborts
+			agg.Drift.Promotions += st.Drift.Promotions
+		}
 		for _, b := range st.Backends {
 			backends[b] = true
 		}
@@ -1097,6 +1113,15 @@ func (g *Gateway) handleAggregateStats(w http.ResponseWriter, r *http.Request) {
 			if prev, ok := models[key]; ok {
 				prev.Loaded = prev.Loaded || m.Loaded
 				prev.OnDisk = prev.OnDisk || m.OnDisk
+				// The fleet's view of a model is its freshest resolution:
+				// after a promotion fan-out, the highest generation is the
+				// promoted one.
+				if m.Generation > prev.Generation {
+					prev.Generation = m.Generation
+				}
+				if m.TrainedAt > prev.TrainedAt {
+					prev.TrainedAt = m.TrainedAt
+				}
 				models[key] = prev
 			} else {
 				models[key] = m
@@ -1220,7 +1245,7 @@ func (g *Gateway) handleBatchScatter(w http.ResponseWriter, r *http.Request) {
 			// remap them to the client's before proxying the status.
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(sub.status)
-			w.Write(remapBatchIndices(sub.body, sub.idxs))
+			w.Write(remapIndices(sub.body, "requests[", sub.idxs))
 			return
 		}
 		var decoded struct {
@@ -1252,13 +1277,166 @@ func (g *Gateway) handleBatchScatter(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// remapBatchIndices rewrites "requests[<i>]" references in a replica's
+// handleIngestScatter splits a /v2/ingest body by each measurement's
+// routing key and issues per-replica sub-batches concurrently, so every
+// measurement lands on its model's home replica — the one whose
+// feedback window, shadow candidate and predict cache describe that
+// model. Responses sum: the client sees one fleet-wide accept count.
+func (g *Gateway) handleIngestScatter(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, "invalid_argument", "reading request body: "+err.Error())
+		return
+	}
+	var params struct {
+		Measurements []json.RawMessage `json:"measurements"`
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &params); err != nil {
+			g.writeError(w, http.StatusBadRequest, "invalid_argument", "decoding request body: "+err.Error())
+			return
+		}
+	}
+
+	// Group measurements by home replica on the same (nf, hw, backend)
+	// key predictions route by — feedback must accumulate where the
+	// model serves.
+	type elemID struct {
+		Model   string `json:"model"`
+		Backend string `json:"backend"`
+	}
+	type subBatch struct {
+		key    string
+		idxs   []int
+		status int
+		body   []byte
+		err    error
+	}
+	byReplica := map[*replica]*subBatch{}
+	var subs []*subBatch
+	for i, raw := range params.Measurements {
+		var e elemID
+		// A malformed measurement still routes (somewhere); the replica
+		// owns validation and its whole-batch 400 proxies back.
+		_ = json.Unmarshal(raw, &e)
+		nf, hw := splitModelID(e.Model)
+		key := modelKey(nf, hw, e.Backend)
+		ranked := g.rank(key)
+		if len(ranked) == 0 {
+			g.writeError(w, http.StatusServiceUnavailable, "unavailable", "no replica attached")
+			return
+		}
+		home := ranked[0].rep
+		sub, ok := byReplica[home]
+		if !ok {
+			sub = &subBatch{key: key}
+			byReplica[home] = sub
+			subs = append(subs, sub)
+		}
+		sub.idxs = append(sub.idxs, i)
+	}
+
+	var wg sync.WaitGroup
+	for _, sub := range subs {
+		raws := make([]json.RawMessage, len(sub.idxs))
+		for j, idx := range sub.idxs {
+			raws[j] = params.Measurements[idx]
+		}
+		subBody, err := json.Marshal(map[string]any{"measurements": raws})
+		if err != nil {
+			g.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+			return
+		}
+		wg.Add(1)
+		go func(sub *subBatch, subBody []byte) {
+			defer wg.Done()
+			_, sub.status, _, sub.body, sub.err = g.sendWithFailover(r.Context(), sub.key, http.MethodPost, "/v2/ingest", "application/json", subBody)
+		}(sub, subBody)
+	}
+	wg.Wait()
+
+	var accepted, quarantined int
+	for _, sub := range subs {
+		if sub.err != nil {
+			g.writeProxyError(w, r, fmt.Errorf("ingest sub-batch failed on every replica: %w", sub.err))
+			return
+		}
+		if sub.status != http.StatusOK {
+			// The replica's error names sub-batch indices; remap them to
+			// the client's before proxying the status.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(sub.status)
+			w.Write(remapIndices(sub.body, "measurements[", sub.idxs))
+			return
+		}
+		var res struct {
+			Accepted    int `json:"accepted"`
+			Quarantined int `json:"quarantined"`
+		}
+		if err := json.Unmarshal(sub.body, &res); err != nil {
+			g.writeError(w, http.StatusBadGateway, "internal", "replica returned a malformed ingest response")
+			return
+		}
+		accepted += res.Accepted
+		quarantined += res.Quarantined
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "quarantined": quarantined})
+}
+
+// PromoteReload propagates one replica's feedback-driven model
+// promotion to the rest of the fleet: every other replica reloads the
+// (backend, nf) pair — dropping its in-memory model so the next
+// request re-reads the promoted artifact from the shared model
+// directory — and the gateway's edge cache sheds every response the
+// retired model computed. Replicas that cannot be reached get the
+// reload queued for replay on recovery, exactly like a client-driven
+// :reload fan-out. exceptURL names the promoting replica, which
+// already swapped atomically and must not be told to drop the model it
+// just installed.
+func (g *Gateway) PromoteReload(backendName, nfName, exceptURL string) {
+	if backendName == "" {
+		backendName = yalaclient.DefaultBackend
+	}
+	g.fanouts.Add(1)
+	var wg sync.WaitGroup
+	for _, rep := range g.replicas {
+		ep := rep.ep.Load()
+		if ep == nil {
+			// A vacant slot's next occupant must not serve the retired
+			// model.
+			g.addPending(rep, backendName, nfName)
+			continue
+		}
+		if ep.url == exceptURL {
+			continue
+		}
+		wg.Add(1)
+		go func(rep *replica, ep *endpoint) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+			defer cancel()
+			err := ep.client.Reload(ctx, yalaclient.ModelID{NF: nfName}, backendName)
+			var apiErr *yalaclient.APIError
+			if err != nil && !(errors.As(err, &apiErr) && apiErr.StatusCode < 500) {
+				ep.errors.Add(1)
+				g.addPending(rep, backendName, nfName)
+				return
+			}
+			ep.requests.Add(1)
+			ep.fanouts.Add(1)
+		}(rep, ep)
+	}
+	wg.Wait()
+	g.evictEdge(nfName)
+}
+
+// remapIndices rewrites "<marker><i>]" references in a replica's
 // whole-batch error from sub-batch positions to the client's original
 // element indices, so "requests[0]" in a 2-element sub-batch can
 // surface as "requests[7]" of the client's 10-element batch.
-func remapBatchIndices(body []byte, idxs []int) []byte {
+func remapIndices(body []byte, marker string, idxs []int) []byte {
 	s := string(body)
-	const marker = "requests["
 	i := strings.Index(s, marker)
 	if i < 0 {
 		return body

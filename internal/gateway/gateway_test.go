@@ -85,6 +85,12 @@ func (s *stubReplica) counts() (served, reloads int) {
 	return s.served, s.reloads
 }
 
+func (s *stubReplica) pathCount(p string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.paths[p]
+}
+
 func (s *stubReplica) handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
@@ -148,6 +154,25 @@ func (s *stubReplica) handler() http.Handler {
 				resp.Errors = nil
 			}
 			json.NewEncoder(w).Encode(resp)
+		case r.URL.Path == "/v2/ingest":
+			body, _ := io.ReadAll(r.Body)
+			var params struct {
+				Measurements []struct {
+					Model       string  `json:"model"`
+					MeasuredPPS float64 `json:"measured_pps"`
+				} `json:"measurements"`
+			}
+			if err := json.Unmarshal(body, &params); err != nil {
+				http.Error(w, `{"error":{"code":"invalid_argument","message":"bad ingest"}}`, http.StatusBadRequest)
+				return
+			}
+			for i, m := range params.Measurements {
+				if m.MeasuredPPS <= 0 {
+					http.Error(w, fmt.Sprintf(`{"error":{"code":"invalid_argument","message":"measurements[%d]: measured_pps must be positive and finite"}}`, i), http.StatusBadRequest)
+					return
+				}
+			}
+			fmt.Fprintf(w, `{"accepted":%d,"quarantined":0}`, len(params.Measurements))
 		default:
 			// Any other verb: a deterministic body naming the stub, so
 			// tests can see which replica answered.
@@ -429,18 +454,100 @@ func TestBatchScatter(t *testing.T) {
 // TestRemapBatchIndices covers the sub-batch→client index rewrite.
 func TestRemapBatchIndices(t *testing.T) {
 	body := []byte(`{"error":{"code":"invalid_argument","message":"requests[1]: unknown NF"}}`)
-	got := string(remapBatchIndices(body, []int{4, 9}))
+	got := string(remapIndices(body, "requests[", []int{4, 9}))
 	if !strings.Contains(got, "requests[9]") {
 		t.Fatalf("remap produced %s", got)
 	}
+	ingest := []byte(`{"error":{"message":"measurements[0]: measured_pps must be positive and finite"}}`)
+	if got := string(remapIndices(ingest, "measurements[", []int{7})); !strings.Contains(got, "measurements[7]") {
+		t.Fatalf("ingest remap produced %s", got)
+	}
 	// No marker → unchanged.
 	plain := []byte(`{"error":{"message":"boom"}}`)
-	if string(remapBatchIndices(plain, []int{1})) != string(plain) {
+	if string(remapIndices(plain, "requests[", []int{1})) != string(plain) {
 		t.Fatal("markerless body rewritten")
 	}
 }
 
-// TestAggregateStats sums replica stats and unions the model list.
+// TestIngestScatter: a /v2/ingest batch splits by each measurement's
+// model key, every measurement reaches its home replica, and the
+// per-replica accept counts sum into one response. A replica's
+// per-element 400 proxies back with the index remapped to the
+// client's batch.
+func TestIngestScatter(t *testing.T) {
+	a, b := newStubReplica(t, "a"), newStubReplica(t, "b")
+	_, ts := testGateway(t, -1, a, b)
+
+	var sb strings.Builder
+	sb.WriteString(`{"measurements":[`)
+	models := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for i, m := range models {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"model":%q,"measured_pps":1000}`, m)
+	}
+	sb.WriteString(`]}`)
+	status, body := post(t, ts.URL+"/v2/ingest", sb.String())
+	if status != 200 {
+		t.Fatalf("ingest scatter: %d %s", status, body)
+	}
+	var res struct {
+		Accepted    int `json:"accepted"`
+		Quarantined int `json:"quarantined"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != len(models) || res.Quarantined != 0 {
+		t.Fatalf("scatter sum: %+v", res)
+	}
+	if a.pathCount("/v2/ingest") == 0 || b.pathCount("/v2/ingest") == 0 {
+		t.Fatalf("8 models' measurements all routed one way: a=%d b=%d",
+			a.pathCount("/v2/ingest"), b.pathCount("/v2/ingest"))
+	}
+
+	// A bad element's replica-side index remaps to the client's batch
+	// position: the invalid measurement is client index 2, whatever
+	// sub-batch position it held.
+	status, body = post(t, ts.URL+"/v2/ingest",
+		`{"measurements":[{"model":"A","measured_pps":1},{"model":"A","measured_pps":1},{"model":"A","measured_pps":-5}]}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "measurements[2]") {
+		t.Fatalf("remapped ingest error: %d %s", status, body)
+	}
+}
+
+// TestPromoteReload: a feedback promotion on one replica fans the
+// reload out to the rest of the fleet, skips the promoting replica
+// (which already swapped atomically), and queues catch-up reloads for
+// replicas that are down so they never rejoin stale.
+func TestPromoteReload(t *testing.T) {
+	a, b := newStubReplica(t, "a"), newStubReplica(t, "b")
+	g, _ := testGateway(t, 8, a, b)
+
+	g.PromoteReload("yala", "FlowStats", a.url())
+	if _, r := a.counts(); r != 0 {
+		t.Fatalf("promoting replica was told to reload its own promotion (%d reloads)", r)
+	}
+	if _, r := b.counts(); r != 1 {
+		t.Fatalf("sibling replica missed the promotion fan-out (%d reloads)", r)
+	}
+
+	// A down replica gets the reload queued and replayed on recovery.
+	b.stop()
+	g.PromoteReload("yala", "NAT", a.url())
+	b.start()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, r := b.counts(); r >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered replica never received the queued promotion reload")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
 func TestAggregateStats(t *testing.T) {
 	a, b := newStubReplica(t, "a"), newStubReplica(t, "b")
 	_, ts := testGateway(t, -1, a, b)

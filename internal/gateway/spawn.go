@@ -36,6 +36,20 @@ func (r *Replica) Close() {
 	r.svc.Close()
 }
 
+// WirePromote connects an in-process replica's feedback-driven model
+// promotions to the gateway's fleet-wide reload fan-out: when the
+// replica's drift gate promotes a shadow model, every peer replica
+// reloads the (backend, nf) pair from the shared model directory and
+// the gateway's edge cache sheds the retired model's responses. The
+// promoting replica is excluded from the fan-out — it already swapped
+// atomically.
+func (g *Gateway) WirePromote(rep *Replica) {
+	url := rep.URL
+	rep.Service().SetPromoteHook(func(backendName, _, nfName string) {
+		g.PromoteReload(backendName, nfName, url)
+	})
+}
+
 // SpawnReplicas boots n in-process serve replicas on loopback
 // listeners — the single-binary deployment behind `yala gateway
 // -replicas N`. The replicas share one model directory, and therefore

@@ -495,6 +495,49 @@ func (s *Simulator) Violations(residents []Arrival) (int, error) {
 	return s.violations(residents)
 }
 
+// CoRun exposes the simulator's cached ground-truth co-run measurements
+// for a resident set, ordered by the canonical (sorted) arrival key. It
+// is the measurement probe the online-feedback loop (internal/cluster)
+// scores model predictions against; the cache keeps repeated probes of
+// an unchanged NIC free.
+func (s *Simulator) CoRun(residents []Arrival) ([]nicsim.Measurement, []Arrival, error) {
+	return s.coRun(residents)
+}
+
+// PredictWith predicts target's co-located throughput among others
+// using an explicit model handle instead of the installed one. It is
+// the shadow-evaluation primitive: a retrained candidate predicts live
+// scenarios through it without ever being installed, so its output can
+// be scored against ground truth while the installed model keeps
+// serving every decision.
+func (s *Simulator) PredictWith(backendName string, m backend.Model, target Arrival, others []Arrival) (float64, error) {
+	b, ok := backend.Get(backendName)
+	if !ok {
+		return 0, fmt.Errorf("placement: unknown prediction backend %q", backendName)
+	}
+	var comps []backend.Competitor
+	for _, o := range others {
+		sm, err := s.solo(o)
+		if err != nil {
+			return 0, err
+		}
+		comps = append(comps, backend.Competitor{NF: o.Name, Profile: o.Profile, Solo: sm})
+	}
+	solo, err := s.solo(target)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := b.Predict(m, backend.Scenario{
+		Profile:     target.Profile,
+		Competitors: comps,
+		Solo:        func() (float64, error) { return solo.Throughput, nil },
+	})
+	if err != nil {
+		return 0, err
+	}
+	return pred.PredictedPPS, nil
+}
+
 // violations counts residents whose ground-truth throughput breaks their
 // SLA.
 func (s *Simulator) violations(residents []Arrival) (int, error) {

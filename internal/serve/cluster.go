@@ -43,6 +43,13 @@ type ClusterRunRequest struct {
 	DriftProb *float64 `json:"drift_prob,omitempty"`
 	SLALo     float64  `json:"sla_lo,omitempty"`
 	SLAHi     float64  `json:"sla_hi,omitempty"`
+	// ShiftAt/ShiftScale apply a mid-run hardware shift (ground truth
+	// moves to a frequency-scaled environment at the given time); Online
+	// closes the feedback loop so prediction-guided policies retrain and
+	// promote against the shifted measurements mid-run.
+	ShiftAt    float64 `json:"shift_at,omitempty"`
+	ShiftScale float64 `json:"shift_scale,omitempty"`
+	Online     bool    `json:"online,omitempty"`
 }
 
 // ClusterPoliciesResponse lists the scheduling policies the server runs.
@@ -108,6 +115,9 @@ func (r ClusterRunRequest) scenario() (cluster.Scenario, error) {
 		MeanLifetime: r.MeanLifetime,
 		SLALo:        r.SLALo,
 		SLAHi:        r.SLAHi,
+		ShiftAt:      r.ShiftAt,
+		ShiftScale:   r.ShiftScale,
+		Online:       r.Online,
 	}
 	if r.DriftProb != nil {
 		if *r.DriftProb < 0 || *r.DriftProb > 1 {

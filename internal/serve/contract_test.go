@@ -163,14 +163,21 @@ func TestV1DeprecationHeaders(t *testing.T) {
 	}
 }
 
-// requestIDPat normalizes the per-request IDs inside golden fixtures.
-var requestIDPat = regexp.MustCompile(`req-[0-9]{6}`)
+// requestIDPat normalizes the per-request IDs inside golden fixtures;
+// trainedAtPat normalizes the wall-clock training timestamps model
+// listings carry (the fixture pins that the field is present, not when
+// the test ran).
+var (
+	requestIDPat = regexp.MustCompile(`req-[0-9]{6}`)
+	trainedAtPat = regexp.MustCompile(`"trained_at": [0-9]+`)
+)
 
 // checkGolden compares got against the named fixture, normalizing
-// request IDs; -update rewrites the fixture.
+// request IDs and training timestamps; -update rewrites the fixture.
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
-	got = requestIDPat.ReplaceAllString(got, "req-NNNNNN") + "\n"
+	got = requestIDPat.ReplaceAllString(got, "req-NNNNNN")
+	got = trainedAtPat.ReplaceAllString(got, `"trained_at": 1700000000`) + "\n"
 	path := filepath.Join("testdata", name)
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {

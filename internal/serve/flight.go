@@ -89,6 +89,23 @@ func (g *FlightGroup[K, V]) Coalesce(key K, fn func() (V, error)) (val V, shared
 	return e.val, true, e.err
 }
 
+// Put installs a value for key as an already-resolved entry, replacing
+// whatever was there. Waiters on an in-flight attempt for the same key
+// still receive that attempt's result (their flight resolves
+// independently); only later calls observe the installed value. This is
+// the promotion path: a model trained out-of-band replaces the served
+// one atomically, with no caller ever seeing an empty slot.
+func (g *FlightGroup[K, V]) Put(key K, v V) {
+	g.mu.Lock()
+	if g.entries == nil {
+		g.entries = map[K]*flight[V]{}
+	}
+	e := &flight[V]{ready: make(chan struct{}), val: v}
+	close(e.ready)
+	g.entries[key] = e
+	g.mu.Unlock()
+}
+
 // evictResolvedLocked drops resolved entries until under max; in-flight
 // attempts are never dropped. Caller holds g.mu.
 func (g *FlightGroup[K, V]) evictResolvedLocked(max int) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/feedback"
 	"repro/internal/obs"
 	"repro/internal/tenant"
 )
@@ -31,6 +32,7 @@ import (
 //	POST /v2/models/{model}/{backend}:reload     → {"ok": true}
 //	POST /v2/models/{model}:compare              → CompareResponse
 //	POST /v2/models/{model}:diagnose             → DiagnoseResponse
+//	POST /v2/ingest                              → IngestResult (online feedback)
 //	POST /v2/cluster/runs                        → cluster.Comparison
 //	GET  /v2/cluster/policies                    → ClusterPoliciesResponse
 //	GET  /v2/stats                               → ServiceStats
@@ -206,6 +208,19 @@ type (
 	batchParamsV2 struct {
 		Requests []batchItemV2 `json:"requests"`
 	}
+	// ingestItemV2 is one ground-truth measurement of POST /v2/ingest —
+	// the scenario it was taken under plus the observed throughput.
+	ingestItemV2 struct {
+		Model       string           `json:"model"`
+		Backend     string           `json:"backend,omitempty"`
+		Profile     ProfileSpec      `json:"profile,omitzero"`
+		Competitors []CompetitorSpec `json:"competitors,omitempty"`
+		MeasuredPPS float64          `json:"measured_pps"`
+		Source      string           `json:"source,omitempty"`
+	}
+	ingestParamsV2 struct {
+		Measurements []ingestItemV2 `json:"measurements"`
+	}
 	// modelInfoV2 wraps the /v1 listing entry with its resource ID.
 	modelInfoV2 struct {
 		ID string `json:"id"`
@@ -226,6 +241,9 @@ type (
 		// is mounted — the discovery hook gateways use to upgrade their
 		// upstream transport.
 		WireAddr string `json:"wire_addr,omitempty"`
+		// Drift is the online-feedback controller's counter snapshot
+		// (ingest windows, gate decisions, shadow scoring, promotions).
+		Drift feedback.Stats `json:"drift"`
 	}
 	// modelsPageV2 is one page of the model listing.
 	modelsPageV2 struct {
@@ -266,6 +284,7 @@ func decodePageToken(tok string) (int, error) {
 func (s *Service) registerV2(mux *http.ServeMux) {
 	v2Route(mux, "GET", "/v2/models", s.handleListModels)
 	v2Route(mux, "POST", "/v2/models:batchPredict", s.handleBatchPredictV2)
+	v2Route(mux, "POST", "/v2/ingest", s.handleIngestV2)
 	v2Route(mux, "POST", "/v2/models/{modelverb}", s.handleModelVerbV2)
 	v2Route(mux, "POST", "/v2/models/{model}/{backendverb}", s.handleBackendVerbV2)
 	v2Route(mux, "POST", "/v2/cluster/runs", func(w http.ResponseWriter, r *http.Request) {
@@ -283,6 +302,7 @@ func (s *Service) registerV2(mux *http.ServeMux) {
 			UptimeSeconds: time.Since(s.started).Seconds(),
 			StartTime:     s.started.Unix(),
 			WireAddr:      s.WireAddr(),
+			Drift:         s.fb.Stats(),
 		})
 	})
 }
@@ -401,6 +421,37 @@ func (s *Service) handleBackendVerbV2(w http.ResponseWriter, r *http.Request) {
 		writeErrorV2(w, r, http.StatusNotFound, codeNotFound,
 			fmt.Sprintf("unknown verb %q on %s/%s (have predict, admit, reload)", verb, nf, backendName), nil)
 	}
+}
+
+// handleIngestV2 serves POST /v2/ingest — ground-truth measurements
+// flowing into the online-feedback loop.
+func (s *Service) handleIngestV2(w http.ResponseWriter, r *http.Request) {
+	var params ingestParamsV2
+	if !decodeV2(w, r, &params) {
+		return
+	}
+	items := make([]IngestMeasurement, len(params.Measurements))
+	for i, it := range params.Measurements {
+		nf, hw, err := parseModelID(it.Model)
+		if err != nil {
+			writeErrorV2(w, r, http.StatusBadRequest, codeInvalidArgument,
+				fmt.Sprintf("measurements[%d]: %v", i, err), nil)
+			return
+		}
+		items[i] = IngestMeasurement{
+			NF: nf, HW: hw, Backend: it.Backend,
+			Profile: it.Profile, Competitors: it.Competitors,
+			MeasuredPPS: it.MeasuredPPS, Source: it.Source,
+		}
+	}
+	resp, err := s.Ingest(r.Context(), items)
+	if err != nil {
+		writeServiceErrorV2(w, r, err)
+		return
+	}
+	esp := obs.StartSpan(r.Context(), "encode")
+	writeJSON(w, http.StatusOK, resp)
+	esp.End()
 }
 
 // handleBatchPredictV2 serves POST /v2/models:batchPredict — the /v2

@@ -41,6 +41,14 @@ type LoadgenConfig struct {
 	CompareFrac  float64
 	DiagnoseFrac float64
 	AdmitFrac    float64
+	// IngestFrac diverts that fraction of requests to the feedback
+	// path: each one predicts the target solo, then reports IngestShift
+	// times the prediction back through Ingest as a ground-truth
+	// measurement. At the default shift of 1 the stream confirms the
+	// model; a sustained shift away from 1 is the synthetic hardware
+	// change the server's drift gate should trip on.
+	IngestFrac  float64
+	IngestShift float64
 	// Batch groups that many scenarios per Predict round trip via the
 	// batch endpoint (1 = single-scenario requests). Batching only
 	// applies to the Predict share of the mix.
@@ -91,6 +99,9 @@ func (c LoadgenConfig) withDefaults() LoadgenConfig {
 	}
 	if c.Batch <= 0 {
 		c.Batch = 1
+	}
+	if c.IngestShift <= 0 {
+		c.IngestShift = 1
 	}
 	return c
 }
@@ -504,7 +515,24 @@ func fireOne(client *yalaclient.Client, cfg LoadgenConfig, rng *sim.RNG, profile
 	nf, prof, comps := randomScenario(cfg, rng, profiles)
 	model := yalaclient.ModelID{NF: nf}
 	switch roll := rng.Float64(); {
-	case roll < cfg.AdmitFrac:
+	case roll < cfg.IngestFrac:
+		// Measure what the model believes solo, then report it back
+		// scaled by IngestShift as ground truth. Rotating the source
+		// label across a small set keeps a single origin from looking
+		// like the lone dissenter the quarantine logic exists to catch.
+		pred, err := client.Predict(ctx, model, "", yalaclient.PredictParams{Profile: prof})
+		if err != nil {
+			return 1, err
+		}
+		jitter := 1 + 0.01*(rng.Float64()-0.5)
+		_, err = client.Ingest(ctx, yalaclient.Measurement{
+			Model:       model,
+			Profile:     prof,
+			MeasuredPPS: pred.PredictedPPS * cfg.IngestShift * jitter,
+			Source:      fmt.Sprintf("loadgen-%d", rng.Intn(3)),
+		})
+		return 1, err
+	case roll < cfg.IngestFrac+cfg.AdmitFrac:
 		residents := make([]yalaclient.Resident, 0, len(comps))
 		for _, c := range comps {
 			residents = append(residents, yalaclient.Resident{Name: c.Name, Profile: c.Profile, SLA: 0.1})
@@ -515,10 +543,10 @@ func fireOne(client *yalaclient.Client, cfg LoadgenConfig, rng *sim.RNG, profile
 			SLA:       0.1,
 		})
 		return 1, err
-	case roll < cfg.AdmitFrac+cfg.CompareFrac:
+	case roll < cfg.IngestFrac+cfg.AdmitFrac+cfg.CompareFrac:
 		_, err := client.Compare(ctx, model, yalaclient.CompareParams{Profile: prof, Competitors: comps})
 		return 2, err // Yala + SLOMO
-	case roll < cfg.AdmitFrac+cfg.CompareFrac+cfg.DiagnoseFrac:
+	case roll < cfg.IngestFrac+cfg.AdmitFrac+cfg.CompareFrac+cfg.DiagnoseFrac:
 		_, err := client.Diagnose(ctx, model, yalaclient.PredictParams{Profile: prof, Competitors: comps})
 		return 1, err
 	case cfg.Batch > 1:

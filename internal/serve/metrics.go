@@ -32,6 +32,7 @@ func (s *Service) initObs() {
 	r.CounterFunc("yala_requests_total", s.admits.Load, "verb", "admit")
 	r.CounterFunc("yala_requests_total", s.diagnoses.Load, "verb", "diagnose")
 	r.CounterFunc("yala_requests_total", s.clusterRuns.Load, "verb", "cluster_run")
+	r.CounterFunc("yala_requests_total", s.ingests.Load, "verb", "ingest")
 	r.CounterFunc("yala_requests_total", s.httpRequests.Load, "transport", "http")
 	r.CounterFunc("yala_requests_total", s.wireRequests.Load, "transport", "wire")
 	r.CounterFunc("yala_request_errors_total", s.errors.Load)
@@ -44,6 +45,16 @@ func (s *Service) initObs() {
 	r.GaugeFunc("yala_workers", func() float64 { return float64(s.cfg.Workers) })
 	r.GaugeFunc("yala_uptime_seconds", func() float64 { return time.Since(s.started).Seconds() })
 	r.GaugeFunc("yala_start_time_seconds", func() float64 { return float64(s.started.Unix()) })
+	// Online-feedback series: the drift gate's decision stream and the
+	// candidate lifecycle, read at scrape from the controller's counters.
+	r.CounterFunc("yala_drift_observations_total", func() uint64 { return s.fb.Stats().Observations })
+	r.CounterFunc("yala_drift_quarantined_total", func() uint64 { return s.fb.Stats().Quarantined })
+	r.CounterFunc("yala_drift_holds_total", func() uint64 { return s.fb.Stats().Holds })
+	r.CounterFunc("yala_drift_trips_total", func() uint64 { return s.fb.Stats().Trips })
+	r.CounterFunc("yala_drift_retrains_total", func() uint64 { return s.fb.Stats().Retrains })
+	r.CounterFunc("yala_drift_shadow_samples_total", func() uint64 { return s.fb.Stats().ShadowSamples })
+	r.CounterFunc("yala_drift_shadow_compares_total", func() uint64 { return s.fb.Stats().ShadowCompares })
+	r.CounterFunc("yala_drift_promotions_total", func() uint64 { return s.fb.Stats().Promotions })
 	s.reqSeconds = r.Histogram("yala_request_seconds", nil)
 	s.stageHist = make(map[string]*obs.Histogram, len(stageNames))
 	for _, st := range stageNames {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
@@ -114,6 +115,21 @@ type ModelRegistry struct {
 	// trainHook, when set, observes every on-demand training (tests):
 	// backend, hardware key ("" = default NIC), NF name.
 	trainHook func(Backend, string, string)
+
+	// metaMu guards meta: per-key generation and training timestamp. A
+	// key's generation counts how many times this process resolved a
+	// fresh model for it — load-from-disk, on-demand train, or promotion
+	// all bump it, so an external observer polling /v2/models can detect
+	// "the served model changed" without diffing model bytes.
+	metaMu sync.Mutex
+	meta   map[entryKey]modelMeta
+}
+
+// modelMeta is the registry's per-model bookkeeping beyond the model
+// itself.
+type modelMeta struct {
+	generation uint64
+	trainedAt  time.Time
 }
 
 // NewRegistry returns a registry over a model directory.
@@ -232,6 +248,7 @@ func (r *ModelRegistry) Reload(backendName, name string) {
 func (r *ModelRegistry) load(b backend.Backend, key entryKey, nic nicsim.Config) (backend.Model, error) {
 	if r.cfg.Dir != "" {
 		if m, err := b.Load(r.modelPath(key)); err == nil {
+			r.bumpGeneration(key)
 			return m, nil
 		}
 	}
@@ -247,7 +264,50 @@ func (r *ModelRegistry) load(b backend.Backend, key entryKey, nic nicsim.Config)
 		return nil, fmt.Errorf("serve: training %s/%s on %s: %w", key.backend, key.name, nic.Name, err)
 	}
 	r.persist(key, func(path string) error { return b.Save(m, path) })
+	r.bumpGeneration(key)
 	return m, nil
+}
+
+// bumpGeneration records that a fresh model resolved for the key.
+func (r *ModelRegistry) bumpGeneration(key entryKey) {
+	r.metaMu.Lock()
+	if r.meta == nil {
+		r.meta = map[entryKey]modelMeta{}
+	}
+	prev := r.meta[key]
+	r.meta[key] = modelMeta{generation: prev.generation + 1, trainedAt: time.Now()}
+	r.metaMu.Unlock()
+}
+
+// metaOf returns the recorded metadata for a key (zero if never
+// resolved in this process).
+func (r *ModelRegistry) metaOf(key entryKey) modelMeta {
+	r.metaMu.Lock()
+	defer r.metaMu.Unlock()
+	return r.meta[key]
+}
+
+// Install atomically replaces the served model for (backend, hw, nf)
+// with a candidate trained out-of-band — the promotion path of the
+// online-feedback loop. The model is persisted (same atomic
+// temp+rename as on-demand training), swapped into the in-memory memo
+// so the very next Predict uses it with no empty-slot window, and the
+// key's generation is bumped. Callers serving memoized responses
+// computed with the old model must flush those too — Service.promote
+// does both.
+func (r *ModelRegistry) Install(backendName, hw, nf string, m backend.Model) error {
+	b, ok := backend.Get(backendName)
+	if !ok {
+		return fmt.Errorf("serve: unknown backend %q (have %s)", backendName, strings.Join(backend.Names(), ", "))
+	}
+	if err := validHW(hw); err != nil {
+		return err
+	}
+	key := entryKey{backendName, hw, nf}
+	r.persist(key, func(path string) error { return b.Save(m, path) })
+	r.models.Put(key, m)
+	r.bumpGeneration(key)
+	return nil
 }
 
 // persist writes a model file atomically (temp + rename, so a crash
@@ -291,6 +351,11 @@ type ModelInfo struct {
 	Backend Backend `json:"backend"`
 	Loaded  bool    `json:"loaded"`
 	OnDisk  bool    `json:"on_disk"`
+	// Generation counts fresh model resolutions for this key in this
+	// process (load, train, or promotion); 0 means the model has only
+	// been seen on disk. TrainedAt is the Unix time of the latest one.
+	Generation uint64 `json:"generation,omitempty"`
+	TrainedAt  int64  `json:"trained_at,omitempty"`
 }
 
 // ResourceID is the /v2 resource name for the model: "<nf>[@<hw>]/<backend>".
@@ -346,6 +411,12 @@ func (r *ModelRegistry) Models() []ModelInfo {
 			info := infoOf(key)
 			info.Loaded = true
 			infos[key] = info
+		}
+	}
+	for key, info := range infos {
+		if m := r.metaOf(key); m.generation > 0 {
+			info.Generation = m.generation
+			info.TrainedAt = m.trainedAt.Unix()
 		}
 	}
 	out := make([]ModelInfo, 0, len(infos))

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/cluster"
+	"repro/internal/feedback"
 	"repro/internal/nicsim"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -43,6 +44,12 @@ type ServiceConfig struct {
 	// (see internal/tenant). Nil serves every request unconditionally,
 	// the pre-tenancy behavior.
 	Gate *tenant.Gate
+	// Feedback overrides the online-feedback controller's tuning (drift
+	// gate thresholds, synchronous mode, custom train/promote hooks —
+	// see internal/feedback). Nil selects the defaults; the controller
+	// always runs, wired to this service's registry for retraining and
+	// promotion.
+	Feedback *feedback.Config
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
@@ -98,7 +105,18 @@ type Service struct {
 	admits      atomic.Uint64
 	diagnoses   atomic.Uint64
 	clusterRuns atomic.Uint64
+	ingests     atomic.Uint64
 	errors      atomic.Uint64
+
+	// fb is the online-feedback controller: ingest windows, the drift
+	// gate, background retraining, shadow scoring and promotion.
+	fb *feedback.Controller
+
+	// promoteHook, when set, observes every promotion after the model
+	// swap and cache eviction — the gateway uses it to fan the reload
+	// out to sibling replicas and evict its edge cache.
+	promoteMu   sync.Mutex
+	promoteHook func(backendName, hw, nf string)
 
 	// Transport split of the same request stream: httpRequests counts
 	// requests arriving through the HTTP front door, wireRequests those
@@ -137,6 +155,20 @@ func NewService(cfg ServiceConfig) *Service {
 		clusterSem: make(chan struct{}, 1),
 		started:    time.Now(),
 	}
+	// The feedback controller defaults to this service's own training
+	// and promotion paths; a caller-supplied Config may override either
+	// (simulations, tests).
+	fbCfg := feedback.Config{}
+	if cfg.Feedback != nil {
+		fbCfg = *cfg.Feedback
+	}
+	if fbCfg.Train == nil {
+		fbCfg.Train = s.feedbackTrain
+	}
+	if fbCfg.Promote == nil {
+		fbCfg.Promote = s.feedbackPromote
+	}
+	s.fb = feedback.New(fbCfg)
 	s.initObs()
 	if cfg.Gate != nil {
 		// The gate's queue-pressure signal is this service's own job
@@ -273,6 +305,7 @@ func (s *Service) Close() {
 	}
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	s.fb.Close()
 }
 
 // enqueue hands a job to the pool. A full backlog applies backpressure
@@ -503,7 +536,7 @@ func (s *Service) predictUncached(backendName Backend, hw, name string, prof tra
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	pred, err := b.Predict(model, backend.Scenario{
+	sc := backend.Scenario{
 		Profile:     prof,
 		Competitors: comps,
 		Solo: func() (float64, error) {
@@ -513,9 +546,20 @@ func (s *Service) predictUncached(backendName Backend, hw, name string, prof tra
 			}
 			return m.Throughput, nil
 		},
-	})
+	}
+	pred, err := b.Predict(model, sc)
 	if err != nil {
 		return PredictResponse{}, err
+	}
+	fbKey := feedback.Key{NF: name, HW: hw, Backend: string(backendName)}
+	if sm, ok := s.fb.ShadowModel(fbKey); ok {
+		// Shadow-serve the candidate on live traffic: it predicts the
+		// same scenario and the divergence is recorded, but its output
+		// goes nowhere — the response below is built exclusively from
+		// the live model's prediction.
+		if sp, serr := b.Predict(sm, sc); serr == nil {
+			s.fb.RecordShadowCompare(fbKey, pred.PredictedPPS, sp.PredictedPPS)
+		}
 	}
 	return PredictResponse{
 		NF:             name,
@@ -1014,6 +1058,7 @@ func (s *Service) Stats() ServiceStats {
 			"admit":       s.admits.Load(),
 			"diagnose":    s.diagnoses.Load(),
 			"cluster_run": s.clusterRuns.Load(),
+			"ingest":      s.ingests.Load(),
 		},
 		Errors:          s.errors.Load(),
 		Cache:           s.cache.Stats(),

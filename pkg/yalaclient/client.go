@@ -444,6 +444,43 @@ func (c *Client) httpPredictBatch(ctx context.Context, items []BatchItem) (Batch
 	return out, err
 }
 
+// Ingest reports one ground-truth measurement into the server's
+// online-feedback loop.
+func (c *Client) Ingest(ctx context.Context, m Measurement) (IngestResult, error) {
+	return c.IngestBatch(ctx, []Measurement{m})
+}
+
+// IngestBatch reports many ground-truth measurements in one round
+// trip. Ingestion is idempotent in aggregate terms — the server's
+// feedback windows are bounded rings, so a retried batch merely
+// re-observes — which makes the standard retry schedule safe; with
+// WithWire configured the exchange rides the binary transport,
+// falling back to HTTP transparently.
+func (c *Client) IngestBatch(ctx context.Context, items []Measurement) (IngestResult, error) {
+	body := struct {
+		Measurements []measurementWire `json:"measurements"`
+	}{Measurements: make([]measurementWire, len(items))}
+	for i, it := range items {
+		body.Measurements[i] = measurementWire{
+			Model:       it.Model.String(),
+			Backend:     it.Backend,
+			Profile:     it.Profile,
+			Competitors: it.Competitors,
+			MeasuredPPS: it.MeasuredPPS,
+			Source:      it.Source,
+		}
+	}
+	if c.wireReady() {
+		out, err := c.wireIngest(ctx, body)
+		if !c.wireFallback(err) {
+			return out, err
+		}
+	}
+	var out IngestResult
+	err := c.do(ctx, http.MethodPost, "/v2/ingest", body, &out)
+	return out, err
+}
+
 // Compare runs Yala and the SLOMO baseline on the same scenario.
 func (c *Client) Compare(ctx context.Context, m ModelID, p CompareParams) (CompareResult, error) {
 	var out CompareResult

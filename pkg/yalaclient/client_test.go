@@ -101,6 +101,65 @@ func TestRetries(t *testing.T) {
 	}
 }
 
+// TestIngestBatch covers the ingest round trip: the wire shape renders
+// model IDs as resource names, the result decodes, and — because a
+// repeated batch merely re-observes bounded windows — transport flakes
+// retry like any idempotent call.
+func TestIngestBatch(t *testing.T) {
+	var calls atomic.Int64
+	var failFirst atomic.Int64
+	var gotBody atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/ingest" || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		if calls.Add(1) <= failFirst.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"unavailable","message":"busy"}}`))
+			return
+		}
+		var params struct {
+			Measurements []map[string]any `json:"measurements"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&params); err != nil {
+			t.Errorf("decoding ingest body: %v", err)
+		}
+		gotBody.Store(params.Measurements)
+		fmt.Fprintf(w, `{"accepted":%d,"quarantined":0}`, len(params.Measurements))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	failFirst.Store(1)
+	res, err := c.IngestBatch(context.Background(), []Measurement{
+		{Model: ModelID{NF: "FlowStats", HW: "pensando"}, Backend: "yala", MeasuredPPS: 1e6, Source: "rig-1"},
+		{Model: ModelID{NF: "ACL"}, MeasuredPPS: 2e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 2 || res.Quarantined != 0 {
+		t.Fatalf("ingest result %+v", res)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("flaked ingest made %d calls, want 2 (1 failure + 1 retry)", got)
+	}
+	ms := gotBody.Load().([]map[string]any)
+	if len(ms) != 2 || ms[0]["model"] != "FlowStats@pensando" || ms[1]["model"] != "ACL" {
+		t.Fatalf("wire measurements %+v", ms)
+	}
+	if ms[0]["source"] != "rig-1" || ms[0]["measured_pps"] != 1e6 {
+		t.Fatalf("measurement fields %+v", ms[0])
+	}
+
+	// Single-measurement convenience form.
+	calls.Store(0)
+	failFirst.Store(0)
+	if res, err = c.Ingest(context.Background(), Measurement{Model: ModelID{NF: "NAT"}, MeasuredPPS: 5e5}); err != nil || res.Accepted != 1 {
+		t.Fatalf("single ingest: %+v, %v", res, err)
+	}
+}
+
 // TestRetryIdempotency is the non-idempotent-retry contract: a flaky
 // server that answers the first attempt with a 500 (or kills the
 // connection mid-response) must see exactly one :reload attempt — the

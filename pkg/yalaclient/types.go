@@ -124,14 +124,68 @@ type DiagnoseResult struct {
 	PerResourcePPS map[string]float64 `json:"per_resource_pps"`
 }
 
-// ModelInfo describes one model the server knows about.
+// ModelInfo describes one model the server knows about. Generation
+// counts fresh in-process model resolutions — initial train or load is
+// 1, each feedback-driven promotion bumps it — and TrainedAt is the
+// Unix time of the latest one; both are 0 for models the server has
+// only seen on disk.
 type ModelInfo struct {
-	ID      string `json:"id"`
-	NF      string `json:"nf"`
-	HW      string `json:"hw,omitempty"`
-	Backend string `json:"backend"`
-	Loaded  bool   `json:"loaded"`
-	OnDisk  bool   `json:"on_disk"`
+	ID         string `json:"id"`
+	NF         string `json:"nf"`
+	HW         string `json:"hw,omitempty"`
+	Backend    string `json:"backend"`
+	Loaded     bool   `json:"loaded"`
+	OnDisk     bool   `json:"on_disk"`
+	Generation uint64 `json:"generation,omitempty"`
+	TrainedAt  int64  `json:"trained_at,omitempty"`
+}
+
+// Measurement is one ground-truth throughput report for Ingest: the
+// model it concerns, the scenario it was measured under, and the
+// observed co-located throughput. Source optionally names the
+// measurement origin (a rig, an agent) so the server's drift gate can
+// quarantine origins whose reports disagree with the consensus.
+type Measurement struct {
+	Model       ModelID      `json:"-"`
+	Backend     string       `json:"backend,omitempty"`
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+	MeasuredPPS float64      `json:"measured_pps"`
+	Source      string       `json:"source,omitempty"`
+}
+
+// measurementWire is Measurement with the model rendered as its
+// resource ID.
+type measurementWire struct {
+	Model       string       `json:"model"`
+	Backend     string       `json:"backend,omitempty"`
+	Profile     ProfileSpec  `json:"profile,omitzero"`
+	Competitors []Competitor `json:"competitors,omitempty"`
+	MeasuredPPS float64      `json:"measured_pps"`
+	Source      string       `json:"source,omitempty"`
+}
+
+// IngestResult summarizes one ingest batch: measurements accepted into
+// the feedback windows vs recorded under a quarantined source.
+type IngestResult struct {
+	Accepted    int `json:"accepted"`
+	Quarantined int `json:"quarantined"`
+}
+
+// DriftStats is the server's online-feedback counter snapshot: the
+// drift gate's decision stream and the candidate train/shadow/promote
+// lifecycle.
+type DriftStats struct {
+	Observations   uint64 `json:"observations"`
+	Quarantined    uint64 `json:"quarantined"`
+	Holds          uint64 `json:"holds"`
+	Trips          uint64 `json:"trips"`
+	Retrains       uint64 `json:"retrains"`
+	TrainFailures  uint64 `json:"train_failures,omitempty"`
+	ShadowSamples  uint64 `json:"shadow_samples"`
+	ShadowCompares uint64 `json:"shadow_compares"`
+	ShadowAborts   uint64 `json:"shadow_aborts,omitempty"`
+	Promotions     uint64 `json:"promotions"`
 }
 
 // ListModelsParams pages through the model listing.
@@ -165,6 +219,12 @@ type ClusterRunParams struct {
 	DriftProb    *float64    `json:"drift_prob,omitempty"`
 	SLALo        float64     `json:"sla_lo,omitempty"`
 	SLAHi        float64     `json:"sla_hi,omitempty"`
+	// ShiftAt/ShiftScale apply a mid-run hardware shift; Online closes
+	// the server's feedback loop so prediction-guided policies retrain
+	// and promote against the shifted measurements mid-run.
+	ShiftAt    float64 `json:"shift_at,omitempty"`
+	ShiftScale float64 `json:"shift_scale,omitempty"`
+	Online     bool    `json:"online,omitempty"`
 }
 
 // ClassSpec declares one homogeneous slice of a mixed fleet.
@@ -187,8 +247,12 @@ type ClusterPolicyResult struct {
 	Violations     int     `json:"violations"`
 	PeakTenants    int     `json:"peak_tenants"`
 	AvgUtilization float64 `json:"avg_utilization"`
-	DecisionP50NS  int64   `json:"decision_p50_ns"`
-	DecisionP99NS  int64   `json:"decision_p99_ns"`
+	// Retrains/Promotions count the online feedback loop's actions; zero
+	// unless the run set Online and the policy is prediction-guided.
+	Retrains      int   `json:"retrains,omitempty"`
+	Promotions    int   `json:"promotions,omitempty"`
+	DecisionP50NS int64 `json:"decision_p50_ns"`
+	DecisionP99NS int64 `json:"decision_p99_ns"`
 }
 
 // ClusterComparison is a comparison run's result. Scenario is kept as
@@ -281,4 +345,8 @@ type Stats struct {
 	// it to discover the wire transport (WithWire) without extra
 	// configuration.
 	WireAddr string `json:"wire_addr,omitempty"`
+	// Drift is the online-feedback snapshot; a gateway's aggregated
+	// view sums it across replicas. Absent on servers predating the
+	// feedback loop.
+	Drift *DriftStats `json:"drift,omitempty"`
 }

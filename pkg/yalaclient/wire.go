@@ -2,6 +2,7 @@ package yalaclient
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -145,6 +146,61 @@ func (c *Client) wirePredictBatch(ctx context.Context, items []BatchItem) (Batch
 				out.Responses[i] = fromWireResponse(resp.Responses[i])
 			}
 			out.Errors = resp.Errors
+			return nil
+		case wire.TypeError:
+			return wireError(f.Payload)
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d", wire.ErrTransport, f.Type)
+		}
+	})
+	wire.PutBuf(buf)
+	if err != nil && ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	return out, err
+}
+
+// wireIngest runs one IngestBatch exchange over the wire transport,
+// tunneled as a Call frame (the server runs the identical /v2/ingest
+// HTTP handler behind it, so validation and envelopes match exactly).
+func (c *Client) wireIngest(ctx context.Context, body any) (IngestResult, error) {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return IngestResult{}, fmt.Errorf("yalaclient: encoding /v2/ingest request: %w", err)
+	}
+	call := wire.Call{
+		Method:      http.MethodPost,
+		URI:         "/v2/ingest",
+		ContentType: "application/json",
+		Body:        payload,
+	}
+	buf := wire.AppendCall(wire.GetBuf(), &call)
+	var out IngestResult
+	err = c.wire.Do(ctx, wire.TypeCall, buf, func(f wire.Frame) error {
+		switch f.Type {
+		case wire.TypeCallResp:
+			resp, derr := wire.DecodeCallResp(f.Payload)
+			if derr != nil {
+				return fmt.Errorf("%w: %v", wire.ErrTransport, derr)
+			}
+			if resp.Status != http.StatusOK {
+				hdr := make(http.Header, len(resp.Headers))
+				for _, kv := range resp.Headers {
+					hdr.Set(kv.Key, kv.Value)
+				}
+				if resp.Status == http.StatusTooManyRequests {
+					return rateLimitError(resp.Status, resp.Body, hdr)
+				}
+				return apiError(resp.Status, resp.Body)
+			}
+			if derr := json.Unmarshal(resp.Body, &out); derr != nil {
+				return fmt.Errorf("%w: decoding /v2/ingest response: %v", wire.ErrTransport, derr)
+			}
 			return nil
 		case wire.TypeError:
 			return wireError(f.Payload)
