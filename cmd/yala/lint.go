@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// cmdLint runs the repo's static-analysis suite (internal/analysis)
+// over the given package patterns (default ./...). Text findings go to
+// stdout; -json writes the machine-readable report (findings array +
+// package count) like the other verbs' -json flags. Any finding —
+// including a stale //yalalint:ignore — makes the command fail, so CI
+// can gate on the exit code alone.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonPath := fs.String("json", "", "write the machine-readable report to this path")
+	list := fs.Bool("analyzers", false, "list the suite's analyzers and exit")
+	fs.Parse(args)
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	root, err := findModRoot()
+	if err != nil {
+		return err
+	}
+	report, err := analysis.Run(root, fs.Args(), analysis.DefaultAnalyzers())
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	if *jsonPath != "" {
+		if err := writeJSONFile(*jsonPath, report); err != nil {
+			return err
+		}
+	}
+	analysis.WriteText(os.Stdout, report.Findings)
+	if n := len(report.Findings); n > 0 {
+		return fmt.Errorf("lint: %d finding(s) in %d package(s)", n, report.Packages)
+	}
+	fmt.Printf("lint: %d packages clean\n", report.Packages)
+	return nil
+}
+
+// findModRoot walks up from the working directory to the enclosing
+// go.mod, so `yala lint ./...` works from any subdirectory.
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

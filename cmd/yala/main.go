@@ -19,6 +19,7 @@
 //	              [-policies random,firstfit,slomo,yala] [-seed n] [-json path] [-shiftat t -shiftscale f] [-online]
 //	yala trace record -out scenario.trace [-arrivals n] [-classes ...] [-workload kind] [-seed n]
 //	yala trace replay -in scenario.trace [-policies ...] [-models DIR] [-json path]
+//	yala lint     [-json path] [-analyzers] [packages...]
 //	yala list
 package main
 
@@ -81,6 +82,8 @@ func main() {
 		err = cmdCluster(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "lint":
+		err = cmdLint(args)
 	case "list":
 		fmt.Println(strings.Join(nf.Names(), "\n"))
 	default:
@@ -93,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|gateway|loadgen|cluster|trace|list} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: yala {profile|train|predict|diagnose|place|serve|gateway|loadgen|cluster|trace|lint|list} [flags]")
 	os.Exit(2)
 }
 

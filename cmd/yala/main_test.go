@@ -304,6 +304,68 @@ func TestServeLoadgenE2E(t *testing.T) {
 	}
 }
 
+// lintJSON is the shape assertion for `yala lint -json` output — the
+// contract CI tooling parses.
+type lintJSON struct {
+	Findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	} `json:"findings"`
+	Packages int `json:"packages"`
+}
+
+// TestLintE2E drives the static-analysis verb through the built binary:
+// a clean package exits 0, a fixture with known violations exits
+// nonzero, and -json writes the machine-readable report.
+func TestLintE2E(t *testing.T) {
+	stdout, stderr, code := run(t, "lint", "./internal/obs")
+	if code != 0 {
+		t.Fatalf("lint of clean package exited %d: %s%s", code, stdout, stderr)
+	}
+	if !bytes.Contains([]byte(stdout), []byte("clean")) {
+		t.Fatalf("clean lint run did not report clean:\n%s", stdout)
+	}
+
+	// Fixture directories are skipped by ./... walks but reachable as
+	// explicit patterns — the bodyclose fixture has known leaks.
+	dir := t.TempDir()
+	out := filepath.Join(dir, "lint.json")
+	stdout, stderr, code = run(t, "lint", "-json", out,
+		"./internal/analysis/testdata/src/bodyclose")
+	if code == 0 {
+		t.Fatalf("lint of violation fixture exited 0: %s%s", stdout, stderr)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep lintJSON
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("parsing %s: %v", out, err)
+	}
+	if rep.Packages != 1 || len(rep.Findings) == 0 {
+		t.Fatalf("unexpected lint report: %+v", rep)
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "bodyclose" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Fatalf("malformed finding: %+v", f)
+		}
+		// Text output and the JSON report describe the same findings.
+		if !bytes.Contains([]byte(stdout), []byte(f.Message)) {
+			t.Fatalf("finding %q missing from text output:\n%s", f.Message, stdout)
+		}
+	}
+
+	// Unknown patterns exit nonzero rather than reporting clean.
+	if _, _, code := run(t, "lint", "./no/such/dir"); code == 0 {
+		t.Fatal("lint of nonexistent pattern exited 0")
+	}
+}
+
 // TestGatewayE2E boots the scale-out gateway with two in-process
 // replicas through the real binary and drives it with the real load
 // generator in -gateway mode: both replicas must serve traffic, a

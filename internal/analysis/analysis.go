@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic. File is relative to the root the
+// suite was run from so golden files and CI output are stable across
+// checkouts.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the canonical file:line:col form used by
+// text output and golden files.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// sortFindings orders findings by (file, line, col, analyzer, message) so
+// every run of the suite emits the same sequence — the suite must hold
+// itself to the determinism bar it enforces.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzer is one check. Run is called once per loaded package; Finish,
+// if set, is called once after every package has been visited — the hook
+// for checks that need repo-global state (duplicate metric names).
+// Analyzer values carry per-run state, so obtain fresh instances from
+// DefaultAnalyzers for every suite run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+	// Finish reports findings that only materialize after the whole
+	// run: it receives a position-aware reporter bound to the suite.
+	Finish func(r *Reporter)
+}
+
+// Pass hands one loaded package to one analyzer.
+type Pass struct {
+	Pkg    *Package
+	Loader *Loader
+	r      *Reporter
+}
+
+// Reportf records a finding for the running analyzer at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.r.Reportf(pos, format, args...)
+}
+
+// TypeOf returns the static type of e, or nil when type information for
+// e is unavailable (a dependency failed to type-check). Analyzers must
+// treat nil as "unknown", never as "not a match is proven".
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to the object it denotes, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Pkg.Info == nil {
+		return nil
+	}
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// usesPkgFunc reports whether sel is a selector for function name from
+// package pkgPath ("time", "io", "net/http"), resolving through type
+// information when present and falling back to matching the file's
+// imports syntactically — so analyzers keep working on packages whose
+// dependencies failed to type-check.
+func (p *Pass) usesPkgFunc(file *ast.File, sel *ast.SelectorExpr, pkgPath, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	if obj := p.ObjectOf(sel.Sel); obj != nil {
+		return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return importNames(file)[id.Name] == pkgPath
+}
+
+// importNames maps local package names in file to import paths, honoring
+// aliases; dot and blank imports are skipped.
+func importNames(file *ast.File) map[string]string {
+	names := map[string]string{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		names[name] = path
+	}
+	return names
+}
+
+// Reporter accumulates findings, translating token positions to
+// root-relative paths.
+type Reporter struct {
+	fset     *token.FileSet
+	root     string
+	analyzer string
+	findings []Finding
+}
+
+// Reportf records a finding at pos for the current analyzer.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.fset.Position(pos)
+	r.findings = append(r.findings, Finding{
+		File:     r.relFile(p.Filename),
+		Line:     p.Line,
+		Col:      p.Column,
+		Analyzer: r.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// relFile renders file relative to the suite root when it lies inside
+// it; paths outside the root (GOROOT sources) stay absolute.
+func (r *Reporter) relFile(file string) string {
+	if rel, err := filepath.Rel(r.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// walkStack traverses root depth-first, calling fn with each node and the
+// stack of its ancestors (outermost first, not including n itself). It is
+// the stdlib-only stand-in for x/tools' inspector with stack.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

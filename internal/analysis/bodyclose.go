@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Bodyclose flags http.Response values whose Body is never closed in
+// the function that obtained them and which do not escape it. A leaked
+// body pins the underlying connection, defeating keep-alive reuse and
+// eventually exhausting the file-descriptor budget under load.
+//
+// The check is flow-insensitive by design (stdlib-only, no SSA): a
+// Close anywhere in the obtaining function — including inside a
+// deferred closure — satisfies it, and a response that escapes
+// (returned, passed to a call, stored anywhere) transfers the
+// obligation to the receiver. That trades missed leaks on exotic paths
+// for zero false positives on the repo's real proxying code.
+func Bodyclose() *Analyzer {
+	return &Analyzer{
+		Name: "bodyclose",
+		Doc:  "requires http.Response bodies to be closed (or the response to escape) in the obtaining function",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				checkBodyClose(pass, f)
+			}
+		},
+	}
+}
+
+// respSource is one call that produced an *http.Response in some
+// function.
+type respSource struct {
+	call *ast.CallExpr
+	obj  types.Object // the variable bound to the response; nil when dropped
+	fn   ast.Node     // innermost enclosing FuncDecl/FuncLit
+}
+
+func checkBodyClose(pass *Pass, f *ast.File) {
+	var sources []respSource
+	walkStack(f, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		idx, ok := responseResult(pass, call)
+		if !ok {
+			return
+		}
+		// A call used as an expression inside a larger statement
+		// (return f(...), helper(client.Do(...))) hands the response
+		// to someone else; only direct assignments and dropped calls
+		// are this function's responsibility.
+		fn := enclosingFunc(stack)
+		switch parent := parentNode(stack).(type) {
+		case *ast.AssignStmt:
+			if obj, bound := assignedObj(pass, parent, call, idx); bound {
+				sources = append(sources, respSource{call: call, obj: obj, fn: fn})
+			} else {
+				// Bound to _: the body can never be closed.
+				sources = append(sources, respSource{call: call, fn: fn})
+			}
+		case *ast.ExprStmt:
+			sources = append(sources, respSource{call: call, fn: fn})
+		}
+	})
+	for _, src := range sources {
+		if src.obj == nil {
+			pass.Reportf(src.call.Pos(), "http response is discarded without closing its Body")
+			continue
+		}
+		if src.fn == nil {
+			continue // package-level var initializer; out of scope
+		}
+		if closedOrEscapes(pass, src.fn, src.obj) {
+			continue
+		}
+		pass.Reportf(src.call.Pos(), "%s.Body is never closed in this function and %s does not escape it; add defer %s.Body.Close()",
+			src.obj.Name(), src.obj.Name(), src.obj.Name())
+	}
+}
+
+// responseResult reports whether call returns an *http.Response and at
+// which tuple index.
+func responseResult(pass *Pass, call *ast.CallExpr) (int, bool) {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return 0, false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if namedIn(tup.At(i).Type(), "net/http") == "Response" {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	if namedIn(t, "net/http") == "Response" {
+		return 0, true
+	}
+	return 0, false
+}
+
+// assignedObj resolves the variable the idx-th result of call is bound
+// to in assign. The second result is false when the slot is the blank
+// identifier or cannot be resolved.
+func assignedObj(pass *Pass, assign *ast.AssignStmt, call *ast.CallExpr, idx int) (types.Object, bool) {
+	if len(assign.Rhs) != 1 || assign.Rhs[0] != call || idx >= len(assign.Lhs) {
+		return nil, false
+	}
+	id, ok := assign.Lhs[idx].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, false
+	}
+	if obj := pass.ObjectOf(id); obj != nil {
+		return obj, true
+	}
+	return nil, false
+}
+
+// closedOrEscapes scans fn's entire subtree (nested closures included —
+// defer func() { resp.Body.Close() }() counts) for either a
+// <obj>.Body.Close() call or an escape of obj.
+func closedOrEscapes(pass *Pass, fn ast.Node, obj types.Object) bool {
+	done := false
+	walkStack(fn, func(n ast.Node, stack []ast.Node) {
+		if done {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.ObjectOf(id) != obj {
+			return
+		}
+		parent := parentNode(stack)
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+			if sel.Sel.Name == "Body" && isCloseOn(stack, sel) {
+				done = true
+			}
+			return // other field/method reads neither close nor escape
+		}
+		if escapesAt(id, parent) {
+			done = true
+		}
+	})
+	return done
+}
+
+// isCloseOn reports whether bodySel (resp.Body) is itself the receiver
+// of a .Close() call: the grandparent must be a SelectorExpr selecting
+// Close whose parent is a call.
+func isCloseOn(stack []ast.Node, bodySel *ast.SelectorExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	outer, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || outer.X != bodySel || outer.Sel.Name != "Close" {
+		return false
+	}
+	if len(stack) < 3 {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == outer
+}
+
+// escapesAt reports whether the identifier's immediate context hands
+// the response to code outside the function: call argument, return
+// value, reassignment, composite literal, channel send, or
+// address-taking.
+func escapesAt(id *ast.Ident, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == id {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, rhs := range p.Rhs {
+			if rhs == id {
+				return true
+			}
+		}
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return true
+	case *ast.UnaryExpr:
+		return true
+	}
+	return false
+}
+
+// parentNode returns the immediate parent from a walk stack.
+func parentNode(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Boundedread flags io.ReadAll applied directly to a network-attached
+// reader — an http.Request/Response Body or a net.Conn — anywhere in
+// the repo. An unbounded read of a peer-controlled stream is a
+// one-request memory DoS; the repo's convention (PR 8) is a 10MiB cap
+// via io.LimitReader or http.MaxBytesReader at every trust boundary.
+func Boundedread() *Analyzer {
+	return &Analyzer{
+		Name: "boundedread",
+		Doc:  "forbids io.ReadAll on request/response bodies and net.Conn without a LimitReader/MaxBytesReader cap",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				file := f
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 1 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !pass.usesPkgFunc(file, sel, "io", "ReadAll") {
+						return true
+					}
+					arg := call.Args[0]
+					if wrapped, ok := arg.(*ast.CallExpr); ok {
+						if ws, ok := wrapped.Fun.(*ast.SelectorExpr); ok {
+							if pass.usesPkgFunc(file, ws, "io", "LimitReader") ||
+								pass.usesPkgFunc(file, ws, "net/http", "MaxBytesReader") {
+								return true
+							}
+						}
+					}
+					if why := pass.networkReader(arg); why != "" {
+						pass.Reportf(call.Pos(), "io.ReadAll of %s without a byte cap; wrap it in io.LimitReader or http.MaxBytesReader", why)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// networkReader classifies e as a peer-controlled stream, returning a
+// human description of why, or "" when e is not network-attached (or
+// cannot be proven to be).
+func (p *Pass) networkReader(e ast.Expr) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Body" {
+		t := p.TypeOf(sel.X)
+		if t == nil {
+			// No type info: a bare .Body is overwhelmingly an HTTP
+			// body in this codebase; stay strict rather than blind.
+			return "a .Body stream"
+		}
+		if n := namedIn(t, "net/http"); n == "Request" || n == "Response" {
+			return "an http." + n + " body"
+		}
+		return ""
+	}
+	t := p.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	if conn, ok := p.Loader.Lookup("net", "Conn").(*types.TypeName); ok {
+		if iface, ok := conn.Type().Underlying().(*types.Interface); ok && types.Implements(t, iface) {
+			return "a net.Conn"
+		}
+	}
+	return ""
+}
+
+// namedIn returns the name of t (pointers dereferenced) when it is a
+// named type declared in package pkgPath, else "".
+func namedIn(t types.Type, pkgPath string) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses one analyzer's
+// findings:
+//
+//	//yalalint:ignore <analyzer> <reason>
+//
+// The directive applies to findings on its own line and on the line
+// directly below it — covering both trailing comments and a standalone
+// comment above the offending statement. The reason is mandatory: an
+// ignore is a reviewed exception, and the review goes in the source. A
+// stale ignore — one that suppresses nothing — is itself an error, so
+// exceptions cannot outlive the code they excused.
+const ignoreDirective = "//yalalint:ignore"
+
+// ignore is one parsed directive.
+type ignore struct {
+	file     string
+	line     int
+	analyzer string
+	used     bool
+}
+
+// collectIgnores parses every yalalint:ignore directive in the package,
+// reporting malformed directives and unknown analyzer names through rep
+// (as findings of the pseudo-analyzer "yalalint" — a broken suppression
+// must fail CI, not silently suppress nothing).
+func collectIgnores(pkg *Package, known map[string]bool, rep *Reporter) []*ignore {
+	var igs []*ignore
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. yalalint:ignorefile
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					rep.Reportf(c.Pos(), "malformed directive %q: want //yalalint:ignore <analyzer> <reason>", c.Text)
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					rep.Reportf(c.Pos(), "ignore names unknown analyzer %q", name)
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				igs = append(igs, &ignore{
+					file:     rep.relFile(p.Filename),
+					line:     p.Line,
+					analyzer: name,
+				})
+			}
+		}
+	}
+	return igs
+}
+
+// applyIgnores drops findings matched by a directive, marking the
+// directives that earned their keep.
+func applyIgnores(findings []Finding, igs []*ignore) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, ig := range igs {
+			if ig.analyzer == f.Analyzer && ig.file == f.File &&
+				(f.Line == ig.line || f.Line == ig.line+1) {
+				ig.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// reportStale turns every unused directive into a finding.
+func reportStale(igs []*ignore, rep *Reporter) {
+	for _, ig := range igs {
+		if !ig.used {
+			rep.findings = append(rep.findings, Finding{
+				File:     ig.file,
+				Line:     ig.line,
+				Col:      1,
+				Analyzer: "yalalint",
+				Message:  "stale //yalalint:ignore " + ig.analyzer + ": no finding to suppress here",
+			})
+		}
+	}
+}

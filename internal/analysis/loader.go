@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package — the unit an
+// analyzer sees. Files are parsed with comments (the ignore mechanism
+// needs them); Info may be partially populated when a dependency failed
+// to type-check, so analyzers must degrade gracefully around nil types.
+type Package struct {
+	Path  string // import path the package was checked under
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects soft type-check failures. The suite surfaces
+	// them only when an analyzer would otherwise be blind.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages using nothing outside the
+// standard library: repo-internal import paths resolve against the
+// module root (read from go.mod), everything else resolves through
+// go/build against GOROOT — type-checking the standard library from
+// source. Checked dependencies are cached by directory, so a whole-repo
+// run pays for net/http exactly once.
+type Loader struct {
+	ModRoot string
+	ModPath string
+	fset    *token.FileSet
+	ctx     build.Context
+	byDir   map[string]*types.Package
+	inFly   map[string]bool
+	errs    map[string]error
+}
+
+// NewLoader builds a loader for the module rooted at modRoot, reading
+// the module path from its go.mod.
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := modulePath(string(data))
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", abs)
+	}
+	ctx := build.Default
+	// Cgo variants of std packages (net, crypto/x509) pull in C; the
+	// pure-Go fallbacks type-check identically for our purposes.
+	ctx.CgoEnabled = false
+	return &Loader{
+		ModRoot: abs,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		byDir:   map[string]*types.Package{},
+		inFly:   map[string]bool{},
+		errs:    map[string]error{},
+	}, nil
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Expand resolves package patterns to directories. Supported forms are
+// Go-tool-like but deliberately small: "./..." and "./dir/..." walk for
+// directories containing non-test Go files (skipping testdata, hidden
+// directories, and _-prefixed directories); anything else is taken as a
+// single directory path. Patterns are relative to base.
+func (l *Loader) Expand(base string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		rest, recursive := strings.CutSuffix(pat, "...")
+		rest = strings.TrimSuffix(rest, "/")
+		if rest == "" || rest == "." {
+			rest = "."
+		}
+		root := rest
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		if !recursive {
+			if !hasGoFiles(root) {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go source file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the package in dir under import path
+// asPath (empty derives it from the directory's position in the
+// module). Only non-test files are loaded: the invariants lint enforces
+// are production-code invariants, and tests legitimately use wall
+// clocks, raw reads, and unordered iteration.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if asPath == "" {
+		rel, err := filepath.Rel(l.ModRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModRoot)
+		}
+		asPath = l.ModPath
+		if rel != "." {
+			asPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	bp, err := l.ctx.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{Path: asPath, Dir: abs, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		// Collect-and-continue: a missing dependency should degrade one
+		// analyzer's precision, not abort the whole lint run.
+		Error: func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(asPath, l.fset, files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	return pkg, nil
+}
+
+// Lookup returns the named object from an importable package, or nil.
+// Analyzers use it to reach types they compare against structurally
+// (net.Conn) without hard-coding assumptions.
+func (l *Loader) Lookup(pkgPath, name string) types.Object {
+	pkg, err := l.ImportFrom(pkgPath, l.ModRoot, 0)
+	if err != nil {
+		return nil
+	}
+	return pkg.Scope().Lookup(name)
+}
+
+// dirFor maps an import path to its source directory: module-internal
+// paths against ModRoot, the rest (std lib and its vendored deps)
+// through go/build relative to the importing directory.
+func (l *Loader) dirFor(path, srcDir string) (string, error) {
+	if path == l.ModPath {
+		return l.ModRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModRoot, filepath.FromSlash(rest)), nil
+	}
+	p, err := l.ctx.Import(path, srcDir, build.FindOnly)
+	if err != nil {
+		return "", err
+	}
+	return p.Dir, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: it type-checks the imported
+// package from source, recursively, caching by resolved directory so
+// vendored std-lib paths and their canonical spellings share one
+// checked package.
+func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, err := l.dirFor(path, srcDir)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := l.byDir[dir]; ok {
+		return p, nil
+	}
+	if err, ok := l.errs[dir]; ok {
+		return nil, err
+	}
+	if l.inFly[dir] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.inFly[dir] = true
+	defer delete(l.inFly, dir)
+	pkg, err := l.checkDep(path, dir)
+	if err != nil {
+		l.errs[dir] = err
+		return nil, err
+	}
+	l.byDir[dir] = pkg
+	return pkg, nil
+}
+
+// checkDep parses and fully type-checks a dependency package (without
+// comments — only analyzed packages need them).
+func (l *Loader) checkDep(path, dir string) (*types.Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	return conf.Check(path, l.fset, files, nil)
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricNameRE is the naming law for every registered series: a
+// subsystem prefix the dashboards key on, then lower_snake.
+var metricNameRE = regexp.MustCompile(`^(yala|gateway|cluster)_[a-z0-9_]+$`)
+
+// registrars maps obs.Registry method names to the index where label
+// pairs begin in the argument list.
+var registrars = map[string]int{
+	"Counter":     1, // (name, labels...)
+	"CounterFunc": 2, // (name, fn, labels...)
+	"GaugeFunc":   2, // (name, fn, labels...)
+	"Histogram":   2, // (name, buckets, labels...)
+}
+
+// metricSite is one fully-literal CounterFunc/GaugeFunc registration.
+type metricSite struct {
+	key string
+	pos token.Pos
+}
+
+// Metricname checks every obs.Registry registration in the repo: the
+// series name must be a string literal (so the suite can verify it)
+// matching ^(yala|gateway|cluster)_[a-z0-9_]+$, and the same
+// fully-literal (name, labels) series must not be registered by
+// CounterFunc/GaugeFunc at two different sites — the second silently
+// replaces the first's read function. Counter/Histogram are
+// get-or-create by design (hot paths share series), so only the
+// func-registering forms participate in the duplicate check.
+func Metricname() *Analyzer {
+	var sites []metricSite
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "enforces metric naming (^(yala|gateway|cluster)_[a-z0-9_]+$) and flags duplicate func registrations",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				labelStart, isRegistrar := registrars[sel.Sel.Name]
+				if !isRegistrar || len(call.Args) < 1 {
+					return true
+				}
+				if !isObsRegistry(pass.TypeOf(sel.X)) {
+					return true
+				}
+				name, ok := stringLit(call.Args[0])
+				if !ok {
+					pass.Reportf(call.Args[0].Pos(), "metric name must be a string literal so the suite can verify it")
+					return true
+				}
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(call.Args[0].Pos(), "metric name %q does not match ^(yala|gateway|cluster)_[a-z0-9_]+$", name)
+				}
+				if sel.Sel.Name != "CounterFunc" && sel.Sel.Name != "GaugeFunc" {
+					return true
+				}
+				if key, ok := literalSeriesKey(name, call.Args[labelStart:]); ok {
+					sites = append(sites, metricSite{key: key, pos: call.Args[0].Pos()})
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(rep *Reporter) {
+		first := map[string]metricSite{}
+		// Sites arrive in package-load order; sort by position so "first
+		// registration" is stable and the duplicate is always the later
+		// source location.
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, s := range sites {
+			if prev, dup := first[s.key]; dup {
+				p := rep.fset.Position(prev.pos)
+				rep.Reportf(s.pos, "series %s already registered at %s:%d; a second func registration silently replaces the first",
+					s.key, rep.relFile(p.Filename), p.Line)
+				continue
+			}
+			first[s.key] = s
+		}
+	}
+	return a
+}
+
+// isObsRegistry reports whether t is (a pointer to) the obs package's
+// Registry type; matched by path suffix so the check survives a module
+// rename.
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "internal/obs" || strings.HasSuffix(obj.Pkg().Path(), "/internal/obs"))
+}
+
+// stringLit unwraps e as a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// literalSeriesKey canonicalizes (name, label pairs) when every label
+// key and value is a string literal; registrations with computed label
+// values (per-tenant, per-replica) are legitimately repeated shapes and
+// sit out the duplicate check.
+func literalSeriesKey(name string, labelArgs []ast.Expr) (string, bool) {
+	if len(labelArgs)%2 != 0 {
+		return "", false
+	}
+	pairs := make([]string, 0, len(labelArgs)/2)
+	for i := 0; i < len(labelArgs); i += 2 {
+		k, ok := stringLit(labelArgs[i])
+		if !ok {
+			return "", false
+		}
+		v, ok := stringLit(labelArgs[i+1])
+		if !ok {
+			return "", false
+		}
+		pairs = append(pairs, fmt.Sprintf("%s=%q", k, v))
+	}
+	sort.Strings(pairs)
+	if len(pairs) == 0 {
+		return name, true
+	}
+	return name + "{" + strings.Join(pairs, ",") + "}", true
+}

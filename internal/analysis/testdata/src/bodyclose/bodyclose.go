@@ -1,0 +1,70 @@
+// Package fixture exercises the bodyclose analyzer.
+package fixture
+
+import (
+	"io"
+	"net/http"
+)
+
+// leak reads the body but never closes it — flagged.
+func leak(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+
+// closed defers the close — fine.
+func closed(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+}
+
+// closure closes inside a deferred closure — fine.
+func closure(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() { resp.Body.Close() }()
+	return nil
+}
+
+// escapes returns the response: the caller owns the close — fine.
+func escapes(c *http.Client, url string) (*http.Response, error) {
+	return c.Get(url)
+}
+
+// escapesVar binds then returns — fine.
+func escapesVar(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// handoff passes the response to a callee — obligation transferred,
+// fine.
+func handoff(c *http.Client, url string, sink func(*http.Response) error) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	return sink(resp)
+}
+
+// dropped discards the response entirely — flagged.
+func dropped(c *http.Client, url string) {
+	c.Get(url)
+}
+
+// blank binds the response to _ — flagged.
+func blank(c *http.Client, url string) {
+	_, _ = c.Get(url)
+}

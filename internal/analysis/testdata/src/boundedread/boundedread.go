@@ -1,0 +1,45 @@
+// Package fixture exercises the boundedread analyzer.
+package fixture
+
+import (
+	"io"
+	"net"
+	"net/http"
+)
+
+// uncapped reads a response body with no limit — flagged.
+func uncapped(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body)
+}
+
+// uncappedReq reads a request body with no limit — flagged.
+func uncappedReq(r *http.Request) ([]byte, error) {
+	return io.ReadAll(r.Body)
+}
+
+// capped wraps the body in a LimitReader — fine.
+func capped(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+}
+
+// cappedMax uses http.MaxBytesReader — fine.
+func cappedMax(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, 10<<20))
+}
+
+// conn drains a net.Conn — flagged.
+func conn(c net.Conn) ([]byte, error) {
+	return io.ReadAll(c)
+}
+
+// tcp drains a concrete conn type — flagged via the net.Conn method
+// set.
+func tcp(c *net.TCPConn) ([]byte, error) {
+	return io.ReadAll(c)
+}
+
+// reader reads a plain io.Reader — not provably network-attached, so
+// never flagged.
+func reader(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r)
+}

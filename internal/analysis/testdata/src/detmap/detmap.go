@@ -1,0 +1,53 @@
+// Package fixture exercises the detmap analyzer: loaded by the golden
+// test under a determinism-critical import path.
+package fixture
+
+import "sort"
+
+func add(a, b int) int { return a + b }
+
+// sumValues ranges a map directly — flagged.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total = add(total, v)
+	}
+	return total
+}
+
+// sumSorted is the blessed idiom: the key-collection loop is exempt,
+// and the second loop ranges a slice.
+func sumSorted(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+type registry map[int]string
+
+// walk ranges a named map type — still flagged.
+func walk(r registry) []int {
+	var ids []int
+	for id, name := range r {
+		if name != "" {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// sumSlice ranges a slice — never flagged.
+func sumSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

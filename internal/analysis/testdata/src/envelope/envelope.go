@@ -1,0 +1,31 @@
+// Package fixture exercises the envelope analyzer: loaded by the
+// golden test under a serving-package import path.
+package fixture
+
+import "net/http"
+
+// plainError uses http.Error — flagged.
+func plainError(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError)
+}
+
+// rawConst writes a named error status constant — flagged.
+func rawConst(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadGateway)
+}
+
+// rawLiteral writes a literal error status — flagged.
+func rawLiteral(w http.ResponseWriter) {
+	w.WriteHeader(503)
+}
+
+// success writes a non-error status — fine.
+func success(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// proxied forwards a computed status (an upstream's, the envelope
+// writer's own) — fine.
+func proxied(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}

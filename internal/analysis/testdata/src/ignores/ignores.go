@@ -1,0 +1,36 @@
+// Package fixture exercises the yalalint:ignore machinery: loaded by
+// the golden test under a determinism-critical import path so the
+// wallclock findings it suppresses are real.
+package fixture
+
+import "time"
+
+// stamped is suppressed by the standalone directive above the line.
+//
+//yalalint:ignore wallclock fixture demonstrates a reviewed exception
+func stamped() time.Time { return time.Now() }
+
+// trailing is suppressed by the trailing-comment form.
+func trailing() time.Time {
+	return time.Now() //yalalint:ignore wallclock trailing form of the directive
+}
+
+// The next directive suppresses nothing — reported as stale.
+//
+//yalalint:ignore wallclock nothing below reads the clock
+func clean() int { return 4 }
+
+// The next directive names an analyzer that does not exist — reported.
+//
+//yalalint:ignore nosuchanalyzer the suite must reject typoed names
+func alsoClean() int { return 5 }
+
+// A directive without a reason is malformed — an unreviewed exception
+// is not an exception.
+//
+//yalalint:ignore detmap
+func noReason() int { return 6 }
+
+// unsuppressed keeps one live finding so the fixture proves filtering
+// is selective, not blanket.
+func unsuppressed() time.Time { return time.Now() }

@@ -1,0 +1,35 @@
+// Package fixture exercises the metricname analyzer against the real
+// obs.Registry API.
+package fixture
+
+import "repro/internal/obs"
+
+func register(r *obs.Registry, hits func() uint64) {
+	// Well-formed names with the three sanctioned prefixes — fine.
+	r.Counter("yala_good_total")
+	r.Counter("gateway_good_total", "verb", "predict")
+	r.Histogram("cluster_good_seconds", nil)
+
+	// Name fails the regex — flagged.
+	r.Counter("Bad-Name")
+	// Wrong prefix — flagged.
+	r.GaugeFunc("mylib_queue_depth", func() float64 { return 0 })
+
+	// Duplicate func registration of one literal series — the second
+	// silently replaces the first's read function; flagged at the
+	// second site.
+	r.CounterFunc("yala_dup_total", hits)
+	r.CounterFunc("yala_dup_total", hits)
+	// Same family, different literal labels — a distinct series, fine.
+	r.CounterFunc("yala_dup_total", hits, "verb", "predict")
+
+	// Computed name — unverifiable, flagged.
+	name := "yala_" + "computed_total"
+	r.Counter(name)
+
+	// Computed label values sit out the duplicate check (per-tenant
+	// loops legitimately re-run one registration site).
+	for _, tenant := range []string{"a", "b"} {
+		r.CounterFunc("yala_tenant_bytes_total", hits, "tenant", tenant)
+	}
+}

@@ -1,0 +1,27 @@
+// Package fixture exercises the wallclock analyzer: loaded by the
+// golden test under a determinism-critical import path.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+	clock "time"
+)
+
+// now reads the wall clock — flagged.
+func now() time.Time { return time.Now() }
+
+// age calls time.Since — flagged.
+func age(t time.Time) time.Duration { return time.Since(t) }
+
+// left calls time.Until — flagged.
+func left(t time.Time) time.Duration { return time.Until(t) }
+
+// aliased resolves through the import alias — still flagged.
+func aliased() clock.Time { return clock.Now() }
+
+// roll uses math/rand — the import itself is flagged.
+func roll() int { return rand.Int() }
+
+// double only computes with durations — never flagged.
+func double(d time.Duration) time.Duration { return 2 * d }

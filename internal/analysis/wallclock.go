@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the time package functions that read the host
+// clock. time.Sleep is deliberately absent: it does not produce a value
+// that can leak into replayed state, and the wire client legitimately
+// backs off.
+var wallclockFuncs = []string{"Now", "Since", "Until"}
+
+// Wallclock flags wall-clock reads (time.Now, time.Since, time.Until)
+// and any import of math/rand in determinism-critical packages. The
+// simulator owns time (sim.Engine's virtual clock) and randomness
+// (sim's splitmix64 streams); host time or the global rand source in
+// these packages makes a replay diverge from its recording. Real-I/O
+// exceptions (socket deadlines) are annotated, not exempted wholesale.
+func Wallclock(critical ...string) *Analyzer {
+	if critical == nil {
+		critical = DefaultCriticalPackages
+	}
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbids time.Now/Since/Until and math/rand in determinism-critical packages",
+		Run: func(pass *Pass) {
+			if !inPackages(pass, critical) {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, imp := range f.Imports {
+					switch strings.Trim(imp.Path.Value, `"`) {
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(imp.Pos(), "import of %s in a determinism-critical package; use the sim package's seeded RNG", imp.Path.Value)
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					for _, fn := range wallclockFuncs {
+						if pass.usesPkgFunc(f, sel, "time", fn) {
+							pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a determinism-critical package; use the engine's virtual clock", fn)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -35,6 +35,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/backend"
@@ -310,6 +311,23 @@ func (e *Env) countSlots(policy string, scanned, scored int) {
 	}
 	e.obsReg.Counter("cluster_slots_scanned_total", "policy", policy).Add(uint64(scanned))
 	e.obsReg.Counter("cluster_slots_scored_total", "policy", policy).Add(uint64(scored))
+}
+
+// sortedClassKeys returns every class environment's key ordered by
+// (name, cores) — the deterministic way to walk e.class, which replay
+// determinism forbids ranging over directly.
+func (e *Env) sortedClassKeys() []classKey {
+	keys := make([]classKey, 0, len(e.class))
+	for key := range e.class {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].cores < keys[j].cores
+	})
+	return keys
 }
 
 // classEnv resolves (building on first use) the environment slice for

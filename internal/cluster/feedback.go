@@ -77,11 +77,13 @@ func newOnlineLoop(e *Env, sc Scenario, policy Scheduler) *onlineLoop {
 
 // classCfg resolves a class name back to its hardware preset. Distinct
 // core-budget overrides of one class share the preset, so any match
-// serves.
+// would serve for training — but the walk is over sorted keys so two
+// replays of one recorded run always train against the same classEnv
+// (and its co-run caches), keeping retrain outcomes bit-identical.
 func (l *onlineLoop) classCfg(class string) (*classEnv, error) {
-	for key, ce := range l.env.class {
+	for _, key := range l.env.sortedClassKeys() {
 		if key.name == class {
-			return ce, nil
+			return l.env.class[key], nil
 		}
 	}
 	return nil, fmt.Errorf("cluster: no environment for class %q", class)
@@ -145,10 +147,11 @@ func (l *onlineLoop) promote(k feedback.Key, m backend.Model) error {
 		scale = 1
 	}
 	l.cal[k] = scale
-	for key, ce := range l.env.class {
+	for _, key := range l.env.sortedClassKeys() {
 		if key.name != k.HW {
 			continue
 		}
+		ce := l.env.class[key]
 		base := ce.cfg.FreqScale
 		if base <= 0 {
 			base = 1

@@ -78,6 +78,9 @@ func (p *Pool) dial(ctx context.Context) (*clientConn, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		c.SetDeadline(dl)
 	} else {
+		// I/O deadline on a live socket — inherently wall-clock; the
+		// handshake timeout never feeds simulated or replayed state.
+		//yalalint:ignore wallclock socket handshake deadline, real I/O not simulation state
 		c.SetDeadline(time.Now().Add(p.dialTimeout))
 	}
 	buf := AppendHello(GetBuf(), p.apiKey)
